@@ -1,0 +1,409 @@
+package refill
+
+// Benchmark harness: one benchmark per evaluation artifact (Table II,
+// Figures 4, 5, 6, 8, 9) plus the extension experiments (accuracy sweep,
+// ablations) and engine scaling. Each figure benchmark reuses a single
+// simulated campaign (built outside the timer) and measures the analysis
+// that regenerates the artifact; custom metrics report the headline numbers
+// so `go test -bench .` doubles as the reproduction harness.
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/event"
+	"repro/internal/experiments"
+	"repro/internal/fsm"
+	"repro/internal/logging"
+	"repro/internal/sim/dissem"
+	"repro/internal/workload"
+)
+
+var (
+	benchOnce sync.Once
+	benchCamp *experiments.Campaign
+	benchErr  error
+)
+
+// benchCampaign builds the shared small campaign once.
+func benchCampaign(b *testing.B) *experiments.Campaign {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchCamp, benchErr = experiments.RunCampaign(experiments.SmallCampaign())
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchCamp
+}
+
+// tableIIView builds the paper's Case 4 packet view.
+func tableIIView() *event.PacketView {
+	pkt := event.PacketID{Origin: 1, Seq: 1}
+	mk := func(t event.Type, s, r event.NodeID) event.Event {
+		n := r
+		if t.SenderSide() {
+			n = s
+		}
+		return event.Event{Node: n, Type: t, Sender: s, Receiver: r, Packet: pkt}
+	}
+	return &event.PacketView{Packet: pkt, PerNode: map[event.NodeID][]event.Event{
+		1: {mk(event.Trans, 1, 2), mk(event.AckRecvd, 1, 2), mk(event.Recv, 3, 1),
+			mk(event.Trans, 1, 2), mk(event.AckRecvd, 1, 2)},
+		2: {mk(event.Recv, 1, 2), mk(event.Trans, 2, 3), mk(event.AckRecvd, 2, 3),
+			mk(event.Trans, 2, 3)},
+		3: {mk(event.Recv, 2, 3), mk(event.Trans, 3, 1), mk(event.AckRecvd, 3, 1)},
+	}}
+}
+
+// BenchmarkTableII measures reconstructing the paper's Table II Case 4
+// walkthrough (experiment E-T2): a routing loop with one lost log record.
+func BenchmarkTableII(b *testing.B) {
+	eng, err := engine.New(engine.Options{Protocol: fsm.TableII(), Sink: 100})
+	if err != nil {
+		b.Fatal(err)
+	}
+	view := tableIIView()
+	b.ResetTimer()
+	var inferred int
+	for i := 0; i < b.N; i++ {
+		f := eng.AnalyzePacket(view)
+		inferred = f.InferredCount()
+	}
+	b.ReportMetric(float64(inferred), "inferred/pkt")
+}
+
+// BenchmarkFig3Dissemination measures the Figure 3 scenarios (experiment
+// E-T3): reconstructing dissemination rounds — including the single-record
+// full-round cascade — on the negotiation protocol.
+func BenchmarkFig3Dissemination(b *testing.B) {
+	cfg := dissem.DefaultConfig(10, 50)
+	lc := logging.DefaultConfig(cfg.Seed + 1)
+	lc.LossRate = 0.3
+	coll := logging.NewCollector(lc)
+	if _, err := dissem.Run(cfg, coll); err != nil {
+		b.Fatal(err)
+	}
+	logs := coll.Collection()
+	eng, err := engine.New(engine.Options{
+		Protocol: fsm.Dissemination(), Sink: 999, Group: cfg.Roster(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var inferred int
+	for i := 0; i < b.N; i++ {
+		res := eng.Analyze(logs)
+		reports := dissem.Evaluate(res.Flows, cfg.Roster())
+		inferred = 0
+		for _, r := range reports {
+			inferred += r.Inferred
+		}
+	}
+	b.ReportMetric(float64(inferred), "inferred")
+}
+
+// BenchmarkFig4SinkView regenerates Figure 4 (source-view temporal
+// distribution of losses via the sequence-gap sink view).
+func BenchmarkFig4SinkView(b *testing.B) {
+	c := benchCampaign(b)
+	b.ResetTimer()
+	var r *experiments.Fig4Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig4(c)
+	}
+	b.ReportMetric(float64(len(r.Points)), "losses")
+	b.ReportMetric(float64(r.DistinctSources), "sources")
+}
+
+// BenchmarkFig5LossPositions regenerates Figure 5 (loss causes by REFILL
+// loss position; concentration + sink band).
+func BenchmarkFig5LossPositions(b *testing.B) {
+	c := benchCampaign(b)
+	b.ResetTimer()
+	var r *experiments.Fig5Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig5(c)
+	}
+	b.ReportMetric(100*r.TopShare, "top5share%")
+	b.ReportMetric(100*r.SinkShare, "sinkshare%")
+}
+
+// BenchmarkFig6DailyCauses regenerates Figure 6 (daily cause composition:
+// snow spike, post-fix sink collapse).
+func BenchmarkFig6DailyCauses(b *testing.B) {
+	c := benchCampaign(b)
+	b.ResetTimer()
+	var r *experiments.Fig6Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig6(c)
+	}
+	b.ReportMetric(float64(r.SnowDayLosses), "snowdaylosses")
+	b.ReportMetric(100*r.SinkSharePreFix, "sinkpre%")
+	b.ReportMetric(100*r.SinkSharePostFix, "sinkpost%")
+}
+
+// BenchmarkFig8Spatial regenerates Figure 8 (spatial distribution of
+// received losses; the sink dominates).
+func BenchmarkFig8Spatial(b *testing.B) {
+	c := benchCampaign(b)
+	b.ResetTimer()
+	var r *experiments.Fig8Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig8(c)
+	}
+	sinkMax := 0.0
+	if r.SinkIsMax {
+		sinkMax = 1
+	}
+	b.ReportMetric(sinkMax, "sinkismax")
+	b.ReportMetric(float64(len(r.BySite)), "sites")
+}
+
+// BenchmarkFig9CauseBreakdown regenerates Figure 9 / Section V-C (overall
+// cause breakdown with sink splits).
+func BenchmarkFig9CauseBreakdown(b *testing.B) {
+	c := benchCampaign(b)
+	b.ResetTimer()
+	var r *experiments.Fig9Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig9(c)
+	}
+	b.ReportMetric(100*r.Frac[ReceivedLoss], "received%")
+	b.ReportMetric(100*r.Frac[AckedLoss], "acked%")
+	b.ReportMetric(100*r.Frac[ServerOutage], "outage%")
+}
+
+// BenchmarkAnalyzeCampaign measures the full REFILL pipeline (engine +
+// diagnosis) over the shared campaign's lossy logs — the system's hot path.
+func BenchmarkAnalyzeCampaign(b *testing.B) {
+	c := benchCampaign(b)
+	an, err := core.NewAnalyzer(core.Options{Sink: c.Res.Sink, End: int64(c.Res.Duration)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	events := c.Res.Logs.TotalEvents()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := an.Analyze(c.Res.Logs)
+		if len(out.Result.Flows) == 0 {
+			b.Fatal("no flows")
+		}
+	}
+	b.ReportMetric(float64(events), "events")
+}
+
+// BenchmarkAccuracyVsLogLoss runs the E-A1 sweep at benchmark scale and
+// reports REFILL's cause accuracy at the extremes.
+func BenchmarkAccuracyVsLogLoss(b *testing.B) {
+	base := workload.Tiny(11)
+	var res *experiments.AccuracyVsLogLossResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.AccuracyVsLogLoss(base, []float64{0, 0.4, 0.8})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	refillAt := func(i int) float64 {
+		for _, r := range res.Rows[i] {
+			if r.Name == "refill" {
+				return 100 * r.Acc.CauseRate()
+			}
+		}
+		return 0
+	}
+	b.ReportMetric(refillAt(0), "cause%@0loss")
+	b.ReportMetric(refillAt(2), "cause%@80loss")
+}
+
+// BenchmarkAblationFull / NoIntra / NoInter / Neither measure the engine
+// variants over the same logs (experiment E-A2); the metric is cause
+// accuracy against ground truth.
+func benchmarkAblation(b *testing.B, disableIntra, disableInter bool) {
+	c := benchCampaign(b)
+	an, err := core.NewAnalyzer(core.Options{
+		Sink: c.Res.Sink, End: int64(c.Res.Duration),
+		DisableIntra: disableIntra, DisableInter: disableInter,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var acc core.Accuracy
+	for i := 0; i < b.N; i++ {
+		acc = core.Score(an.Analyze(c.Res.Logs).Report, c.Res.Truth.Fates)
+	}
+	b.ReportMetric(100*acc.CauseRate(), "cause%")
+	b.ReportMetric(100*acc.PositionRate(), "position%")
+}
+
+func BenchmarkAblationFull(b *testing.B)    { benchmarkAblation(b, false, false) }
+func BenchmarkAblationNoIntra(b *testing.B) { benchmarkAblation(b, true, false) }
+func BenchmarkAblationNoInter(b *testing.B) { benchmarkAblation(b, false, true) }
+func BenchmarkAblationNeither(b *testing.B) { benchmarkAblation(b, true, true) }
+
+// BenchmarkEngineChain measures raw engine throughput on synthetic delivered
+// chains of increasing length (scaling, experiment E-A3).
+func BenchmarkEngineChain(b *testing.B) {
+	for _, hops := range []int{2, 8, 32} {
+		hops := hops
+		b.Run(sizeName(hops), func(b *testing.B) {
+			pkt := event.PacketID{Origin: 1, Seq: 1}
+			path := make([]event.NodeID, hops+1)
+			for i := range path {
+				path[i] = event.NodeID(i + 1)
+			}
+			view := &event.PacketView{Packet: pkt, PerNode: map[event.NodeID][]event.Event{}}
+			tick := int64(0)
+			add := func(e event.Event) {
+				tick += 10
+				e.Time = tick
+				view.PerNode[e.Node] = append(view.PerNode[e.Node], e)
+			}
+			add(event.Event{Node: 1, Type: event.Gen, Sender: 1, Packet: pkt})
+			for i := 0; i+1 < len(path); i++ {
+				s, r := path[i], path[i+1]
+				add(event.Event{Node: s, Type: event.Trans, Sender: s, Receiver: r, Packet: pkt})
+				add(event.Event{Node: r, Type: event.Recv, Sender: s, Receiver: r, Packet: pkt})
+				add(event.Event{Node: s, Type: event.AckRecvd, Sender: s, Receiver: r, Packet: pkt})
+			}
+			eng, err := engine.New(engine.Options{Sink: path[len(path)-1]})
+			if err != nil {
+				b.Fatal(err)
+			}
+			nEvents := view.TotalEvents()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f := eng.AnalyzePacket(view)
+				if len(f.Items) != nEvents {
+					b.Fatalf("items = %d, want %d", len(f.Items), nEvents)
+				}
+			}
+			b.ReportMetric(float64(nEvents)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+		})
+	}
+}
+
+func sizeName(hops int) string {
+	switch hops {
+	case 2:
+		return "hops=2"
+	case 8:
+		return "hops=8"
+	default:
+		return "hops=32"
+	}
+}
+
+// BenchmarkCampaignSimulation measures the simulator substrate itself.
+func BenchmarkCampaignSimulation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := workload.Run(workload.Tiny(int64(i + 1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Truth.Generated == 0 {
+			b.Fatal("nothing generated")
+		}
+	}
+}
+
+// BenchmarkAnalyzeCampaignParallel measures the parallel fan-out of the
+// per-packet reconstruction over the shared campaign logs.
+func BenchmarkAnalyzeCampaignParallel(b *testing.B) {
+	c := benchCampaign(b)
+	eng, err := engine.New(engine.Options{Sink: c.Res.Sink})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := eng.AnalyzeParallel(c.Res.Logs, 0)
+		if len(res.Flows) == 0 {
+			b.Fatal("no flows")
+		}
+	}
+}
+
+// BenchmarkClockRecovery measures post-hoc clock estimation (E-A6) over the
+// shared campaign's reconstructed flows; the metric is the mean absolute
+// local-time error in seconds.
+func BenchmarkClockRecovery(b *testing.B) {
+	c := benchCampaign(b)
+	var res *experiments.ClockRecoveryResult
+	for i := 0; i < b.N; i++ {
+		res = experiments.ClockRecovery(c)
+	}
+	b.ReportMetric(res.MAE/1e6, "mae_s")
+	b.ReportMetric(res.NaiveMAE/1e6, "naive_s")
+	b.ReportMetric(float64(res.Pairs), "pairs")
+}
+
+// BenchmarkLoggingPolicies measures the E-A4 policy study end to end and
+// reports the selective policy's volume saving and accuracy.
+func BenchmarkLoggingPolicies(b *testing.B) {
+	var res *experiments.LoggingPolicyResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.LoggingPolicies(workload.Tiny(int64(i + 1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range res.Rows {
+		if r.Name == "selective" {
+			b.ReportMetric(100*r.VolumeFrac, "sel_volume%")
+			b.ReportMetric(100*r.Acc.CauseRate(), "sel_cause%")
+		}
+	}
+}
+
+// BenchmarkBinaryCodec measures the compact log encoding round trip against
+// the text codec on the shared campaign's logs.
+func BenchmarkBinaryCodec(b *testing.B) {
+	c := benchCampaign(b)
+	logs := c.Res.Logs
+	b.Run("write-binary", func(b *testing.B) {
+		var n int
+		for i := 0; i < b.N; i++ {
+			var buf bytes.Buffer
+			if err := event.WriteCollectionBinary(&buf, logs); err != nil {
+				b.Fatal(err)
+			}
+			n = buf.Len()
+		}
+		b.ReportMetric(float64(n), "bytes")
+	})
+	b.Run("write-text", func(b *testing.B) {
+		var n int
+		for i := 0; i < b.N; i++ {
+			var buf bytes.Buffer
+			if err := event.WriteCollection(&buf, logs); err != nil {
+				b.Fatal(err)
+			}
+			n = buf.Len()
+		}
+		b.ReportMetric(float64(n), "bytes")
+	})
+	var bin bytes.Buffer
+	if err := event.WriteCollectionBinary(&bin, logs); err != nil {
+		b.Fatal(err)
+	}
+	raw := bin.Bytes()
+	b.Run("read-binary", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			got, err := event.ReadCollectionBinary(bytes.NewReader(raw))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if got.TotalEvents() != logs.TotalEvents() {
+				b.Fatal("count mismatch")
+			}
+		}
+	})
+}

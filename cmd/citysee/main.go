@@ -1,0 +1,88 @@
+// Command citysee simulates a CitySee-like data-collection campaign and
+// writes the lossy per-node logs (and optionally the ground-truth packet
+// fates) to disk. The logs are what cmd/refill analyzes.
+//
+// Usage:
+//
+//	citysee -nodes 120 -days 30 -seed 1 -o logs.txt -truth truth.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/sim"
+	"repro/internal/sim/network"
+	"repro/internal/workload"
+
+	refill "repro"
+)
+
+func main() {
+	var (
+		nodes     = flag.Int("nodes", 120, "deployment size (node 1 is the sink)")
+		days      = flag.Int("days", 30, "campaign length in days")
+		seed      = flag.Int64("seed", 0, "random seed (0 = scenario default)")
+		periodMin = flag.Int("period", 20, "sensing period in minutes")
+		logLoss   = flag.Float64("logloss", 0.20, "log-record loss rate")
+		out       = flag.String("o", "logs.txt", "output log file")
+		truthOut  = flag.String("truth", "", "optional ground-truth fate file")
+		binFormat = flag.Bool("binary", false, "write the compact binary log format")
+		quiet     = flag.Bool("q", false, "suppress the summary")
+	)
+	flag.Parse()
+
+	cfg := workload.CitySeeConfig{
+		Nodes:       *nodes,
+		Days:        *days,
+		Seed:        *seed,
+		Period:      sim.Time(*periodMin) * sim.Minute,
+		LogLossRate: *logLoss,
+	}
+	res, err := refill.RunCampaign(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	writeLogs := refill.WriteLogs
+	if *binFormat {
+		writeLogs = refill.WriteLogsBinary
+	}
+	if err := writeLogs(f, res.Logs); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	if *truthOut != "" {
+		tf, err := os.Create(*truthOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := network.WriteFates(tf, res.Truth.Fates); err != nil {
+			fatal(err)
+		}
+		if err := tf.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if !*quiet {
+		fmt.Printf("campaign: %d nodes, %d days, sink=%v\n", res.Config.Nodes, res.Config.Days, res.Sink)
+		fmt.Printf("packets:  %d generated, %d delivered, %d lost\n",
+			res.Truth.Generated, res.Truth.Delivered, res.Truth.LossCount())
+		fmt.Printf("logs:     %d events offered, %d lost in collection, %d written to %s\n",
+			res.LogsSeen, res.LogsDropped, res.Logs.TotalEvents(), *out)
+		if *truthOut != "" {
+			fmt.Printf("truth:    %d fates written to %s\n", len(res.Truth.Fates), *truthOut)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "citysee:", err)
+	os.Exit(1)
+}

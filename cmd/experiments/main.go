@@ -1,0 +1,236 @@
+// Command experiments regenerates the paper's evaluation artifacts from the
+// simulated CitySee campaign: Table II and Figures 4, 5, 6, 8 and 9, plus the
+// extension experiments (accuracy vs log loss, ablations).
+//
+// Usage:
+//
+//	experiments                 # everything at default scale
+//	experiments -fig 9          # one artifact
+//	experiments -nodes 200 -days 30 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		fig    = flag.String("fig", "all", "artifact: table2|3|4|5|6|8|9|accuracy|ablation|policies|extended|clocks|delays|all")
+		nodes  = flag.Int("nodes", 0, "override node count")
+		days   = flag.Int("days", 0, "override campaign days")
+		seed   = flag.Int64("seed", 0, "override seed")
+		small  = flag.Bool("small", false, "use the small benchmark-scale campaign")
+		svgDir = flag.String("svg", "", "also write fig*.svg into this directory")
+		csvDir = flag.String("csv", "", "also write fig*.csv series into this directory")
+	)
+	flag.Parse()
+	for _, dir := range []string{*svgDir, *csvDir} {
+		if dir != "" {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	writeSVG := func(name, content string) {
+		if *svgDir == "" {
+			return
+		}
+		path := filepath.Join(*svgDir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
+	writeCSV := func(name string, fill func(io.Writer) error) {
+		if *csvDir == "" {
+			return
+		}
+		path := filepath.Join(*csvDir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := fill(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
+
+	cfg := experiments.DefaultCampaign()
+	if *small {
+		cfg = experiments.SmallCampaign()
+	}
+	if *nodes > 0 {
+		cfg.Nodes = *nodes
+	}
+	if *days > 0 {
+		cfg.Days = *days
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	want := func(k string) bool { return *fig == "all" || *fig == k }
+
+	if want("table2") {
+		section("Table II — three-node walkthrough")
+		fmt.Print(experiments.TableII())
+	}
+	if want("3") {
+		section("Figure 3 — connected-engine scenarios (dissemination)")
+		res, err := experiments.Fig3(10, 60, cfg.Seed+7, 0.3)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(res.Text)
+	}
+
+	needCampaign := false
+	for _, k := range []string{"4", "5", "6", "8", "9"} {
+		if want(k) {
+			needCampaign = true
+		}
+	}
+	if needCampaign {
+		fmt.Fprintf(os.Stderr, "simulating campaign: %d nodes, %d days, seed %d…\n",
+			orDefault(cfg.Nodes, 120), orDefault(cfg.Days, 30), cfg.Seed)
+		c, err := experiments.RunCampaign(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "generated %d packets (%d lost); %d log events collected\n\n",
+			c.Res.Truth.Generated, c.Res.Truth.LossCount(), c.Res.Logs.TotalEvents())
+		if want("4") {
+			section("Figure 4 — temporal distribution, SOURCE view")
+			r := experiments.Fig4(c)
+			fmt.Print(r.Text)
+			writeSVG("fig4.svg", report.ScatterSVG(r.Points,
+				"Fig. 4 — lost packets over time, source view"))
+			writeCSV("fig4.csv", func(w io.Writer) error { return report.PointsCSV(w, r.Points) })
+		}
+		if want("5") {
+			section("Figure 5 — loss causes by LOSS POSITION (REFILL)")
+			r := experiments.Fig5(c)
+			fmt.Print(r.Text)
+			writeSVG("fig5.svg", report.ScatterSVG(r.Points,
+				"Fig. 5 — lost packets over time, loss-position view (REFILL)"))
+			writeCSV("fig5.csv", func(w io.Writer) error { return report.PointsCSV(w, r.Points) })
+		}
+		if want("6") {
+			section("Figure 6 — daily cause composition")
+			r := experiments.Fig6(c)
+			fmt.Print(r.Text)
+			writeSVG("fig6.svg", report.DailySVG(r.Daily,
+				"Fig. 6 — daily loss-cause composition"))
+			writeCSV("fig6.csv", func(w io.Writer) error { return report.DailyCSV(w, r.Daily) })
+		}
+		if want("8") {
+			section("Figure 8 — spatial distribution of received losses")
+			fmt.Print(experiments.Fig8(c).Text)
+			writeSVG("fig8.svg", report.SpatialSVG(c.Out.Report, c.Res.Topology,
+				"Fig. 8 — spatial distribution of received losses"))
+			writeCSV("fig8.csv", func(w io.Writer) error {
+				return report.SpatialCSV(w, c.Out.Report, c.Res.Topology)
+			})
+		}
+		if want("9") {
+			section("Figure 9 / Section V-C — cause breakdown")
+			fmt.Print(experiments.Fig9(c).Text)
+			writeSVG("fig9.svg", report.BreakdownSVG(c.Out.Report,
+				"Fig. 9 — loss cause breakdown"))
+			writeCSV("fig9.csv", func(w io.Writer) error { return report.BreakdownCSV(w, c.Out.Report) })
+			rows := experiments.ScoreAllAnalyzers(c)
+			var rrows []report.AccuracyRow
+			for _, r := range rows {
+				rrows = append(rrows, report.AccuracyRow{Name: r.Name, Acc: r.Acc})
+			}
+			fmt.Println("\nanalyzer accuracy vs ground truth:")
+			fmt.Print(report.AccuracyTable(rrows))
+		}
+	}
+
+	if want("accuracy") {
+		section("E-A1 — reconstruction accuracy vs log loss")
+		base := workload.CitySeeConfig{Nodes: 49, Days: 4, Seed: cfg.Seed,
+			Period: 15 * sim.Minute, SnowDays: []int{2}, FixDay: 3, OutageHours: 3}
+		res, err := experiments.AccuracyVsLogLoss(base, []float64{0, 0.1, 0.2, 0.4, 0.6, 0.8})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(res.Text)
+	}
+	if want("ablation") {
+		section("E-A2 — intra/inter-node transition ablations")
+		res, err := experiments.Ablations(workload.CitySeeConfig{Nodes: 49, Days: 4,
+			Seed: cfg.Seed, Period: 15 * sim.Minute, SnowDays: []int{2}, FixDay: 3, OutageHours: 3})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(res.Text)
+	}
+	if want("policies") {
+		section("E-A4 — logging policies: diagnosability vs log volume")
+		res, err := experiments.LoggingPolicies(workload.CitySeeConfig{Nodes: 49, Days: 4,
+			Seed: cfg.Seed, Period: 15 * sim.Minute, SnowDays: []int{2}, FixDay: 3, OutageHours: 3})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(res.Text)
+	}
+	if want("extended") {
+		section("E-A5 — extended event set (queue events)")
+		res, err := experiments.ExtendedEvents(workload.CitySeeConfig{Nodes: 49, Days: 4,
+			Seed: cfg.Seed, Period: 15 * sim.Minute, SnowDays: []int{2}, FixDay: 3, OutageHours: 3})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(res.Text)
+	}
+	if want("clocks") {
+		section("E-A6 — post-hoc clock recovery from event flows")
+		res, err := experiments.ClockRecoveryOn(workload.CitySeeConfig{Nodes: 49, Days: 4,
+			Seed: cfg.Seed, Period: 15 * sim.Minute, SnowDays: []int{2}, FixDay: 3, OutageHours: 3})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(res.Text)
+	}
+	if want("delays") {
+		section("E-A7 — per-packet delay from unsynchronized logs")
+		res, err := experiments.DelaysOn(workload.CitySeeConfig{Nodes: 49, Days: 4,
+			Seed: cfg.Seed, Period: 15 * sim.Minute, SnowDays: []int{2}, FixDay: 3, OutageHours: 3})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(res.Text)
+	}
+}
+
+func orDefault(v, d int) int {
+	if v == 0 {
+		return d
+	}
+	return v
+}
+
+func section(title string) {
+	fmt.Printf("\n%s\n%s\n", title, strings.Repeat("=", len(title)))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,147 @@
+// Command refill runs the REFILL pipeline over a collected log file:
+// it reconstructs per-packet event flows from the lossy, unsynchronized
+// per-node logs, prints the diagnosis report, and optionally scores the
+// reconstruction against simulator ground truth or prints a single packet's
+// trace / event flow.
+//
+// Usage:
+//
+//	refill -logs logs.txt -sink 1 [-truth truth.txt] [-trace 17:42] [-flows 3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/sim/network"
+
+	refill "repro"
+)
+
+func main() {
+	var (
+		logsPath  = flag.String("logs", "", "input log file (required)")
+		sinkID    = flag.Uint("sink", 1, "sink node id")
+		truthPath = flag.String("truth", "", "optional ground-truth fate file to score against")
+		tracePkt  = flag.String("trace", "", "print the trace of one packet (origin:seq)")
+		showFlows = flag.Int("flows", 0, "print the first N reconstructed event flows")
+		days      = flag.Int("days", 30, "campaign length in days (bounds open outage windows)")
+		binFormat = flag.Bool("binary", false, "input is the compact binary log format")
+		clocks    = flag.Bool("clocks", false, "recover per-node clock offsets from the flows")
+	)
+	flag.Parse()
+	if *logsPath == "" {
+		fmt.Fprintln(os.Stderr, "refill: -logs is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*logsPath)
+	if err != nil {
+		fatal(err)
+	}
+	readLogs := refill.ReadLogs
+	if *binFormat {
+		readLogs = refill.ReadLogsBinary
+	}
+	logs, err := readLogs(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	an, err := refill.NewAnalyzer(refill.AnalyzerOptions{
+		Sink: refill.NodeID(*sinkID),
+		End:  int64(*days) * int64(sim.Day),
+	})
+	if err != nil {
+		fatal(err)
+	}
+	out := an.Analyze(logs)
+
+	fmt.Printf("analyzed %d events across %d node logs -> %d packet flows\n",
+		logs.TotalEvents(), len(logs.Logs), len(out.Result.Flows))
+	inferred, anomalies := 0, 0
+	for _, fl := range out.Result.Flows {
+		inferred += fl.InferredCount()
+		anomalies += len(fl.Anomalies)
+	}
+	fmt.Printf("inferred %d lost events; %d anomalous records discarded\n\n", inferred, anomalies)
+	fmt.Println(refill.RenderBreakdown(out.Report))
+
+	if *showFlows > 0 {
+		fmt.Println("sample event flows:")
+		for i, fl := range out.Result.Flows {
+			if i >= *showFlows {
+				break
+			}
+			fmt.Printf("  %s: %s\n", fl.Packet, fl)
+		}
+		fmt.Println()
+	}
+	if *tracePkt != "" {
+		pid, err := parsePacket(*tracePkt)
+		if err != nil {
+			fatal(err)
+		}
+		fl := out.Flow(pid)
+		if fl == nil {
+			fmt.Printf("packet %s: no events in the logs\n", pid)
+		} else {
+			fmt.Printf("event flow: %s\n", fl)
+			fmt.Print(refill.BuildTrace(fl))
+		}
+	}
+	if *clocks {
+		cm := refill.RecoverClocks(out.Result.Flows, refill.Server)
+		fmt.Printf("recovered clocks for %d nodes from %d cross-node pairs; worst offsets:\n",
+			len(cm.Nodes), cm.Pairs)
+		printed := 0
+		for _, n := range logs.Nodes() {
+			p, ok := cm.Offset(n)
+			if !ok || n == refill.Server {
+				continue
+			}
+			if p.Offset > 10e6 || p.Offset < -10e6 {
+				fmt.Printf("  node %-6s offset %+.1fs drift %+.1fppm\n",
+					n, p.Offset/1e6, p.Drift*1e6)
+				printed++
+			}
+			if printed >= 10 {
+				break
+			}
+		}
+		fmt.Println()
+	}
+	if *truthPath != "" {
+		tf, err := os.Open(*truthPath)
+		if err != nil {
+			fatal(err)
+		}
+		fates, err := network.ReadFates(tf)
+		tf.Close()
+		if err != nil {
+			fatal(err)
+		}
+		acc := refill.Score(out.Report, fates)
+		fmt.Println("accuracy vs ground truth:")
+		fmt.Print(report.AccuracyTable([]report.AccuracyRow{{Name: "refill", Acc: acc}}))
+	}
+}
+
+func parsePacket(s string) (refill.PacketID, error) {
+	var pid refill.PacketID
+	var origin, seq uint32
+	if _, err := fmt.Sscanf(s, "%d:%d", &origin, &seq); err != nil {
+		return pid, fmt.Errorf("bad packet id %q (want origin:seq)", s)
+	}
+	pid.Origin = refill.NodeID(origin)
+	pid.Seq = seq
+	return pid, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "refill:", err)
+	os.Exit(1)
+}

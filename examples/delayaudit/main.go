@@ -1,0 +1,73 @@
+// Delayaudit: measure per-packet delay from unsynchronized logs. The paper
+// notes that event flows reveal "per-packet delay, packet retransmission,
+// packet loss"; with per-node clocks minutes apart, delays only become
+// meaningful after post-hoc clock recovery — which the reconstructed flows
+// themselves make possible. This example runs a small campaign, recovers
+// every node's clock offset and drift from the flows, and contrasts delay
+// measurements on raw vs recovered clocks.
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	refill "repro"
+)
+
+func main() {
+	camp, err := refill.RunCampaign(refill.TinyCampaign(77))
+	if err != nil {
+		panic(err)
+	}
+	an, err := refill.NewAnalyzer(refill.AnalyzerOptions{Sink: camp.Sink, End: int64(camp.Duration)})
+	if err != nil {
+		panic(err)
+	}
+	out := an.Analyze(camp.Logs)
+
+	// Recover the clocks from the flows (anchor: the base-station server,
+	// whose clock is NTP-disciplined).
+	clocks := refill.RecoverClocks(out.Result.Flows, refill.Server)
+	fmt.Printf("recovered clocks for %d nodes from %d cross-node event pairs\n\n",
+		len(clocks.Nodes), clocks.Pairs)
+
+	raw := refill.ComputeStats(out.Result.Flows, nil)
+	corrected := refill.ComputeStats(out.Result.Flows, clocks)
+
+	show := func(label string, ps []refill.PacketStats) {
+		s := refill.SummarizeStats(ps)
+		gross := 0
+		for _, p := range ps {
+			if p.Delay < -5_000_000 { // impossible by >5s: pure clock skew
+				gross++
+			}
+		}
+		fmt.Printf("%-18s packets=%d  mean=%8.2fs  p50=%8.2fs  p95=%8.2fs  impossible(<-5s)=%d\n",
+			label, s.Count, float64(s.MeanDelay)/1e6, float64(s.P50Delay)/1e6,
+			float64(s.P95Delay)/1e6, gross)
+	}
+	fmt.Println("end-to-end delay, generation -> server:")
+	show("raw local clocks", raw)
+	show("recovered clocks", corrected)
+
+	// Grossly negative delays are physically impossible — pure clock
+	// skew. Their disappearance is the visible proof the recovery worked
+	// (residual small negatives reflect the ~1-2s estimation noise).
+	s := refill.SummarizeStats(corrected)
+	fmt.Printf("\nmean transmissions per delivered packet: %.2f over %.2f hops (%d looped)\n",
+		s.MeanTransmissions, s.MeanHops, s.Loops)
+
+	// The slowest packets, with their stories.
+	sort.Slice(corrected, func(i, j int) bool { return corrected[i].Delay > corrected[j].Delay })
+	fmt.Println("\nslowest deliveries:")
+	for i, p := range corrected {
+		if i >= 3 {
+			break
+		}
+		fmt.Printf("  %-8s delay=%6.1fs hops=%d transmissions=%d loop=%v\n",
+			p.Packet, float64(p.Delay)/1e6, p.Hops, p.Transmissions, p.Loop)
+		if f := out.Flow(p.Packet); f != nil {
+			fmt.Printf("    trace: %s\n", refill.BuildTrace(f).PathString())
+		}
+	}
+}

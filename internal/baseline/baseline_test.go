@@ -1,0 +1,244 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/diagnosis"
+	"repro/internal/event"
+)
+
+func srecv(origin event.NodeID, seq uint32, t int64) event.Event {
+	return event.Event{Node: event.Server, Type: event.ServerRecv, Sender: 1,
+		Receiver: event.Server, Packet: event.PacketID{Origin: origin, Seq: seq}, Time: t}
+}
+
+func TestSinkViewFindsGaps(t *testing.T) {
+	c := event.NewCollection()
+	// Origin 5 delivered seqs 1,2,4,6: seqs 3 and 5 are lost.
+	c.Add(srecv(5, 1, 100))
+	c.Add(srecv(5, 2, 200))
+	c.Add(srecv(5, 4, 400))
+	c.Add(srecv(5, 6, 600))
+	lost := SinkView(c, 100)
+	if len(lost) != 2 {
+		t.Fatalf("lost = %v", lost)
+	}
+	if lost[0].Packet.Seq != 3 || lost[1].Packet.Seq != 5 {
+		t.Errorf("lost seqs = %v", lost)
+	}
+	// Sequence-gap approximation: seq 3 ~ t(2) + 1*period = 300.
+	if lost[0].ApproxTime != 300 {
+		t.Errorf("approx(3) = %d, want 300", lost[0].ApproxTime)
+	}
+	if lost[1].ApproxTime != 500 {
+		t.Errorf("approx(5) = %d, want 500", lost[1].ApproxTime)
+	}
+}
+
+func TestSinkViewLeadingGapExtrapolatesBack(t *testing.T) {
+	c := event.NewCollection()
+	c.Add(srecv(7, 3, 1000)) // seqs 1, 2 lost before anything arrived
+	lost := SinkView(c, 100)
+	if len(lost) != 2 {
+		t.Fatalf("lost = %v", lost)
+	}
+	if lost[0].ApproxTime != 800 || lost[1].ApproxTime != 900 {
+		t.Errorf("approx = %d, %d; want 800, 900", lost[0].ApproxTime, lost[1].ApproxTime)
+	}
+}
+
+func TestSinkViewInvisibleTail(t *testing.T) {
+	// Losses after the last delivery are invisible (the paper's limit).
+	c := event.NewCollection()
+	c.Add(srecv(5, 1, 100))
+	lost := SinkView(c, 100)
+	if len(lost) != 0 {
+		t.Errorf("lost = %v, want none (tail losses invisible)", lost)
+	}
+}
+
+func TestSinkViewNoServerLog(t *testing.T) {
+	if lost := SinkView(event.NewCollection(), 100); lost != nil {
+		t.Errorf("lost = %v", lost)
+	}
+}
+
+func TestSinkViewLossBySource(t *testing.T) {
+	lost := []LostPacket{
+		{Packet: event.PacketID{Origin: 3, Seq: 1}},
+		{Packet: event.PacketID{Origin: 3, Seq: 2}},
+		{Packet: event.PacketID{Origin: 4, Seq: 9}},
+	}
+	m := SinkViewLossBySource(lost)
+	if m[3] != 2 || m[4] != 1 {
+		t.Errorf("by source = %v", m)
+	}
+}
+
+func TestNaiveBlamesUnackedTrans(t *testing.T) {
+	pkt := event.PacketID{Origin: 1, Seq: 1}
+	c := event.NewCollection()
+	c.Add(event.Event{Node: 1, Type: event.Trans, Sender: 1, Receiver: 2, Packet: pkt, Time: 10})
+	// No ack at node 1: naive says "lost at node 1" — even though in the
+	// paper's Case 1 the packet demonstrably reached node 3.
+	c.Add(event.Event{Node: 3, Type: event.Recv, Sender: 2, Receiver: 3, Packet: pkt, Time: 30})
+	v := Naive(c)[pkt]
+	if v.Cause != diagnosis.TransitLoss || v.Position != 1 {
+		t.Errorf("verdict = %+v, want transit@1 (the naive mistake)", v)
+	}
+}
+
+func TestNaiveDeliveredWins(t *testing.T) {
+	pkt := event.PacketID{Origin: 1, Seq: 1}
+	c := event.NewCollection()
+	c.Add(event.Event{Node: 1, Type: event.Trans, Sender: 1, Receiver: 2, Packet: pkt, Time: 10})
+	c.Add(srecv(1, 1, 99))
+	v := Naive(c)[pkt]
+	if v.Cause != diagnosis.Delivered {
+		t.Errorf("verdict = %+v", v)
+	}
+}
+
+func TestNaiveUnknownWithoutTrans(t *testing.T) {
+	pkt := event.PacketID{Origin: 1, Seq: 1}
+	c := event.NewCollection()
+	c.Add(event.Event{Node: 2, Type: event.Recv, Sender: 1, Receiver: 2, Packet: pkt, Time: 10})
+	v := Naive(c)[pkt]
+	if v.Cause != diagnosis.Unknown {
+		t.Errorf("verdict = %+v", v)
+	}
+}
+
+func TestClockMergeFooledBySkew(t *testing.T) {
+	pkt := event.PacketID{Origin: 1, Seq: 1}
+	c := event.NewCollection()
+	// True order: trans(1->2), recv@2, ack@1, trans(2->3)… but node 2's
+	// clock is far behind, so its recv appears FIRST and node 1's ack
+	// appears LAST.
+	c.Add(event.Event{Node: 1, Type: event.Trans, Sender: 1, Receiver: 2, Packet: pkt, Time: 1000})
+	c.Add(event.Event{Node: 1, Type: event.AckRecvd, Sender: 1, Receiver: 2, Packet: pkt, Time: 1600})
+	c.Add(event.Event{Node: 2, Type: event.Recv, Sender: 1, Receiver: 2, Packet: pkt, Time: 5})
+	v := ClockMerge(c)[pkt]
+	// Last event by (skewed) clocks is node 1's ack: clock merge calls it
+	// an acked loss at node 2; with inference the truer frontier is node
+	// 2's logged recv (a received loss). The point is that the verdict is
+	// clock-dependent.
+	if v.Cause != diagnosis.AckedLoss || v.Position != 2 {
+		t.Errorf("verdict = %+v", v)
+	}
+}
+
+func TestClockMergeDelivered(t *testing.T) {
+	pkt := event.PacketID{Origin: 1, Seq: 1}
+	c := event.NewCollection()
+	c.Add(srecv(1, 1, 50))
+	v := ClockMerge(c)[pkt]
+	if v.Cause != diagnosis.Delivered || v.Position != event.Server {
+		t.Errorf("verdict = %+v", v)
+	}
+}
+
+func TestClockMergeAllLastEventKinds(t *testing.T) {
+	mk := func(t event.Type, s, r event.NodeID) event.Event {
+		n := r
+		if t.SenderSide() || t == event.Gen {
+			n = s
+		}
+		return event.Event{Node: n, Type: t, Sender: s, Receiver: r,
+			Packet: event.PacketID{Origin: 1, Seq: 1}, Time: 100}
+	}
+	cases := []struct {
+		e     event.Event
+		cause diagnosis.Cause
+		pos   event.NodeID
+	}{
+		{mk(event.Recv, 1, 2), diagnosis.ReceivedLoss, 2},
+		{mk(event.Gen, 1, event.NoNode), diagnosis.ReceivedLoss, 1},
+		{mk(event.Trans, 1, 2), diagnosis.TransitLoss, 1},
+		{mk(event.AckRecvd, 1, 2), diagnosis.AckedLoss, 2},
+		{mk(event.Timeout, 1, 2), diagnosis.TimeoutLoss, 1},
+		{mk(event.Dup, 1, 2), diagnosis.DupLoss, 2},
+		{mk(event.Overflow, 1, 2), diagnosis.OverflowLoss, 2},
+	}
+	for _, tc := range cases {
+		c := event.NewCollection()
+		c.Add(tc.e)
+		v := ClockMerge(c)[tc.e.Packet]
+		if v.Cause != tc.cause || v.Position != tc.pos {
+			t.Errorf("%v: verdict = %+v, want %v@%v", tc.e, v, tc.cause, tc.pos)
+		}
+	}
+}
+
+func TestTimeCorrDominantCauseMasksMinority(t *testing.T) {
+	c := event.NewCollection()
+	pkt := event.PacketID{Origin: 9, Seq: 9}
+	// One bin: 10 dup events, 1 timeout event.
+	for i := 0; i < 10; i++ {
+		c.Add(event.Event{Node: 2, Type: event.Dup, Sender: 1, Receiver: 2,
+			Packet: event.PacketID{Origin: 1, Seq: uint32(i)}, Time: 100 + int64(i)})
+	}
+	c.Add(event.Event{Node: 3, Type: event.Timeout, Sender: 3, Receiver: 4, Packet: pkt, Time: 150})
+	lost := []LostPacket{{Packet: pkt, ApproxTime: 160}}
+	v := TimeCorr(c, lost, 1000)[pkt]
+	// The packet actually timed out, but the bin is dominated by dups:
+	// correlation attributes it to duplication — the masking failure the
+	// paper describes.
+	if v.Cause != diagnosis.DupLoss {
+		t.Errorf("verdict = %+v, want dup (the masking mistake)", v)
+	}
+}
+
+func TestTimeCorrEmptyBinUnknown(t *testing.T) {
+	c := event.NewCollection()
+	pkt := event.PacketID{Origin: 9, Seq: 9}
+	lost := []LostPacket{{Packet: pkt, ApproxTime: 5000}}
+	v := TimeCorr(c, lost, 1000)[pkt]
+	if v.Cause != diagnosis.Unknown {
+		t.Errorf("verdict = %+v", v)
+	}
+}
+
+func TestWitMergeabilityLocalLogsShareNothing(t *testing.T) {
+	// Local logs: every event recorded exactly once, at its own node.
+	pkt := event.PacketID{Origin: 1, Seq: 1}
+	c := event.NewCollection()
+	c.Add(event.Event{Node: 1, Type: event.Trans, Sender: 1, Receiver: 2, Packet: pkt})
+	c.Add(event.Event{Node: 2, Type: event.Recv, Sender: 1, Receiver: 2, Packet: pkt})
+	c.Add(event.Event{Node: 1, Type: event.AckRecvd, Sender: 1, Receiver: 2, Packet: pkt})
+	s := WitMergeability(c)
+	if s.Packets != 1 || s.MultiNode != 1 || s.Mergeable != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.MergeableRate() != 0 {
+		t.Errorf("rate = %v", s.MergeableRate())
+	}
+}
+
+func TestWitMergeabilitySniffersWouldShare(t *testing.T) {
+	// Two "sniffers" logging the same transmission: mergeable. (This is
+	// the regime Wit was built for — and not the one local logs are in.)
+	pkt := event.PacketID{Origin: 1, Seq: 1}
+	c := event.NewCollection()
+	e := event.Event{Node: 1, Type: event.Trans, Sender: 1, Receiver: 2, Packet: pkt}
+	c.Add(e)
+	e2 := e // an overhearing node recording the same event
+	c.Log(3).Append(e2)
+	s := WitMergeability(c)
+	if s.Mergeable != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.MergeableRate() != 1 {
+		t.Errorf("rate = %v", s.MergeableRate())
+	}
+}
+
+func TestWitMergeabilitySingleNodePacketsSkipped(t *testing.T) {
+	c := event.NewCollection()
+	c.Add(event.Event{Node: 1, Type: event.Gen, Sender: 1,
+		Packet: event.PacketID{Origin: 1, Seq: 1}})
+	s := WitMergeability(c)
+	if s.Packets != 1 || s.MultiNode != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}

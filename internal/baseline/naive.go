@@ -1,0 +1,147 @@
+package baseline
+
+import (
+	"sort"
+
+	"repro/internal/diagnosis"
+	"repro/internal/event"
+)
+
+// Verdict is a baseline's per-packet conclusion, deliberately shaped like a
+// (cause, position) pair so it can be scored against ground truth the same
+// way REFILL's outcomes are.
+type Verdict struct {
+	Packet   event.PacketID
+	Cause    diagnosis.Cause
+	Position event.NodeID
+}
+
+// Naive applies Section III's straw-man rule independently per node: a node
+// that logged a transmission but no acknowledgement for a packet "lost" it.
+// The rule assumes complete logs; with lossy logs it invents losses (the ack
+// record was simply lost) and misses real ones (the trans record was lost).
+func Naive(c *event.Collection) map[event.PacketID]Verdict {
+	type hopObs struct {
+		trans, ack bool
+		firstT     int64
+	}
+	// Per packet, per sender node: did we see trans? ack?
+	obs := make(map[event.PacketID]map[event.NodeID]*hopObs)
+	delivered := make(map[event.PacketID]bool)
+	anyNode := make(map[event.PacketID]event.NodeID)
+	for _, n := range c.Nodes() {
+		for _, e := range c.Logs[n].Events {
+			if !e.Type.PacketScoped() {
+				continue
+			}
+			if e.Type == event.ServerRecv {
+				delivered[e.Packet] = true
+			}
+			if _, ok := anyNode[e.Packet]; !ok {
+				anyNode[e.Packet] = e.Node
+			}
+			switch e.Type {
+			case event.Trans, event.AckRecvd:
+				m := obs[e.Packet]
+				if m == nil {
+					m = make(map[event.NodeID]*hopObs)
+					obs[e.Packet] = m
+				}
+				h := m[e.Node]
+				if h == nil {
+					h = &hopObs{firstT: e.Time}
+					m[e.Node] = h
+				}
+				if e.Type == event.Trans {
+					h.trans = true
+				} else {
+					h.ack = true
+				}
+			}
+		}
+	}
+	out := make(map[event.PacketID]Verdict)
+	for pid, node := range anyNode {
+		v := Verdict{Packet: pid, Cause: diagnosis.Unknown, Position: event.NoNode}
+		if delivered[pid] {
+			v.Cause, v.Position = diagnosis.Delivered, event.Server
+			out[pid] = v
+			continue
+		}
+		// Earliest (by local clock — also part of the fallacy) node with
+		// an unacked transmission is blamed.
+		var nodes []event.NodeID
+		for n, h := range obs[pid] {
+			if h.trans && !h.ack {
+				nodes = append(nodes, n)
+			}
+		}
+		if len(nodes) > 0 {
+			sort.Slice(nodes, func(i, j int) bool {
+				hi, hj := obs[pid][nodes[i]], obs[pid][nodes[j]]
+				if hi.firstT != hj.firstT {
+					return hi.firstT < hj.firstT
+				}
+				return nodes[i] < nodes[j]
+			})
+			v.Cause = diagnosis.TransitLoss
+			v.Position = nodes[0]
+		} else {
+			_ = node
+		}
+		out[pid] = v
+	}
+	return out
+}
+
+// ClockMerge trusts every node's local timestamps: it merges each packet's
+// events into one timeline by local clock and classifies from the final
+// event. Clock offsets between nodes reorder events across nodes, so the
+// "final" event — and with it the diagnosis — is frequently wrong; that is
+// the unsynchronized-logs problem of Section III.
+func ClockMerge(c *event.Collection) map[event.PacketID]Verdict {
+	views, _ := event.Partition(c)
+	out := make(map[event.PacketID]Verdict, len(views))
+	for _, view := range views {
+		var all []event.Event
+		for _, n := range view.Nodes() {
+			all = append(all, view.PerNode[n]...)
+		}
+		sort.SliceStable(all, func(i, j int) bool {
+			if all[i].Time != all[j].Time {
+				return all[i].Time < all[j].Time
+			}
+			return all[i].Node < all[j].Node
+		})
+		v := Verdict{Packet: view.Packet, Cause: diagnosis.Unknown, Position: event.NoNode}
+		delivered := false
+		for _, e := range all {
+			if e.Type == event.ServerRecv {
+				delivered = true
+			}
+		}
+		if delivered {
+			v.Cause, v.Position = diagnosis.Delivered, event.Server
+		} else if len(all) > 0 {
+			last := all[len(all)-1]
+			switch last.Type {
+			case event.Recv:
+				v.Cause, v.Position = diagnosis.ReceivedLoss, last.Receiver
+			case event.Gen:
+				v.Cause, v.Position = diagnosis.ReceivedLoss, last.Sender
+			case event.Trans:
+				v.Cause, v.Position = diagnosis.TransitLoss, last.Sender
+			case event.AckRecvd:
+				v.Cause, v.Position = diagnosis.AckedLoss, last.Receiver
+			case event.Timeout:
+				v.Cause, v.Position = diagnosis.TimeoutLoss, last.Sender
+			case event.Dup:
+				v.Cause, v.Position = diagnosis.DupLoss, last.Receiver
+			case event.Overflow:
+				v.Cause, v.Position = diagnosis.OverflowLoss, last.Receiver
+			}
+		}
+		out[view.Packet] = v
+	}
+	return out
+}

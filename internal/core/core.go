@@ -1,0 +1,189 @@
+// Package core assembles the complete REFILL pipeline — merge per-node logs,
+// run the connected inference engines, reconstruct per-packet event flows,
+// and derive the diagnosis report — and provides the accuracy scoring used to
+// evaluate reconstructions against simulator ground truth.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/diagnosis"
+	"repro/internal/engine"
+	"repro/internal/event"
+	"repro/internal/flow"
+	"repro/internal/fsm"
+	"repro/internal/sim/network"
+)
+
+// Options configures an Analyzer.
+type Options struct {
+	// Sink is the collection-tree root (required).
+	Sink event.NodeID
+	// Protocol overrides the FSM templates (default fsm.DefaultCTP()).
+	Protocol *fsm.Protocol
+	// End is the campaign end time, bounding a trailing open outage
+	// window when building the report.
+	End int64
+	// DisableIntra / DisableInter are the ablation switches.
+	DisableIntra, DisableInter bool
+}
+
+// Analyzer is the ready-to-run REFILL pipeline.
+type Analyzer struct {
+	eng  *engine.Engine
+	sink event.NodeID
+	end  int64
+}
+
+// NewAnalyzer validates options and builds the pipeline.
+func NewAnalyzer(opts Options) (*Analyzer, error) {
+	eng, err := engine.New(engine.Options{
+		Protocol:     opts.Protocol,
+		Sink:         opts.Sink,
+		DisableIntra: opts.DisableIntra,
+		DisableInter: opts.DisableInter,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &Analyzer{eng: eng, sink: opts.Sink, end: opts.End}, nil
+}
+
+// Output bundles everything one analysis produces.
+type Output struct {
+	// Result carries the reconstructed flows and operational events.
+	Result *engine.Result
+	// Report is the diagnosis over those flows.
+	Report *diagnosis.Report
+}
+
+// Flow returns the reconstructed flow for a packet, nil if unknown.
+func (o *Output) Flow(id event.PacketID) *flow.Flow {
+	for _, f := range o.Result.Flows {
+		if f.Packet == id {
+			return f
+		}
+	}
+	return nil
+}
+
+// Analyze runs the full pipeline over a collection of per-node logs.
+func (a *Analyzer) Analyze(c *event.Collection) *Output {
+	res := a.eng.Analyze(c)
+	rep := diagnosis.Build(res.Flows, res.Operational, a.sink, a.end)
+	return &Output{Result: res, Report: rep}
+}
+
+// Accuracy scores a diagnosis report against simulator ground truth.
+type Accuracy struct {
+	// Truth is the number of ground-truth packets considered.
+	Truth int
+	// Compared is how many of them REFILL produced an outcome for.
+	Compared int
+	// MissingFlows counts packets whose every log record was lost —
+	// REFILL never saw them at all.
+	MissingFlows int
+	// DeliveredAgree counts packets whose delivered/lost verdict matches.
+	DeliveredAgree int
+	// LostBoth counts packets both sides agree were lost.
+	LostBoth int
+	// CauseAgree counts LostBoth packets with the exact same cause.
+	CauseAgree int
+	// PositionAgree counts LostBoth packets with the same loss position.
+	PositionAgree int
+}
+
+// CauseRate is CauseAgree / LostBoth.
+func (a Accuracy) CauseRate() float64 { return rate(a.CauseAgree, a.LostBoth) }
+
+// PositionRate is PositionAgree / LostBoth.
+func (a Accuracy) PositionRate() float64 { return rate(a.PositionAgree, a.LostBoth) }
+
+// DeliveredRate is DeliveredAgree / Compared.
+func (a Accuracy) DeliveredRate() float64 { return rate(a.DeliveredAgree, a.Compared) }
+
+// Coverage is Compared / Truth.
+func (a Accuracy) Coverage() float64 { return rate(a.Compared, a.Truth) }
+
+func rate(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// Judgment is the minimal per-packet conclusion any analyzer — REFILL or a
+// baseline — produces: a cause and a loss position.
+type Judgment struct {
+	Cause    diagnosis.Cause
+	Position event.NodeID
+}
+
+// Score compares a report's outcomes against ground-truth fates. Censored
+// ground-truth packets (fate Unknown) are skipped.
+func Score(rep *diagnosis.Report, fates map[event.PacketID]network.Fate) Accuracy {
+	j := make(map[event.PacketID]Judgment, len(rep.Outcomes))
+	for _, o := range rep.Outcomes {
+		j[o.Packet] = Judgment{Cause: o.Cause, Position: o.Position}
+	}
+	return ScoreJudgments(j, fates)
+}
+
+// ScoreJudgments scores any analyzer's per-packet judgments against
+// ground-truth fates, with the same accounting Score uses for REFILL.
+func ScoreJudgments(judgments map[event.PacketID]Judgment, fates map[event.PacketID]network.Fate) Accuracy {
+	var acc Accuracy
+	for id, fate := range fates {
+		if fate.Cause == diagnosis.Unknown {
+			continue // censored at end of run
+		}
+		acc.Truth++
+		out, ok := judgments[id]
+		if !ok {
+			acc.MissingFlows++
+			continue
+		}
+		acc.Compared++
+		gtDelivered := fate.Cause == diagnosis.Delivered
+		reDelivered := out.Cause == diagnosis.Delivered
+		if gtDelivered == reDelivered {
+			acc.DeliveredAgree++
+		}
+		if !gtDelivered && !reDelivered {
+			acc.LostBoth++
+			if out.Cause == fate.Cause {
+				acc.CauseAgree++
+			}
+			if out.Position == fate.Position {
+				acc.PositionAgree++
+			}
+		}
+	}
+	return acc
+}
+
+// ConfusionMatrix tallies ground-truth cause vs diagnosed cause over packets
+// both sides agree were lost — the detailed view behind the accuracy rates.
+func ConfusionMatrix(rep *diagnosis.Report, fates map[event.PacketID]network.Fate) map[diagnosis.Cause]map[diagnosis.Cause]int {
+	byPacket := make(map[event.PacketID]diagnosis.Outcome, len(rep.Outcomes))
+	for _, o := range rep.Outcomes {
+		byPacket[o.Packet] = o
+	}
+	m := make(map[diagnosis.Cause]map[diagnosis.Cause]int)
+	for id, fate := range fates {
+		if fate.Cause == diagnosis.Unknown || fate.Cause == diagnosis.Delivered {
+			continue
+		}
+		out, ok := byPacket[id]
+		if !ok || out.Cause == diagnosis.Delivered {
+			continue
+		}
+		row := m[fate.Cause]
+		if row == nil {
+			row = make(map[diagnosis.Cause]int)
+			m[fate.Cause] = row
+		}
+		row[out.Cause]++
+	}
+	return m
+}

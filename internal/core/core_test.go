@@ -1,0 +1,129 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/diagnosis"
+	"repro/internal/event"
+	"repro/internal/sim/network"
+	"repro/internal/workload"
+)
+
+func TestNewAnalyzerRequiresSink(t *testing.T) {
+	if _, err := NewAnalyzer(Options{}); err == nil {
+		t.Fatal("expected error without sink")
+	}
+}
+
+// runTiny runs the tiny campaign once and analyzes it.
+func runTiny(t *testing.T, seed int64) (*workload.Result, *Output) {
+	t.Helper()
+	res, err := workload.Run(workload.Tiny(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewAnalyzer(Options{Sink: res.Sink, End: int64(res.Duration)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, a.Analyze(res.Logs)
+}
+
+func TestEndToEndCampaignAnalysis(t *testing.T) {
+	res, out := runTiny(t, 42)
+	if len(out.Result.Flows) == 0 {
+		t.Fatal("no flows reconstructed")
+	}
+	// Coverage: nearly every generated packet should surface (the server
+	// log alone witnesses delivered ones; 20% log loss cannot hide many).
+	acc := Score(out.Report, res.Truth.Fates)
+	if acc.Truth == 0 {
+		t.Fatal("no scoreable ground truth")
+	}
+	if acc.Coverage() < 0.95 {
+		t.Errorf("coverage = %.3f, want >= 0.95 (missing %d)", acc.Coverage(), acc.MissingFlows)
+	}
+	if acc.DeliveredRate() < 0.97 {
+		t.Errorf("delivered agreement = %.3f, want >= 0.97", acc.DeliveredRate())
+	}
+	t.Logf("accuracy: coverage=%.3f delivered=%.3f cause=%.3f position=%.3f (lostBoth=%d)",
+		acc.Coverage(), acc.DeliveredRate(), acc.CauseRate(), acc.PositionRate(), acc.LostBoth)
+	if acc.LostBoth > 10 {
+		if acc.CauseRate() < 0.6 {
+			t.Errorf("cause accuracy = %.3f, want >= 0.6", acc.CauseRate())
+		}
+		if acc.PositionRate() < 0.6 {
+			t.Errorf("position accuracy = %.3f, want >= 0.6", acc.PositionRate())
+		}
+	}
+}
+
+func TestAblationsHurtAccuracy(t *testing.T) {
+	res, err := workload.Run(workload.Tiny(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := NewAnalyzer(Options{Sink: res.Sink, End: int64(res.Duration)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crippled, err := NewAnalyzer(Options{Sink: res.Sink, End: int64(res.Duration),
+		DisableIntra: true, DisableInter: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	accFull := Score(full.Analyze(res.Logs).Report, res.Truth.Fates)
+	accCrip := Score(crippled.Analyze(res.Logs).Report, res.Truth.Fates)
+	// Without inference the engine discards events it cannot place and
+	// never reconstructs cross-node structure: agreement must not exceed
+	// the full pipeline's.
+	fullScore := accFull.CauseAgree + accFull.PositionAgree + accFull.DeliveredAgree
+	cripScore := accCrip.CauseAgree + accCrip.PositionAgree + accCrip.DeliveredAgree
+	if cripScore > fullScore {
+		t.Errorf("ablated pipeline scored higher: %d vs %d", cripScore, fullScore)
+	}
+}
+
+func TestOutputFlowLookup(t *testing.T) {
+	_, out := runTiny(t, 42)
+	first := out.Result.Flows[0]
+	if got := out.Flow(first.Packet); got != first {
+		t.Error("Flow lookup failed")
+	}
+	if got := out.Flow(event.PacketID{Origin: 9999, Seq: 1}); got != nil {
+		t.Error("lookup of unknown packet should be nil")
+	}
+}
+
+func TestScoreSkipsCensored(t *testing.T) {
+	res, out := runTiny(t, 42)
+	fates := res.Truth.Fates
+	// Inject a censored fate; Score must skip it.
+	censored := event.PacketID{Origin: 12345, Seq: 1}
+	fates[censored] = network.Fate{Cause: diagnosis.Unknown}
+	acc := Score(out.Report, fates)
+	if acc.MissingFlows > 0 && acc.Compared+acc.MissingFlows != acc.Truth {
+		t.Errorf("accounting broken: %+v", acc)
+	}
+}
+
+func TestConfusionMatrixConsistency(t *testing.T) {
+	res, out := runTiny(t, 42)
+	cm := ConfusionMatrix(out.Report, res.Truth.Fates)
+	acc := Score(out.Report, res.Truth.Fates)
+	total, diag := 0, 0
+	for gt, row := range cm {
+		for re, n := range row {
+			total += n
+			if gt == re {
+				diag += n
+			}
+		}
+	}
+	if total != acc.LostBoth {
+		t.Errorf("confusion total %d != LostBoth %d", total, acc.LostBoth)
+	}
+	if diag != acc.CauseAgree {
+		t.Errorf("confusion diagonal %d != CauseAgree %d", diag, acc.CauseAgree)
+	}
+}

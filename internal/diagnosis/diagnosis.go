@@ -1,0 +1,273 @@
+// Package diagnosis turns reconstructed event flows into the paper's
+// network-diagnosis products: per-packet loss cause and loss position
+// (Section V-B/V-C), with spatial, temporal and daily aggregations backing
+// Figures 4, 5, 6, 8 and 9.
+package diagnosis
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+	"repro/internal/flow"
+	"repro/internal/fsm"
+)
+
+// Cause is the packet-loss taxonomy of Section V-C.
+type Cause uint8
+
+const (
+	// Delivered: the packet reached the base-station server (not a loss).
+	Delivered Cause = iota
+	// ReceivedLoss: the last custody evidence is a LOGGED reception — the
+	// packet vanished inside the node after the recv log point (task
+	// failure, serial cable, …).
+	ReceivedLoss
+	// AckedLoss: the sender holds a hardware ACK but the receiver never
+	// logged the reception (the engine had to infer it): the packet died
+	// between the radio and the upper layer.
+	AckedLoss
+	// TimeoutLoss: the sender exhausted its retransmission budget.
+	TimeoutLoss
+	// DupLoss: the packet's final fate was a duplicate-suppression drop
+	// (routing loops).
+	DupLoss
+	// OverflowLoss: dropped for lack of queue space.
+	OverflowLoss
+	// TransitLoss: the last evidence is an unacknowledged transmission —
+	// the packet is "in flight" with no record of arrival or timeout.
+	TransitLoss
+	// ServerOutage: the packet reached the sink but the base-station
+	// server was down (classified with the outage schedule, exactly as
+	// the paper excluded server-outage losses before the REFILL split).
+	ServerOutage
+	// Unknown: the flow carries no classifiable evidence.
+	Unknown
+
+	numCauses
+)
+
+var causeNames = [...]string{
+	Delivered:    "delivered",
+	ReceivedLoss: "received",
+	AckedLoss:    "acked",
+	TimeoutLoss:  "timeout",
+	DupLoss:      "dup",
+	OverflowLoss: "overflow",
+	TransitLoss:  "transit",
+	ServerOutage: "outage",
+	Unknown:      "unknown",
+}
+
+func (c Cause) String() string {
+	if int(c) < len(causeNames) {
+		return causeNames[c]
+	}
+	return fmt.Sprintf("cause(%d)", uint8(c))
+}
+
+// Causes lists every cause in presentation order.
+func Causes() []Cause {
+	out := make([]Cause, numCauses)
+	for i := range out {
+		out[i] = Cause(i)
+	}
+	return out
+}
+
+// Outcome is the diagnosis of one packet.
+type Outcome struct {
+	Packet event.PacketID
+	Cause  Cause
+	// Position is the node where the loss happened (event.NoNode when not
+	// attributable; event.Server for server-side outcomes).
+	Position event.NodeID
+	// Toward is the intended next hop for transit/timeout losses.
+	Toward event.NodeID
+	// LossTime approximates when the packet was lost: the time of the
+	// last logged event about it (the paper uses a sequence-gap
+	// approximation for the same purpose). TimeValid reports whether any
+	// logged event carried a timestamp.
+	LossTime  int64
+	TimeValid bool
+	// Loop reports whether the custody path revisited a node.
+	Loop bool
+}
+
+// liveStates are engine states meaning "the node still holds the packet".
+var liveStates = map[string]bool{
+	fsm.StateHas:        true,
+	fsm.StateReceived:   true,
+	fsm.StateQueued:     true,
+	fsm.StateDispatched: true,
+	fsm.StateSent:       true,
+}
+
+// sentReaching are states that imply the visit transmitted at least once.
+var sentReaching = map[string]bool{
+	fsm.StateSent:     true,
+	fsm.StateAcked:    true,
+	fsm.StateTimedOut: true,
+}
+
+// dropCause maps terminal drop states to causes.
+var dropCause = map[string]Cause{
+	fsm.StateTimedOut: TimeoutLoss,
+	fsm.StateDupDrop:  DupLoss,
+	fsm.StateOverflow: OverflowLoss,
+}
+
+// Classify diagnoses a single reconstructed flow without outage knowledge
+// (see Report for the outage-aware pipeline).
+//
+// The rules follow Section IV-C's case analyses:
+//   - a delivered packet (server record) is Delivered;
+//   - otherwise the LATEST live visit (a node still holding the packet)
+//     locates the loss: Sent means the packet vanished in transit; Received
+//     means it died inside the node — an AckedLoss when the reception itself
+//     had to be inferred from the sender's ACK, a ReceivedLoss when logged;
+//   - with no live visit, the latest terminal drop (timeout, duplicate,
+//     overflow) is the cause;
+//   - with no visits at all the flow is Unknown.
+func Classify(f *flow.Flow) Outcome {
+	out := Outcome{Packet: f.Packet, Cause: Unknown, Position: event.NoNode, Toward: event.NoNode}
+	out.LossTime, out.TimeValid = f.LastLoggedTime()
+	out.Loop = f.HasLoop()
+	if f.Delivered() {
+		out.Cause = Delivered
+		out.Position = event.Server
+		return out
+	}
+	// A visit stuck at Sent whose transmission demonstrably arrived (the
+	// flow carries a matching reception for every Sent-reaching visit on
+	// that hop) is superseded: the sender merely never learned — its ack
+	// log was lost — and the packet's real frontier is downstream.
+	recvCount := make(map[[2]event.NodeID]int)
+	for _, it := range f.Items {
+		switch it.Event.Type {
+		case event.Recv, event.Dup, event.Overflow:
+			recvCount[[2]event.NodeID{it.Event.Sender, it.Event.Receiver}]++
+		}
+	}
+	sentVisits := make(map[[2]event.NodeID]int)
+	for _, v := range f.Visits {
+		if v.Peer != event.NoNode && sentReaching[v.State] {
+			sentVisits[[2]event.NodeID{v.Node, v.Peer}]++
+		}
+	}
+	superseded := func(v *flow.Visit) bool {
+		if v.State != fsm.StateSent || v.Peer == event.NoNode {
+			return false
+		}
+		hop := [2]event.NodeID{v.Node, v.Peer}
+		return recvCount[hop] >= sentVisits[hop]
+	}
+
+	var lastLive, lastDrop *flow.Visit
+	for i := range f.Visits {
+		v := &f.Visits[i]
+		if liveStates[v.State] {
+			if superseded(v) {
+				continue
+			}
+			if lastLive == nil || v.LastPos > lastLive.LastPos {
+				lastLive = v
+			}
+		} else if _, isDrop := dropCause[v.State]; isDrop {
+			if lastDrop == nil || v.LastPos > lastDrop.LastPos {
+				lastDrop = v
+			}
+		}
+	}
+	switch {
+	case lastLive != nil:
+		out.Position = lastLive.Node
+		switch lastLive.State {
+		case fsm.StateSent:
+			out.Cause = TransitLoss
+			out.Toward = lastLive.Peer
+		case fsm.StateReceived:
+			if lastLive.RecvInferred {
+				out.Cause = AckedLoss
+			} else {
+				out.Cause = ReceivedLoss
+			}
+		case fsm.StateHas, fsm.StateQueued, fsm.StateDispatched:
+			// Held inside the node (generated or queued) and never
+			// transmitted onward: an in-node loss.
+			out.Cause = ReceivedLoss
+		}
+	case lastDrop != nil:
+		out.Position = lastDrop.Node
+		out.Cause = dropCause[lastDrop.State]
+		if lastDrop.State == fsm.StateTimedOut {
+			out.Toward = lastDrop.Peer
+		}
+	}
+	return out
+}
+
+// Window is a half-open interval [Start, End) of microseconds.
+type Window struct {
+	Start, End int64
+}
+
+// Covers reports whether t falls inside the window.
+func (w Window) Covers(t int64) bool { return t >= w.Start && t < w.End }
+
+// OutageSchedule is the set of base-station outage windows, reconstructed
+// from the server's operational log (sdown/sup events).
+type OutageSchedule []Window
+
+// Covers reports whether any window covers t.
+func (s OutageSchedule) Covers(t int64) bool {
+	for _, w := range s {
+		if w.Covers(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// OutagesFromOperational reconstructs the outage schedule from server
+// up/down events (ordered by time). A trailing down without an up extends to
+// end (pass the campaign end time).
+func OutagesFromOperational(ops []event.Event, end int64) OutageSchedule {
+	var sched OutageSchedule
+	downAt := int64(-1)
+	inOutage := false
+	for _, e := range ops {
+		switch e.Type {
+		case event.ServerDown:
+			if !inOutage {
+				inOutage = true
+				downAt = e.Time
+			}
+		case event.ServerUp:
+			if inOutage {
+				sched = append(sched, Window{Start: downAt, End: e.Time})
+				inOutage = false
+			}
+		}
+	}
+	if inOutage {
+		sched = append(sched, Window{Start: downAt, End: end})
+	}
+	return sched
+}
+
+// ApplyOutages reclassifies losses at the sink that fall inside an outage
+// window as ServerOutage — mirroring the paper's methodology of accounting
+// for base-station downtime (22.6% of losses) before the REFILL breakdown.
+func ApplyOutages(out Outcome, sched OutageSchedule, sink event.NodeID) Outcome {
+	if out.Cause != ReceivedLoss && out.Cause != AckedLoss {
+		return out
+	}
+	if out.Position != sink || !out.TimeValid {
+		return out
+	}
+	if sched.Covers(out.LossTime) {
+		out.Cause = ServerOutage
+		out.Position = event.Server
+	}
+	return out
+}

@@ -1,0 +1,221 @@
+package diagnosis
+
+import (
+	"sort"
+
+	"repro/internal/event"
+	"repro/internal/flow"
+)
+
+// Report aggregates per-packet outcomes into the figure-level views of the
+// paper's evaluation.
+type Report struct {
+	Sink     event.NodeID
+	Outages  OutageSchedule
+	Outcomes []Outcome
+}
+
+// Build classifies every flow, reconstructing the outage schedule from the
+// operational events and applying it. end bounds a trailing open outage.
+func Build(flows []*flow.Flow, ops []event.Event, sink event.NodeID, end int64) *Report {
+	r := &Report{Sink: sink, Outages: OutagesFromOperational(ops, end)}
+	r.Outcomes = make([]Outcome, 0, len(flows))
+	for _, f := range flows {
+		out := ApplyOutages(Classify(f), r.Outages, sink)
+		r.Outcomes = append(r.Outcomes, out)
+	}
+	return r
+}
+
+// Total returns the number of diagnosed packets.
+func (r *Report) Total() int { return len(r.Outcomes) }
+
+// LossCount returns the number of packets that did not reach the server.
+func (r *Report) LossCount() int {
+	n := 0
+	for _, o := range r.Outcomes {
+		if o.Cause != Delivered {
+			n++
+		}
+	}
+	return n
+}
+
+// Breakdown counts outcomes per cause (Figure 9 / Section V-C).
+func (r *Report) Breakdown() map[Cause]int {
+	m := make(map[Cause]int)
+	for _, o := range r.Outcomes {
+		m[o.Cause]++
+	}
+	return m
+}
+
+// LossFraction returns cause's share of all LOST packets (the paper's
+// percentages are fractions of losses, not of traffic).
+func (r *Report) LossFraction(c Cause) float64 {
+	losses := r.LossCount()
+	if losses == 0 {
+		return 0
+	}
+	return float64(r.Breakdown()[c]) / float64(losses)
+}
+
+// SinkSplit separates a cause's losses at the sink from those elsewhere —
+// the paper's "20.0% are lost on the sink node and 12.2% on other nodes".
+type SinkSplit struct {
+	AtSink, Elsewhere int
+}
+
+// SplitBySink computes the sink/elsewhere split for a cause.
+func (r *Report) SplitBySink(c Cause) SinkSplit {
+	var s SinkSplit
+	for _, o := range r.Outcomes {
+		if o.Cause != c {
+			continue
+		}
+		if o.Position == r.Sink {
+			s.AtSink++
+		} else {
+			s.Elsewhere++
+		}
+	}
+	return s
+}
+
+// Point is one marker of the Figure 4/5 scatter plots: a lost packet at a
+// time, attributed to a node, colored by cause.
+type Point struct {
+	Time  int64
+	Node  event.NodeID
+	Cause Cause
+}
+
+// SourcePoints renders losses in the SOURCE view of Figure 4: each lost
+// packet is attributed to the node that generated it — the view available
+// from collected data alone, where "packets generated at different nodes have
+// a similar probability to get lost".
+func (r *Report) SourcePoints() []Point {
+	var pts []Point
+	for _, o := range r.Outcomes {
+		if o.Cause == Delivered || !o.TimeValid {
+			continue
+		}
+		pts = append(pts, Point{Time: o.LossTime, Node: o.Packet.Origin, Cause: o.Cause})
+	}
+	sortPoints(pts)
+	return pts
+}
+
+// PositionPoints renders losses in the POSITION view of Figure 5: each lost
+// packet is attributed to the node REFILL located the loss at, revealing that
+// "loss positions are on a small portion of nodes".
+func (r *Report) PositionPoints() []Point {
+	var pts []Point
+	for _, o := range r.Outcomes {
+		if o.Cause == Delivered || !o.TimeValid || o.Position == event.NoNode {
+			continue
+		}
+		pts = append(pts, Point{Time: o.LossTime, Node: o.Position, Cause: o.Cause})
+	}
+	sortPoints(pts)
+	return pts
+}
+
+func sortPoints(pts []Point) {
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].Time != pts[j].Time {
+			return pts[i].Time < pts[j].Time
+		}
+		return pts[i].Node < pts[j].Node
+	})
+}
+
+// DailyComposition bins losses by day and cause (Figure 6). dayLen is the
+// day length in time units; days the campaign length. Packets without a
+// valid loss time are accumulated under day 0.
+func (r *Report) DailyComposition(dayLen int64, days int) []map[Cause]int {
+	out := make([]map[Cause]int, days)
+	for i := range out {
+		out[i] = make(map[Cause]int)
+	}
+	for _, o := range r.Outcomes {
+		if o.Cause == Delivered {
+			continue
+		}
+		day := 0
+		if o.TimeValid && dayLen > 0 {
+			day = int(o.LossTime / dayLen)
+		}
+		if day < 0 {
+			day = 0
+		}
+		if day >= days {
+			day = days - 1
+		}
+		out[day][o.Cause]++
+	}
+	return out
+}
+
+// LossesBySite counts losses of the given cause per loss position
+// (Figure 8 uses ReceivedLoss; the circle radius is the count).
+func (r *Report) LossesBySite(c Cause) map[event.NodeID]int {
+	m := make(map[event.NodeID]int)
+	for _, o := range r.Outcomes {
+		if o.Cause == c && o.Position != event.NoNode {
+			m[o.Position]++
+		}
+	}
+	return m
+}
+
+// LoopCount returns how many packets exhibited routing loops.
+func (r *Report) LoopCount() int {
+	n := 0
+	for _, o := range r.Outcomes {
+		if o.Loop {
+			n++
+		}
+	}
+	return n
+}
+
+// TopLossPositions returns the loss positions ordered by descending loss
+// count (ties by node ID), up to k entries — the "small portion of nodes
+// where a large portion of packets are lost".
+func (r *Report) TopLossPositions(k int) []struct {
+	Node  event.NodeID
+	Count int
+} {
+	m := make(map[event.NodeID]int)
+	for _, o := range r.Outcomes {
+		if o.Cause != Delivered && o.Position != event.NoNode {
+			m[o.Position]++
+		}
+	}
+	type nc struct {
+		Node  event.NodeID
+		Count int
+	}
+	var all []nc
+	for n, c := range m {
+		all = append(all, nc{n, c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Count != all[j].Count {
+			return all[i].Count > all[j].Count
+		}
+		return all[i].Node < all[j].Node
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	out := make([]struct {
+		Node  event.NodeID
+		Count int
+	}, len(all))
+	for i, x := range all {
+		out[i].Node, out[i].Count = x.Node, x.Count
+	}
+	return out
+}

@@ -1,0 +1,671 @@
+// Package engine implements REFILL's connected inference engines and the
+// transition algorithm of Section IV: per-node FSM instances driven by the
+// merged per-node logs, synchronized through inter-node prerequisite
+// transitions, with lost events inferred through intra-node jumps and
+// prerequisite-path inference.
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+	"repro/internal/flow"
+	"repro/internal/fsm"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Protocol supplies the FSM templates and inter-node prerequisite
+	// semantics. Defaults to fsm.DefaultCTP().
+	Protocol *fsm.Protocol
+	// Sink is the collection-tree root node. Required: it selects which
+	// node runs the sink template.
+	Sink event.NodeID
+	// DisableIntra turns off intra-node transitions (ablation E-A2):
+	// events with no normal transition are discarded instead of jumped.
+	DisableIntra bool
+	// DisableInter turns off inter-node prerequisite processing (ablation
+	// E-A2): engines run independently, as single-node log analyzers do.
+	DisableInter bool
+	// MaxInferred caps the number of inferred events per packet as a
+	// safety valve against pathological inputs. Defaults to 4096.
+	MaxInferred int
+	// MaxDepth caps prerequisite recursion depth. Defaults to 256.
+	MaxDepth int
+	// Group is the node roster for protocols with group (many-to-1)
+	// prerequisites, e.g. fsm.Dissemination: a Done event requires every
+	// listed node (minus the event's own) to have passed the prerequisite
+	// state.
+	Group []event.NodeID
+}
+
+// Engine reconstructs per-packet event flows from lossy per-node logs.
+type Engine struct {
+	opts Options
+}
+
+// New validates options and returns an Engine.
+func New(opts Options) (*Engine, error) {
+	if opts.Protocol == nil {
+		opts.Protocol = fsm.DefaultCTP()
+	}
+	if opts.Sink == event.NoNode {
+		return nil, fmt.Errorf("engine: options must name the sink node")
+	}
+	if opts.MaxInferred <= 0 {
+		opts.MaxInferred = 4096
+	}
+	if opts.MaxDepth <= 0 {
+		opts.MaxDepth = 256
+	}
+	return &Engine{opts: opts}, nil
+}
+
+// Result is the outcome of analyzing a whole collection.
+type Result struct {
+	// Flows holds one reconstructed flow per packet, ordered by packet ID.
+	Flows []*flow.Flow
+	// Operational carries the non-packet events (server up/down) found in
+	// the logs, ordered by time.
+	Operational []event.Event
+}
+
+// Analyze partitions the collection by packet and reconstructs every flow.
+func (e *Engine) Analyze(c *event.Collection) *Result {
+	views, ops := event.Partition(c)
+	res := &Result{Operational: ops}
+	for _, v := range views {
+		res.Flows = append(res.Flows, e.AnalyzePacket(v))
+	}
+	return res
+}
+
+// AnalyzePacket reconstructs the event flow for a single packet from its
+// per-node log slices.
+func (e *Engine) AnalyzePacket(v *event.PacketView) *flow.Flow {
+	r := &run{
+		e:          e,
+		pkt:        v.Packet,
+		f:          &flow.Flow{Packet: v.Packet},
+		queues:     make(map[event.NodeID][]event.Event),
+		current:    make(map[event.NodeID]*visit),
+		driving:    make(map[event.NodeID]bool),
+		processing: make(map[event.NodeID]int),
+	}
+	for n, evs := range v.PerNode {
+		r.queues[n] = evs
+	}
+	// Deterministic node order: the packet's origin first (the paper's
+	// algorithm starts from a given node; custody starts at the origin),
+	// then ascending node IDs. The Server pseudo-node has the largest ID
+	// and therefore naturally comes last.
+	nodes := v.Nodes()
+	r.order = r.order[:0]
+	if _, hasOrigin := v.PerNode[v.Packet.Origin]; hasOrigin {
+		r.order = append(r.order, v.Packet.Origin)
+	}
+	for _, n := range nodes {
+		if n != v.Packet.Origin {
+			r.order = append(r.order, n)
+		}
+	}
+	r.exec()
+	return r.f
+}
+
+// visit is one life cycle of one node's engine for the packet under analysis.
+type visit struct {
+	node    event.NodeID
+	graph   *fsm.Graph
+	index   int
+	cur     fsm.StateID
+	peer    event.NodeID // transmission target bound by trans/ack/timeout
+	recvInf bool         // custody entry (Received/Has) was inferred
+	lastPos int
+	started bool
+}
+
+// run is the per-packet execution state of the transition algorithm.
+type run struct {
+	e       *Engine
+	pkt     event.PacketID
+	f       *flow.Flow
+	queues  map[event.NodeID][]event.Event
+	current map[event.NodeID]*visit
+	all     []*visit // every visit ever created, in creation order
+	order   []event.NodeID
+	driving map[event.NodeID]bool
+	// processing counts in-flight process() frames per node: a node whose
+	// own event is mid-processing must not be driven (consuming its later
+	// events first would violate per-node log order).
+	processing  map[event.NodeID]int
+	infers      int
+	inferCapHit bool
+}
+
+// roleOf classifies which template a node runs for this packet.
+func (r *run) roleOf(n event.NodeID) fsm.NodeRole {
+	switch {
+	case n == event.Server:
+		return fsm.RoleServer
+	case n == r.pkt.Origin:
+		return fsm.RoleOrigin
+	case n == r.e.opts.Sink:
+		return fsm.RoleSink
+	default:
+		return fsm.RoleForward
+	}
+}
+
+// visitFor returns the node's current visit, creating visit 0 on first use.
+func (r *run) visitFor(n event.NodeID) *visit {
+	if v, ok := r.current[n]; ok {
+		return v
+	}
+	g := r.e.opts.Protocol.Graph(r.roleOf(n))
+	v := &visit{node: n, graph: g, index: 0, cur: g.Start(), peer: event.NoNode, lastPos: -1}
+	r.current[n] = v
+	r.all = append(r.all, v)
+	return v
+}
+
+// rotate closes the node's current visit and opens a fresh one on graph g
+// (the packet revisiting the node: routing loop or duplicate copy). A loop
+// can bring a packet back to its own origin, in which case the new visit runs
+// the forwarding template instead of the origin one.
+func (r *run) rotate(n event.NodeID, g *fsm.Graph) *visit {
+	old := r.current[n]
+	v := &visit{node: n, graph: g, index: old.index + 1,
+		cur: g.Start(), peer: event.NoNode, lastPos: -1}
+	r.current[n] = v
+	r.all = append(r.all, v)
+	return v
+}
+
+// altGraph returns the alternative template a node may run on a revisit:
+// an origin caught in a routing loop acts as a forwarder. Other roles have
+// no alternative.
+func (r *run) altGraph(n event.NodeID) *fsm.Graph {
+	if r.roleOf(n) == fsm.RoleOrigin {
+		return r.e.opts.Protocol.Graph(fsm.RoleForward)
+	}
+	return nil
+}
+
+// exec runs the main loop: drain every node's queue in deterministic order
+// (prerequisite recursion may consume other queues along the way), then
+// finalize visit summaries.
+func (r *run) exec() {
+	for pass := 0; pass < 2; pass++ {
+		progress := false
+		for _, n := range r.order {
+			for len(r.queues[n]) > 0 {
+				ev := r.queues[n][0]
+				r.queues[n] = r.queues[n][1:]
+				r.process(n, ev, 0)
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	for _, v := range r.all {
+		if !v.started {
+			continue
+		}
+		r.f.Visits = append(r.f.Visits, flow.Visit{
+			Node:         v.node,
+			Index:        v.index,
+			State:        v.graph.State(v.cur).Name,
+			Terminal:     v.graph.Terminal(v.cur),
+			RecvInferred: v.recvInf,
+			Peer:         v.peer,
+			LastPos:      v.lastPos,
+		})
+	}
+}
+
+// process applies one logged event at node n, following the paper's
+// transition algorithm:
+//
+//  1. take the normal transition if one matches, first satisfying any
+//     inter-node prerequisite by recursively driving the peer engine;
+//  2. otherwise take the intra-node transition, first emitting its skipped
+//     normal-path events as inferred lost events;
+//  3. if the current visit has no matching transition but a fresh engine
+//     would (the packet revisiting the node), rotate to a new visit;
+//  4. otherwise the event cannot be processed and is omitted (anomaly).
+//
+// It reports whether the event was applied.
+func (r *run) process(n event.NodeID, ev event.Event, depth int) bool {
+	if depth > r.e.opts.MaxDepth {
+		r.anomaly(ev, "recursion depth exceeded")
+		return false
+	}
+	label, ok := fsm.LabelFor(ev, n)
+	if !ok {
+		r.anomaly(ev, "event does not belong to this node")
+		return false
+	}
+	if ev.Packet != r.pkt {
+		r.anomaly(ev, "event for a different packet")
+		return false
+	}
+	r.processing[n]++
+	defer func() { r.processing[n]-- }()
+	// Self-prerequisite: the event is only possible if some visit of this
+	// node already passed a given state (e.g. dup implies a prior recv).
+	// An intra-node correlation, so it obeys the DisableIntra ablation.
+	if !r.e.opts.DisableIntra {
+		if spr, ok := r.e.opts.Protocol.SelfPrereq(ev.Type); ok {
+			r.ensureSelf(n, spr, ev, depth)
+		}
+	}
+	v := r.visitFor(n)
+	tr, ok := r.transitionFor(v, label)
+	if !ok {
+		// The current visit cannot consume the event; if a fresh
+		// engine can — on the node's own template or, for an origin in
+		// a routing loop, on the forwarding template — the packet is
+		// revisiting the node.
+		if v.cur != v.graph.Start() && r.startCan(v.graph, label) {
+			v = r.rotate(n, v.graph)
+			tr, ok = r.transitionFor(v, label)
+		}
+		if !ok {
+			if alt := r.altGraph(n); alt != nil && alt != v.graph && r.startCan(alt, label) {
+				v = r.rotate(n, alt)
+				tr, ok = r.transitionFor(v, label)
+			}
+		}
+	}
+	if !ok {
+		r.anomaly(ev, "no transition from state "+v.graph.State(v.cur).Name)
+		return false
+	}
+	// Intra-node jump: the skipped normal-path events are the inferred
+	// lost events and precede the triggering event in the flow.
+	if tr.Kind == fsm.Intra {
+		up, down := hintsFromEvent(ev, n)
+		for _, step := range tr.InferPath {
+			r.emitInferred(v, step, up, down, depth)
+		}
+	}
+	// Inter-node prerequisite: drive the peer engine to its prerequisite
+	// state before this event may take effect (Definition 4.1).
+	r.satisfyPrereq(ev, depth)
+	// A deep prerequisite chain may itself have advanced or rotated this
+	// node's engine (cyclic traffic); re-resolve before committing.
+	if cur := r.current[n]; cur != v {
+		v = cur
+		if tr, ok = r.transitionFor(v, label); !ok {
+			r.anomaly(ev, "visit advanced by prerequisite chain; no transition from "+v.graph.State(v.cur).Name)
+			return false
+		}
+	}
+	r.apply(v, tr, ev, false)
+	return true
+}
+
+// transitionFor looks up the transition for (visit state, label), honoring
+// the DisableIntra ablation.
+func (r *run) transitionFor(v *visit, l fsm.Label) (fsm.Transition, bool) {
+	if tr, ok := v.graph.NormalNext(v.cur, l); ok {
+		return tr, true
+	}
+	if r.e.opts.DisableIntra {
+		return fsm.Transition{}, false
+	}
+	return v.graph.IntraNext(v.cur, l)
+}
+
+// startCan reports whether a fresh visit could consume the label.
+func (r *run) startCan(g *fsm.Graph, l fsm.Label) bool {
+	if _, ok := g.NormalNext(g.Start(), l); ok {
+		return true
+	}
+	if r.e.opts.DisableIntra {
+		return false
+	}
+	_, ok := g.IntraNext(g.Start(), l)
+	return ok
+}
+
+// apply commits a transition: appends the item to the flow and updates the
+// visit's state, custody metadata and peer binding.
+func (r *run) apply(v *visit, tr fsm.Transition, ev event.Event, inferred bool) {
+	pos := r.f.Append(flow.Item{Event: ev, Inferred: inferred})
+	v.cur = tr.To
+	v.lastPos = pos
+	v.started = true
+	switch ev.Type {
+	case event.Trans, event.AckRecvd, event.Timeout:
+		if ev.Receiver != event.NoNode {
+			v.peer = ev.Receiver
+		}
+	case event.Recv, event.Gen:
+		v.recvInf = inferred
+	}
+}
+
+// anomaly records a discarded event.
+func (r *run) anomaly(ev event.Event, reason string) {
+	r.f.Anomalies = append(r.f.Anomalies, flow.Anomaly{Event: ev, Reason: reason})
+}
+
+// hintsFromEvent derives the upstream/downstream peer hints an inference can
+// reuse from the event that motivated it: a sender-side event names the
+// downstream peer, a receiver-side event the upstream one.
+func hintsFromEvent(ev event.Event, self event.NodeID) (up, down event.NodeID) {
+	up, down = event.NoNode, event.NoNode
+	if ev.Type == event.Gen {
+		return
+	}
+	if ev.Type.SenderSide() {
+		if ev.Sender == self {
+			down = ev.Receiver
+		}
+		return
+	}
+	if ev.Receiver == self {
+		up = ev.Sender
+	}
+	return
+}
+
+// emitInferred synthesizes the lost event for one normal transition edge at
+// visit v, resolving the peer from hints or sibling engines, recursively
+// satisfying the inferred event's own prerequisite, and applying it.
+func (r *run) emitInferred(v *visit, step fsm.Transition, up, down event.NodeID, depth int) {
+	if r.infers >= r.e.opts.MaxInferred {
+		if !r.inferCapHit {
+			r.inferCapHit = true
+			r.anomaly(event.Event{Node: v.node, Packet: r.pkt}, "inference budget exhausted")
+		}
+		return
+	}
+	r.infers++
+	peer := event.NoNode
+	switch step.On.Self {
+	case fsm.SelfSender:
+		peer = down
+		if peer == event.NoNode && !step.On.Type.NodeLocal() {
+			peer = r.findBroadcaster(v.node)
+		}
+	case fsm.SelfReceiver:
+		peer = up
+		if peer == event.NoNode {
+			peer = r.findUpstream(v.node)
+		}
+		if peer == event.NoNode {
+			peer = r.findBroadcaster(v.node)
+		}
+	}
+	ev := step.On.Instantiate(v.node, peer, r.pkt)
+	// An inferred event carries prerequisites of its own (the paper's
+	// cascading inference, Figure 3a).
+	r.satisfyPrereq(ev, depth)
+	r.apply(v, step, ev, true)
+}
+
+// findUpstream scans sibling engines for a node whose engine has passed Sent
+// toward n — the only candidate sender of an inferred reception at n.
+func (r *run) findUpstream(n event.NodeID) event.NodeID {
+	best := event.NoNode
+	for _, v := range r.all {
+		if v.node == n || !v.started || v.peer != n {
+			continue
+		}
+		sent := v.graph.StateByName(fsm.StateSent)
+		if sent == fsm.NoState {
+			continue
+		}
+		if v.graph.Passed(v.cur, sent) {
+			best = v.node
+		}
+	}
+	return best
+}
+
+// anyVisitPassed reports whether any visit of node n has passed one of the
+// named states (resolved per visit graph).
+func (r *run) anyVisitPassed(n event.NodeID, names []string) bool {
+	for _, v := range r.all {
+		if v.node != n || !v.started {
+			continue
+		}
+		for _, name := range names {
+			if id := v.graph.StateByName(name); id != fsm.NoState && v.graph.Passed(v.cur, id) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ensureSelf realizes a self-prerequisite: if no visit of n has passed the
+// required state, the lost events that would have gotten it there are
+// inferred into the current (or a suitably-templated fresh) visit.
+func (r *run) ensureSelf(n event.NodeID, spr fsm.Prereq, ev event.Event, depth int) {
+	if r.anyVisitPassed(n, spr.AnyOf) {
+		return
+	}
+	v := r.visitFor(n)
+	path, v2, ok := r.inferRoute(n, v, spr)
+	if !ok {
+		r.anomaly(ev, "self-prerequisite cannot be inferred at "+n.String())
+		return
+	}
+	for _, step := range path {
+		r.emitInferred(v2, step, event.NoNode, event.NoNode, depth)
+	}
+}
+
+// findBroadcaster resolves the peer of an inferred group-protocol event: the
+// unique sibling engine that has passed Announced (the seeder of a
+// dissemination round). Collection-protocol graphs have no Announced state,
+// so this never fires for them.
+func (r *run) findBroadcaster(n event.NodeID) event.NodeID {
+	found := event.NoNode
+	for _, v := range r.all {
+		if v.node == n || !v.started {
+			continue
+		}
+		ann := v.graph.StateByName(fsm.StateAnnounced)
+		if ann == fsm.NoState || !v.graph.Passed(v.cur, ann) {
+			continue
+		}
+		if found != event.NoNode && found != v.node {
+			return event.NoNode // ambiguous
+		}
+		found = v.node
+	}
+	return found
+}
+
+// satisfyPrereq enforces Definition 4.1 for ev: the peer engine must have
+// passed the prerequisite state; if it has not, it is driven there by
+// consuming its remaining logged events and, failing that, by inferring the
+// lost events along the normal path.
+func (r *run) satisfyPrereq(ev event.Event, depth int) {
+	if r.e.opts.DisableInter {
+		return
+	}
+	pr, ok := r.e.opts.Protocol.Prereq(ev.Type)
+	if !ok {
+		return
+	}
+	if pr.Group {
+		// Many-to-1 prerequisite (Figure 3(c)/(d)): every group member
+		// except the event's own node must be driven into place.
+		for _, member := range r.e.opts.Group {
+			if member != ev.Node {
+				r.drive(member, pr, ev, depth+1)
+			}
+		}
+		return
+	}
+	var peer event.NodeID
+	switch pr.PeerRole {
+	case fsm.SelfSender:
+		peer = ev.Sender
+	case fsm.SelfReceiver:
+		peer = ev.Receiver
+	}
+	if peer == event.NoNode || peer == ev.Node {
+		return // unresolved endpoint: nothing to drive
+	}
+	r.drive(peer, pr, ev, depth+1)
+}
+
+// acceptable returns the prerequisite's acceptable state set resolved in g,
+// and the preferred inference target.
+func acceptable(g *fsm.Graph, pr fsm.Prereq) (states []fsm.StateID, inferTo fsm.StateID) {
+	inferTo = fsm.NoState
+	for _, name := range pr.AnyOf {
+		if id := g.StateByName(name); id != fsm.NoState {
+			states = append(states, id)
+		}
+	}
+	if id := g.StateByName(pr.InferTo); id != fsm.NoState {
+		inferTo = id
+	}
+	return
+}
+
+// passedAny reports whether the visit has passed any acceptable state.
+func passedAny(v *visit, states []fsm.StateID) bool {
+	for _, s := range states {
+		if v.graph.Passed(v.cur, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// drive advances node p's engine until it has passed the prerequisite state
+// demanded by event ev (logged elsewhere). Logged events are consumed first;
+// when they run out the remaining normal path is inferred. A re-entrancy
+// guard keeps cyclic prerequisites from recursing forever.
+func (r *run) drive(p event.NodeID, pr fsm.Prereq, ev event.Event, depth int) {
+	if depth > r.e.opts.MaxDepth {
+		r.anomaly(ev, "prerequisite recursion depth exceeded")
+		return
+	}
+	v := r.visitFor(p)
+	wantPeer := ev.Node // the prerequisite operation pointed at ev's logger
+	if states, _ := acceptable(v.graph, pr); passedAny(v, states) {
+		r.checkPeerBinding(v, pr, wantPeer)
+		return
+	}
+	if r.driving[p] || r.processing[p] > 0 {
+		// Already driving p higher up the stack, or p's own event is
+		// mid-processing: consuming p's later events now would violate
+		// its log order. Let the outer frame finish.
+		return
+	}
+	r.driving[p] = true
+	defer delete(r.driving, p)
+
+	// First consume p's own logged events — they are better evidence than
+	// inference (and the paper's step 1 does exactly this: "recursively
+	// process events on the node i until reaching state s_x").
+	for len(r.queues[p]) > 0 {
+		v = r.current[p]
+		if states, _ := acceptable(v.graph, pr); passedAny(v, states) {
+			r.checkPeerBinding(v, pr, wantPeer)
+			return
+		}
+		next := r.queues[p][0]
+		r.queues[p] = r.queues[p][1:]
+		r.process(p, next, depth+1)
+	}
+	v = r.current[p]
+	if states, _ := acceptable(v.graph, pr); passedAny(v, states) {
+		r.checkPeerBinding(v, pr, wantPeer)
+		return
+	}
+	// Out of logged evidence: infer the lost events along the normal path.
+	up, down := event.NoNode, event.NoNode
+	if p == ev.Sender {
+		down = ev.Receiver
+	} else if p == ev.Receiver {
+		up = ev.Sender
+	}
+	path, v2, ok := r.inferRoute(p, v, pr)
+	if !ok {
+		r.anomaly(ev, "prerequisite cannot be inferred at peer "+p.String())
+		return
+	}
+	v = v2
+	for _, step := range path {
+		r.emitInferred(v, step, up, down, depth)
+	}
+	r.checkPeerBinding(v, pr, wantPeer)
+}
+
+// inferRoute finds the normal path that realizes prerequisite pr at node p,
+// rotating to a fresh visit when the current one is stuck in a terminal drop
+// and falling back to the forwarding template for an origin caught in a loop.
+// It returns the path and the visit it applies to.
+func (r *run) inferRoute(p event.NodeID, v *visit, pr fsm.Prereq) ([]fsm.Transition, *visit, bool) {
+	if _, inferTo := acceptable(v.graph, pr); inferTo != fsm.NoState {
+		if path, ok := v.graph.PathTo(v.cur, inferTo); ok {
+			return path, v, true
+		}
+		// Current visit cannot reach the prerequisite (terminal drop):
+		// the prerequisite belongs to a fresh visit of the packet at p.
+		nv := r.rotate(p, v.graph)
+		if path, ok := nv.graph.PathTo(nv.cur, inferTo); ok {
+			return path, nv, true
+		}
+		v = nv
+	}
+	// The node's own template does not know the prerequisite state at all
+	// (an origin asked for Received): use the forwarding template.
+	if alt := r.altGraph(p); alt != nil && alt != v.graph {
+		if _, inferTo := acceptable(alt, pr); inferTo != fsm.NoState {
+			nv := r.rotate(p, alt)
+			if path, ok := nv.graph.PathTo(nv.cur, inferTo); ok {
+				return path, nv, true
+			}
+		}
+	}
+	return nil, v, false
+}
+
+// checkPeerBinding reconciles a satisfied Sent prerequisite with the visit's
+// bound transmission target: if the engine last transmitted to a different
+// node, a retargeted (lost) transmission is inferred over the Sent self-loop.
+// Only unicast-transmission prerequisites bind a peer; a broadcaster
+// (Announced) serves any number of receivers.
+func (r *run) checkPeerBinding(v *visit, pr fsm.Prereq, wantPeer event.NodeID) {
+	if pr.PeerRole != fsm.SelfSender {
+		return // only transmission targets are bound
+	}
+	sentPrereq := false
+	for _, name := range pr.AnyOf {
+		if name == fsm.StateSent {
+			sentPrereq = true
+		}
+	}
+	if !sentPrereq {
+		return
+	}
+	if v.peer == event.NoNode || wantPeer == event.NoNode || v.peer == wantPeer {
+		if v.peer == event.NoNode && wantPeer != event.NoNode {
+			v.peer = wantPeer
+		}
+		return
+	}
+	l := fsm.On(event.Trans, fsm.SelfSender)
+	if tr, ok := v.graph.NormalNext(v.cur, l); ok {
+		ev := l.Instantiate(v.node, wantPeer, r.pkt)
+		r.apply(v, tr, ev, true)
+		r.infers++
+	} else {
+		r.anomaly(l.Instantiate(v.node, wantPeer, r.pkt),
+			"peer binding mismatch: engine sent to "+v.peer.String())
+	}
+}

@@ -1,0 +1,209 @@
+package engine
+
+// Figure 3 reproduction (experiment E-T3): the paper's connected-inference
+// scenarios on the dissemination/negotiation protocol. Node 2 is the seeder
+// (the paper's node 2 in Figure 3(b)/(d)); nodes 1 and 3 are members.
+
+import (
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/fsm"
+)
+
+var dissPkt = event.PacketID{Origin: 2, Seq: 1} // item version 1, seeded by node 2
+
+func dissEngine(t *testing.T) *Engine {
+	t.Helper()
+	e, err := New(Options{
+		Protocol: fsm.Dissemination(),
+		Sink:     100, // unused by this protocol
+		Group:    []event.NodeID{1, 2, 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func dev(t event.Type, s, r event.NodeID) event.Event {
+	node := r
+	if t.SenderSide() || t.NodeLocal() {
+		node = s
+	}
+	return event.Event{Node: node, Type: t, Sender: s, Receiver: r, Packet: dissPkt}
+}
+
+func TestFig3CompleteRound(t *testing.T) {
+	e := dissEngine(t)
+	f := e.AnalyzePacket(viewFrom(
+		dev(event.Bcast, 2, event.NoNode),
+		dev(event.Recv, 2, 1), dev(event.Resp, 1, 2),
+		dev(event.Recv, 2, 3), dev(event.Resp, 3, 2),
+		dev(event.Done, 2, event.NoNode),
+	))
+	if f.InferredCount() != 0 {
+		t.Errorf("complete round inferred %d: %s", f.InferredCount(), f)
+	}
+	if len(f.Anomalies) != 0 {
+		t.Errorf("anomalies: %v", f.Anomalies)
+	}
+	// Every engine ends terminal: seeder Complete, members Responded.
+	for n, want := range map[event.NodeID]string{
+		1: fsm.StateResponded, 2: fsm.StateComplete, 3: fsm.StateResponded,
+	} {
+		v, ok := f.LastVisit(n)
+		if !ok || v.State != want {
+			t.Errorf("node %v = %+v, want %s", n, v, want)
+		}
+	}
+}
+
+func viewFrom(evs ...event.Event) *event.PacketView {
+	v := &event.PacketView{Packet: dissPkt, PerNode: map[event.NodeID][]event.Event{}}
+	for _, ev := range evs {
+		v.PerNode[ev.Node] = append(v.PerNode[ev.Node], ev)
+	}
+	return v
+}
+
+// TestFig3aSingleEventCascade reproduces Figure 3(a)'s headline claim ported
+// to the dissemination world: "even when there is only one event … and all
+// other events are lost, the transition algorithm can generate the correct
+// event flow and infer lost events". Only the seeder's Done survives; the
+// whole round — broadcast, both receptions, both responses — is inferred.
+func TestFig3aSingleEventCascade(t *testing.T) {
+	e := dissEngine(t)
+	f := e.AnalyzePacket(viewFrom(dev(event.Done, 2, event.NoNode)))
+	want := "[2 bcast], [2-1 recv], [1-2 resp], [2-3 recv], [3-2 resp], 2 done"
+	if got := f.String(); got != want {
+		t.Errorf("flow = %s\n  want %s", got, want)
+	}
+	if f.InferredCount() != 5 {
+		t.Errorf("inferred = %d, want 5", f.InferredCount())
+	}
+}
+
+// TestFig3bOneToMany: the broadcast reaches both members; each member's recv
+// carries a prerequisite back to the seeder (1-to-many connections from the
+// seeder's announcement). With only the members' logs, the broadcast is
+// inferred exactly once.
+func TestFig3bOneToMany(t *testing.T) {
+	e := dissEngine(t)
+	f := e.AnalyzePacket(viewFrom(
+		dev(event.Recv, 2, 1),
+		dev(event.Recv, 2, 3),
+	))
+	tru := true
+	if !f.Contains(event.Key{Type: event.Bcast, Sender: 2, Packet: dissPkt}, &tru) {
+		t.Fatalf("bcast not inferred: %s", f)
+	}
+	if f.InferredCount() != 1 {
+		t.Errorf("inferred = %d, want exactly 1 (one broadcast serves both): %s",
+			f.InferredCount(), f)
+	}
+	// The inferred broadcast precedes both receptions.
+	if f.Items[0].Event.Type != event.Bcast {
+		t.Errorf("broadcast not first: %s", f)
+	}
+}
+
+// TestFig3cManyToOne: the Done event must come after EVERY member's response
+// (many-to-1). With one member's log entirely lost, its reception and
+// response are both inferred before Done lands.
+func TestFig3cManyToOne(t *testing.T) {
+	e := dissEngine(t)
+	f := e.AnalyzePacket(viewFrom(
+		dev(event.Bcast, 2, event.NoNode),
+		dev(event.Recv, 2, 1), dev(event.Resp, 1, 2),
+		// node 3's log is lost entirely
+		dev(event.Done, 2, event.NoNode),
+	))
+	tru := true
+	for _, k := range []event.Key{
+		{Type: event.Recv, Sender: 2, Receiver: 3, Packet: dissPkt},
+		{Type: event.Resp, Sender: 3, Receiver: 2, Packet: dissPkt},
+	} {
+		if !f.Contains(k, &tru) {
+			t.Errorf("missing inferred %v: %s", k, f)
+		}
+	}
+	// Done is the last item: the group prerequisite ordered everything
+	// else before it.
+	if last := f.Items[len(f.Items)-1]; last.Event.Type != event.Done {
+		t.Errorf("done not last: %s", f)
+	}
+	if v, ok := f.LastVisit(3); !ok || v.State != fsm.StateResponded {
+		t.Errorf("member 3 = %+v, want Responded", v)
+	}
+}
+
+// TestFig3dMixed: a member's response log survives but its reception was
+// lost, while the other member lost everything; the seeder has only Done.
+// Intra-node jumps recover the first member's recv, group prerequisites the
+// second member's whole history (mixed inter-node transitions).
+func TestFig3dMixed(t *testing.T) {
+	e := dissEngine(t)
+	f := e.AnalyzePacket(viewFrom(
+		dev(event.Resp, 1, 2), // member 1: resp only (recv lost)
+		dev(event.Done, 2, event.NoNode),
+	))
+	tru := true
+	for _, k := range []event.Key{
+		{Type: event.Bcast, Sender: 2, Packet: dissPkt},
+		{Type: event.Recv, Sender: 2, Receiver: 1, Packet: dissPkt},
+		{Type: event.Recv, Sender: 2, Receiver: 3, Packet: dissPkt},
+		{Type: event.Resp, Sender: 3, Receiver: 2, Packet: dissPkt},
+	} {
+		if !f.Contains(k, &tru) {
+			t.Errorf("missing inferred %v: %s", k, f)
+		}
+	}
+	if len(f.Anomalies) != 0 {
+		t.Errorf("anomalies: %v", f.Anomalies)
+	}
+	if v, ok := f.LastVisit(2); !ok || v.State != fsm.StateComplete {
+		t.Errorf("seeder = %+v, want Complete", v)
+	}
+}
+
+// TestFig3PartialOrderFreedom: the relative order of the two members'
+// (recv, resp) pairs is NOT determined (the paper: "the ordering between e1
+// and e5 cannot be determined") — but each member's own pair is ordered, and
+// the broadcast precedes everything.
+func TestFig3PartialOrderFreedom(t *testing.T) {
+	e := dissEngine(t)
+	f := e.AnalyzePacket(viewFrom(
+		dev(event.Bcast, 2, event.NoNode),
+		dev(event.Recv, 2, 1), dev(event.Resp, 1, 2),
+		dev(event.Recv, 2, 3), dev(event.Resp, 3, 2),
+		dev(event.Done, 2, event.NoNode),
+	))
+	pos := map[string]int{}
+	for i, it := range f.Items {
+		pos[it.Event.String()] = i
+	}
+	if pos["2 bcast"] != 0 {
+		t.Errorf("bcast not first: %s", f)
+	}
+	if pos["2-1 recv"] > pos["1-2 resp"] || pos["2-3 recv"] > pos["3-2 resp"] {
+		t.Errorf("member pairs out of order: %s", f)
+	}
+	if pos["2 done"] != len(f.Items)-1 {
+		t.Errorf("done not last: %s", f)
+	}
+}
+
+// TestDissGroupWithoutRoster: a Done with no configured group simply has no
+// group to drive — the event still lands via its own FSM.
+func TestDissGroupWithoutRoster(t *testing.T) {
+	e, err := New(Options{Protocol: fsm.Dissemination(), Sink: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := e.AnalyzePacket(viewFrom(dev(event.Done, 2, event.NoNode)))
+	want := "[2 bcast], 2 done"
+	if got := f.String(); got != want {
+		t.Errorf("flow = %s, want %s", got, want)
+	}
+}

@@ -1,0 +1,181 @@
+package engine
+
+// Robustness: the engine must terminate without panicking and keep its
+// structural invariants on ARBITRARY event soup — real log collections
+// contain corrupt records, and the transition algorithm's recursion must be
+// bounded no matter what.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/flow"
+	"repro/internal/fsm"
+)
+
+// randomSoup generates structurally valid but semantically arbitrary events
+// for one packet across a handful of nodes.
+func randomSoup(rng *rand.Rand, pkt event.PacketID, nodes int, count int) []event.Event {
+	types := []event.Type{event.Gen, event.Recv, event.Trans, event.AckRecvd,
+		event.Timeout, event.Dup, event.Overflow, event.ServerRecv,
+		event.Enqueue, event.Dequeue}
+	var out []event.Event
+	for i := 0; i < count; i++ {
+		ty := types[rng.Intn(len(types))]
+		a := event.NodeID(rng.Intn(nodes) + 1)
+		b := event.NodeID(rng.Intn(nodes) + 1)
+		for b == a {
+			b = event.NodeID(rng.Intn(nodes) + 1)
+		}
+		var e event.Event
+		switch {
+		case ty == event.Gen:
+			e = event.Event{Node: pkt.Origin, Type: ty, Sender: pkt.Origin, Packet: pkt}
+		case ty == event.ServerRecv:
+			e = event.Event{Node: event.Server, Type: ty, Sender: a,
+				Receiver: event.Server, Packet: pkt}
+		case ty.NodeLocal():
+			e = event.Event{Node: a, Type: ty, Sender: a, Packet: pkt}
+		case ty.SenderSide():
+			e = event.Event{Node: a, Type: ty, Sender: a, Receiver: b, Packet: pkt}
+		default:
+			e = event.Event{Node: b, Type: ty, Sender: a, Receiver: b, Packet: pkt}
+		}
+		e.Time = int64(i)
+		out = append(out, e)
+	}
+	return out
+}
+
+func fuzzOne(t *testing.T, eng *Engine, evs []event.Event, pkt event.PacketID, trial int) {
+	t.Helper()
+	view := &event.PacketView{Packet: pkt, PerNode: map[event.NodeID][]event.Event{}}
+	for _, e := range evs {
+		view.PerNode[e.Node] = append(view.PerNode[e.Node], e)
+	}
+	f := eng.AnalyzePacket(view)
+	// Invariants: every logged event either appears in the flow or is an
+	// anomaly; totals add up; no event duplicated beyond its input count.
+	if f.LoggedCount()+len(f.Anomalies) < len(evs) {
+		t.Fatalf("trial %d: %d logged in flow + %d anomalies < %d inputs",
+			trial, f.LoggedCount(), len(f.Anomalies), len(evs))
+	}
+	// Output is bounded: inputs plus the inference budget. (Causal-order
+	// assertions only hold for protocol-consistent inputs; arbitrary soup
+	// gets best-effort treatment.)
+	if len(f.Items) > len(evs)+4096+16 {
+		t.Fatalf("trial %d: flow exploded to %d items from %d inputs", trial, len(f.Items), len(evs))
+	}
+	// Per-node relative order of non-inferred items must match the input.
+	perNodePos := map[event.NodeID]int{}
+	for _, it := range f.Items {
+		if it.Inferred {
+			continue
+		}
+		n := it.Event.Node
+		found := false
+		for i := perNodePos[n]; i < len(view.PerNode[n]); i++ {
+			if view.PerNode[n][i].Equal(it.Event) {
+				perNodePos[n] = i + 1
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("trial %d: flow reordered node %v's log (item %v)", trial, n, it.Event)
+		}
+	}
+	_ = f.Path() // must not panic
+	_ = f.HasLoop()
+}
+
+func TestEngineSurvivesRandomSoup(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	pkt := event.PacketID{Origin: 1, Seq: 1}
+	eng, err := New(Options{Protocol: fsm.DefaultCTP(), Sink: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 400; trial++ {
+		evs := randomSoup(rng, pkt, 5, 5+rng.Intn(40))
+		fuzzOne(t, eng, evs, pkt, trial)
+	}
+}
+
+func TestExtendedEngineSurvivesRandomSoup(t *testing.T) {
+	rng := rand.New(rand.NewSource(100))
+	pkt := event.PacketID{Origin: 2, Seq: 9}
+	eng, err := New(Options{Protocol: fsm.ExtendedCTP(), Sink: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 400; trial++ {
+		evs := randomSoup(rng, pkt, 4, 5+rng.Intn(40))
+		fuzzOne(t, eng, evs, pkt, trial)
+	}
+}
+
+func TestAblatedEngineSurvivesRandomSoup(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	pkt := event.PacketID{Origin: 1, Seq: 1}
+	for _, opts := range []Options{
+		{Protocol: fsm.DefaultCTP(), Sink: 3, DisableIntra: true},
+		{Protocol: fsm.DefaultCTP(), Sink: 3, DisableInter: true},
+		{Protocol: fsm.DefaultCTP(), Sink: 3, DisableIntra: true, DisableInter: true},
+	} {
+		eng, err := New(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 150; trial++ {
+			evs := randomSoup(rng, pkt, 5, 5+rng.Intn(30))
+			fuzzOne(t, eng, evs, pkt, trial)
+		}
+	}
+}
+
+// TestEngineExtendedQueueFlow checks the happy path of the extended event
+// set: a lossless flow with queue events infers nothing, and a flow missing
+// its queue records infers them.
+func TestEngineExtendedQueueFlow(t *testing.T) {
+	pkt := event.PacketID{Origin: 1, Seq: 1}
+	eng, err := New(Options{Protocol: fsm.ExtendedCTP(), Sink: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := []event.Event{
+		{Node: 1, Type: event.Gen, Sender: 1, Packet: pkt},
+		{Node: 1, Type: event.Enqueue, Sender: 1, Packet: pkt},
+		{Node: 1, Type: event.Dequeue, Sender: 1, Packet: pkt},
+		{Node: 1, Type: event.Trans, Sender: 1, Receiver: 2, Packet: pkt},
+		{Node: 2, Type: event.Recv, Sender: 1, Receiver: 2, Packet: pkt},
+		{Node: 1, Type: event.AckRecvd, Sender: 1, Receiver: 2, Packet: pkt},
+	}
+	view := &event.PacketView{Packet: pkt, PerNode: map[event.NodeID][]event.Event{}}
+	for _, e := range full {
+		view.PerNode[e.Node] = append(view.PerNode[e.Node], e)
+	}
+	f := eng.AnalyzePacket(view)
+	if f.InferredCount() != 0 || len(f.Anomalies) != 0 {
+		t.Fatalf("lossless extended flow inferred %d / anomalies %v: %s",
+			f.InferredCount(), f.Anomalies, f)
+	}
+	// Drop the queue records: the engine must infer [enq], [deq].
+	lossy := []event.Event{full[0], full[3], full[4], full[5]}
+	view2 := &event.PacketView{Packet: pkt, PerNode: map[event.NodeID][]event.Event{}}
+	for _, e := range lossy {
+		view2.PerNode[e.Node] = append(view2.PerNode[e.Node], e)
+	}
+	f2 := eng.AnalyzePacket(view2)
+	tru := true
+	if !f2.Contains(event.Key{Type: event.Enqueue, Sender: 1, Packet: pkt}, &tru) ||
+		!f2.Contains(event.Key{Type: event.Dequeue, Sender: 1, Packet: pkt}, &tru) {
+		t.Errorf("queue events not inferred: %s", f2)
+	}
+	var v flow.Visit
+	var ok bool
+	if v, ok = f2.LastVisit(2); !ok || v.State != fsm.StateReceived {
+		t.Errorf("receiver visit = %+v", v)
+	}
+}

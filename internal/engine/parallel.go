@@ -1,0 +1,53 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/event"
+	"repro/internal/flow"
+)
+
+// AnalyzeParallel reconstructs every packet flow like Analyze, fanning the
+// per-packet work out over a pool of workers. Packet flows are mutually
+// independent (the engine state is per packet), so the reconstruction
+// parallelizes embarrassingly; results are returned in the same deterministic
+// packet order Analyze uses. workers <= 0 selects GOMAXPROCS.
+func (e *Engine) AnalyzeParallel(c *event.Collection, workers int) *Result {
+	views, ops := event.Partition(c)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(views) {
+		workers = len(views)
+	}
+	res := &Result{Operational: ops, Flows: make([]*flow.Flow, len(views))}
+	if len(views) == 0 {
+		return res
+	}
+	if workers <= 1 {
+		for i, v := range views {
+			res.Flows[i] = e.AnalyzePacket(v)
+		}
+		return res
+	}
+	// Work distribution by index over a channel; each worker writes only
+	// its own slots, so no further synchronization is needed.
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				res.Flows[i] = e.AnalyzePacket(views[i])
+			}
+		}()
+	}
+	for i := range views {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return res
+}

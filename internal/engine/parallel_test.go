@@ -1,0 +1,88 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/fsm"
+)
+
+// buildManyPackets makes a collection with n independent 3-hop packets,
+// randomly thinned.
+func buildManyPackets(n int) *event.Collection {
+	c := event.NewCollection()
+	for i := 0; i < n; i++ {
+		origin := event.NodeID(i%7 + 1)
+		pkt := event.PacketID{Origin: origin, Seq: uint32(i + 1)}
+		next := origin + 10
+		c.Add(event.Event{Node: origin, Type: event.Gen, Sender: origin, Packet: pkt, Time: int64(i)})
+		c.Add(event.Event{Node: origin, Type: event.Trans, Sender: origin, Receiver: next, Packet: pkt, Time: int64(i) + 1})
+		if i%3 != 0 { // every third packet loses its recv record
+			c.Add(event.Event{Node: next, Type: event.Recv, Sender: origin, Receiver: next, Packet: pkt, Time: int64(i) + 2})
+		}
+		if i%2 == 0 {
+			c.Add(event.Event{Node: origin, Type: event.AckRecvd, Sender: origin, Receiver: next, Packet: pkt, Time: int64(i) + 3})
+		}
+	}
+	return c
+}
+
+func TestAnalyzeParallelMatchesSerial(t *testing.T) {
+	eng, err := New(Options{Protocol: fsm.DefaultCTP(), Sink: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := buildManyPackets(500)
+	serial := eng.Analyze(c)
+	for _, workers := range []int{1, 2, 4, 16} {
+		par := eng.AnalyzeParallel(c, workers)
+		if len(par.Flows) != len(serial.Flows) {
+			t.Fatalf("workers=%d: flow count %d vs %d", workers, len(par.Flows), len(serial.Flows))
+		}
+		for i := range serial.Flows {
+			if serial.Flows[i].Packet != par.Flows[i].Packet {
+				t.Fatalf("workers=%d: packet order diverged at %d", workers, i)
+			}
+			if serial.Flows[i].String() != par.Flows[i].String() {
+				t.Fatalf("workers=%d: flow %v differs:\n%s\n%s", workers,
+					serial.Flows[i].Packet, serial.Flows[i], par.Flows[i])
+			}
+		}
+	}
+}
+
+func TestAnalyzeParallelEmpty(t *testing.T) {
+	eng, err := New(Options{Sink: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := eng.AnalyzeParallel(event.NewCollection(), 4)
+	if len(res.Flows) != 0 {
+		t.Errorf("flows = %d", len(res.Flows))
+	}
+}
+
+func TestAnalyzeParallelDefaultsWorkers(t *testing.T) {
+	eng, err := New(Options{Sink: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := buildManyPackets(50)
+	res := eng.AnalyzeParallel(c, 0) // GOMAXPROCS
+	if len(res.Flows) != 50 {
+		t.Errorf("flows = %d", len(res.Flows))
+	}
+}
+
+func TestAnalyzeParallelOperationalEvents(t *testing.T) {
+	eng, err := New(Options{Sink: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := buildManyPackets(10)
+	c.Add(event.Event{Node: event.Server, Type: event.ServerDown, Time: 5})
+	res := eng.AnalyzeParallel(c, 2)
+	if len(res.Operational) != 1 {
+		t.Errorf("operational = %d", len(res.Operational))
+	}
+}

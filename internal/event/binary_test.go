@@ -1,0 +1,114 @@
+package event
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c := NewCollection()
+	for i := 0; i < 1000; i++ {
+		e := randomEvent(rng)
+		if i%7 == 0 {
+			e.Info = "attempt=3 rssi=-70"
+		}
+		c.Add(e)
+	}
+	var buf bytes.Buffer
+	if err := WriteCollectionBinary(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCollectionBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TotalEvents() != c.TotalEvents() {
+		t.Fatalf("count %d vs %d", got.TotalEvents(), c.TotalEvents())
+	}
+	for _, n := range c.Nodes() {
+		if !reflect.DeepEqual(c.Logs[n].Events, got.Logs[n].Events) {
+			t.Fatalf("node %v logs differ", n)
+		}
+	}
+}
+
+func TestBinaryEmptyCollection(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCollectionBinary(&buf, NewCollection()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCollectionBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TotalEvents() != 0 {
+		t.Error("empty round trip grew events")
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",             // empty
+		"XXXX\x01",     // bad magic
+		"RFBL\x09",     // bad version
+		"RFBL\x01\x01", // truncated node header
+	}
+	for _, s := range cases {
+		if _, err := ReadCollectionBinary(strings.NewReader(s)); err == nil {
+			t.Errorf("garbage %q accepted", s)
+		}
+	}
+}
+
+func TestBinaryRejectsTruncatedRecord(t *testing.T) {
+	c := NewCollection()
+	c.Add(Event{Node: 1, Type: Trans, Sender: 1, Receiver: 2,
+		Packet: PacketID{Origin: 1, Seq: 1}, Time: 42})
+	var buf bytes.Buffer
+	if err := WriteCollectionBinary(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{len(full) - 1, len(full) - 8, 14, 6} {
+		if _, err := ReadCollectionBinary(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestBinaryRejectsInvalidType(t *testing.T) {
+	c := NewCollection()
+	c.Add(Event{Node: 1, Type: Trans, Sender: 1, Receiver: 2,
+		Packet: PacketID{Origin: 1, Seq: 1}})
+	var buf bytes.Buffer
+	if err := WriteCollectionBinary(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[5+8] = 0xEE // corrupt the type byte of the first record
+	if _, err := ReadCollectionBinary(bytes.NewReader(raw)); err == nil {
+		t.Error("invalid type accepted")
+	}
+}
+
+func TestBinarySmallerThanText(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	c := NewCollection()
+	for i := 0; i < 5000; i++ {
+		c.Add(randomEvent(rng))
+	}
+	var bin, txt bytes.Buffer
+	if err := WriteCollectionBinary(&bin, c); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCollection(&txt, c); err != nil {
+		t.Fatal(err)
+	}
+	if bin.Len() >= txt.Len() {
+		t.Errorf("binary (%d) not smaller than text (%d)", bin.Len(), txt.Len())
+	}
+}

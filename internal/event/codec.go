@@ -1,0 +1,124 @@
+package event
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Text log format
+//
+// One event per line, whitespace separated:
+//
+//	<node> <type> <sender> <receiver> <packet> <time> [info...]
+//
+// e.g.
+//
+//	2 recv 1 2 1:17 120034
+//	1 trans 1 2 1:17 119800 attempt=3
+//
+// Lines starting with '#' and blank lines are ignored. The format is what
+// cmd/citysee emits and cmd/refill consumes, standing in for the NesC event
+// system's binary records.
+
+// FormatEvent renders one event in the text log format.
+func FormatEvent(e Event) string {
+	var b strings.Builder
+	b.WriteString(e.Node.String())
+	b.WriteByte(' ')
+	b.WriteString(e.Type.String())
+	b.WriteByte(' ')
+	b.WriteString(e.Sender.String())
+	b.WriteByte(' ')
+	b.WriteString(e.Receiver.String())
+	b.WriteByte(' ')
+	b.WriteString(e.Packet.String())
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatInt(e.Time, 10))
+	if e.Info != "" {
+		b.WriteByte(' ')
+		b.WriteString(e.Info)
+	}
+	return b.String()
+}
+
+// ParseEvent parses one line of the text log format.
+func ParseEvent(line string) (Event, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 6 {
+		return Event{}, fmt.Errorf("event: short log line %q", line)
+	}
+	var e Event
+	var err error
+	if e.Node, err = ParseNodeID(fields[0]); err != nil {
+		return Event{}, err
+	}
+	if e.Type, err = ParseType(fields[1]); err != nil {
+		return Event{}, err
+	}
+	if e.Sender, err = ParseNodeID(fields[2]); err != nil {
+		return Event{}, err
+	}
+	if e.Receiver, err = ParseNodeID(fields[3]); err != nil {
+		return Event{}, err
+	}
+	if fields[4] != "-" {
+		if e.Packet, err = ParsePacketID(fields[4]); err != nil {
+			return Event{}, err
+		}
+	}
+	if e.Time, err = strconv.ParseInt(fields[5], 10, 64); err != nil {
+		return Event{}, fmt.Errorf("event: bad time in %q: %v", line, err)
+	}
+	if len(fields) > 6 {
+		e.Info = strings.Join(fields[6:], " ")
+	}
+	return e, nil
+}
+
+// WriteCollection writes all logs in the collection to w, node by node in
+// ascending node order, preserving per-node event order.
+func WriteCollection(w io.Writer, c *Collection) error {
+	bw := bufio.NewWriter(w)
+	for _, n := range c.Nodes() {
+		if _, err := fmt.Fprintf(bw, "# node %v (%d events)\n", n, c.Logs[n].Len()); err != nil {
+			return err
+		}
+		for _, e := range c.Logs[n].Events {
+			if _, err := bw.WriteString(FormatEvent(e)); err != nil {
+				return err
+			}
+			if err := bw.WriteByte('\n'); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCollection parses a text log stream into a collection. Per-node order
+// follows the order lines appear in the stream.
+func ReadCollection(r io.Reader) (*Collection, error) {
+	c := NewCollection()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		e, err := ParseEvent(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineno, err)
+		}
+		c.Add(e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

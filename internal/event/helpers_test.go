@@ -1,0 +1,9 @@
+package event
+
+import "strings"
+
+// stringsBuilderCloser adapts strings.Builder for tests that need an
+// io.Writer with a String accessor.
+type stringsBuilderCloser struct{ strings.Builder }
+
+func newStringReader(s string) *strings.Reader { return strings.NewReader(s) }

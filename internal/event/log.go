@@ -1,0 +1,205 @@
+package event
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Log is the ordered sequence of events recorded at one node. The order is
+// the order the node logged them in — the only ordering information REFILL
+// assumes (local logs are append-only, so per-node order is trustworthy even
+// when clocks are not).
+type Log struct {
+	Node   NodeID
+	Events []Event
+}
+
+// Append adds an event to the log, stamping its Node field.
+func (l *Log) Append(e Event) {
+	e.Node = l.Node
+	l.Events = append(l.Events, e)
+}
+
+// Len returns the number of events in the log.
+func (l *Log) Len() int { return len(l.Events) }
+
+// Clone returns a deep copy of the log.
+func (l *Log) Clone() Log {
+	return Log{Node: l.Node, Events: append([]Event(nil), l.Events...)}
+}
+
+// Validate checks that every event belongs to this node and is well formed.
+func (l *Log) Validate() error {
+	for i, e := range l.Events {
+		if e.Node != l.Node {
+			return fmt.Errorf("event: log for node %v contains event for node %v at index %d", l.Node, e.Node, i)
+		}
+		if err := e.Validate(); err != nil {
+			return fmt.Errorf("event: log index %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Collection is a set of per-node logs, as retrieved from the network. It is
+// the input to the REFILL pipeline. Logs may be missing for some nodes
+// entirely (node failure) and individual events may be missing inside each
+// log (lossy logging / lossy collection).
+type Collection struct {
+	Logs map[NodeID]*Log
+}
+
+// NewCollection returns an empty collection.
+func NewCollection() *Collection {
+	return &Collection{Logs: make(map[NodeID]*Log)}
+}
+
+// Log returns the log for node n, creating it if needed.
+func (c *Collection) Log(n NodeID) *Log {
+	l, ok := c.Logs[n]
+	if !ok {
+		l = &Log{Node: n}
+		c.Logs[n] = l
+	}
+	return l
+}
+
+// Add appends an event to the log of the node named in the event.
+func (c *Collection) Add(e Event) {
+	c.Log(e.Node).Append(e)
+}
+
+// Nodes returns the node IDs that have logs, in ascending order, for
+// deterministic iteration.
+func (c *Collection) Nodes() []NodeID {
+	nodes := make([]NodeID, 0, len(c.Logs))
+	for n := range c.Logs {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	return nodes
+}
+
+// TotalEvents returns the number of events across all logs.
+func (c *Collection) TotalEvents() int {
+	total := 0
+	for _, l := range c.Logs {
+		total += len(l.Events)
+	}
+	return total
+}
+
+// Validate checks every contained log.
+func (c *Collection) Validate() error {
+	for _, n := range c.Nodes() {
+		if err := c.Logs[n].Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the collection.
+func (c *Collection) Clone() *Collection {
+	out := NewCollection()
+	for n, l := range c.Logs {
+		cl := l.Clone()
+		out.Logs[n] = &cl
+	}
+	return out
+}
+
+// PacketView is the per-packet slice of a collection: for one packet, the
+// ordered sub-logs of every node that recorded (or should have recorded)
+// events about it. The inference engine runs on one PacketView at a time.
+type PacketView struct {
+	Packet PacketID
+	// PerNode maps node -> that node's events about Packet, in log order.
+	PerNode map[NodeID][]Event
+}
+
+// Nodes returns the nodes with events in the view, ascending.
+func (v *PacketView) Nodes() []NodeID {
+	nodes := make([]NodeID, 0, len(v.PerNode))
+	for n := range v.PerNode {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	return nodes
+}
+
+// TotalEvents returns the number of events in the view.
+func (v *PacketView) TotalEvents() int {
+	total := 0
+	for _, evs := range v.PerNode {
+		total += len(evs)
+	}
+	return total
+}
+
+// Partition splits a collection into per-packet views, preserving per-node
+// event order within each view. Non-packet-scoped events (server up/down) are
+// returned separately. Views are ordered by packet ID (origin, then seq) for
+// deterministic processing.
+func Partition(c *Collection) (views []*PacketView, operational []Event) {
+	byPacket := make(map[PacketID]*PacketView)
+	for _, n := range c.Nodes() {
+		for _, e := range c.Logs[n].Events {
+			if !e.Type.PacketScoped() {
+				operational = append(operational, e)
+				continue
+			}
+			v, ok := byPacket[e.Packet]
+			if !ok {
+				v = &PacketView{Packet: e.Packet, PerNode: make(map[NodeID][]Event)}
+				byPacket[e.Packet] = v
+			}
+			v.PerNode[e.Node] = append(v.PerNode[e.Node], e)
+		}
+	}
+	views = make([]*PacketView, 0, len(byPacket))
+	for _, v := range byPacket {
+		views = append(views, v)
+	}
+	sort.Slice(views, func(i, j int) bool {
+		a, b := views[i].Packet, views[j].Packet
+		if a.Origin != b.Origin {
+			return a.Origin < b.Origin
+		}
+		return a.Seq < b.Seq
+	})
+	sort.Slice(operational, func(i, j int) bool { return operational[i].Time < operational[j].Time })
+	return views, operational
+}
+
+// MergeByTime flattens a collection into a single slice ordered by the Time
+// field, breaking ties by node then by log position. This is ONLY valid for
+// ground-truth collections whose Time is a global clock; it exists for the
+// simulator's ground-truth recorder and for baselines, never for the engine.
+func MergeByTime(c *Collection) []Event {
+	type indexed struct {
+		e   Event
+		pos int
+	}
+	var all []indexed
+	for _, n := range c.Nodes() {
+		for i, e := range c.Logs[n].Events {
+			all = append(all, indexed{e, i})
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.e.Time != b.e.Time {
+			return a.e.Time < b.e.Time
+		}
+		if a.e.Node != b.e.Node {
+			return a.e.Node < b.e.Node
+		}
+		return a.pos < b.pos
+	})
+	out := make([]Event, len(all))
+	for i, x := range all {
+		out[i] = x.e
+	}
+	return out
+}

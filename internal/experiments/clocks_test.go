@@ -1,0 +1,25 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestClockRecoveryBeatsUncorrected(t *testing.T) {
+	c := smallCampaign(t)
+	r := ClockRecovery(c)
+	if r.Pairs == 0 || r.Estimated == 0 {
+		t.Fatalf("nothing estimated: %+v", r)
+	}
+	if r.MAE >= r.NaiveMAE {
+		t.Errorf("recovery (%.2fs) no better than uncorrected (%.2fs)",
+			r.MAE/1e6, r.NaiveMAE/1e6)
+	}
+	// Offsets are up to ±2 minutes; recovery should land within seconds.
+	if r.MAE > 10e6 {
+		t.Errorf("MAE = %.2fs, want < 10s", r.MAE/1e6)
+	}
+	if !strings.Contains(r.Text, "clock recovery") {
+		t.Error("rendering missing")
+	}
+}

@@ -1,0 +1,31 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDelaysCorrectionHelps(t *testing.T) {
+	c := smallCampaign(t)
+	r := Delays(c)
+	if r.Compared == 0 {
+		t.Fatal("no packets measured")
+	}
+	if r.MedianErrCorrected >= r.MedianErrRaw {
+		t.Errorf("corrected delay error (%.2fs) not below raw (%.2fs)",
+			float64(r.MedianErrCorrected)/1e6, float64(r.MedianErrRaw)/1e6)
+	}
+	if r.MedianErrCorrected > 10_000_000 {
+		t.Errorf("corrected median error = %.2fs, want < 10s", float64(r.MedianErrCorrected)/1e6)
+	}
+	if r.Summary.Count == 0 || r.Summary.MeanDelay <= 0 {
+		t.Errorf("summary = %+v", r.Summary)
+	}
+	// Delivered packets of a multi-hop network average >1 transmission.
+	if r.Summary.MeanTransmissions < 1 {
+		t.Errorf("mean transmissions = %v", r.Summary.MeanTransmissions)
+	}
+	if !strings.Contains(r.Text, "median |delay error|") {
+		t.Error("rendering missing")
+	}
+}

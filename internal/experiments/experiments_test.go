@@ -1,0 +1,226 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/diagnosis"
+	"repro/internal/workload"
+)
+
+// The experiment tests validate the SHAPES the paper reports, not absolute
+// numbers (per DESIGN.md §5). A single small campaign is shared across tests.
+var (
+	campOnce sync.Once
+	camp     *Campaign
+	campErr  error
+)
+
+func smallCampaign(t *testing.T) *Campaign {
+	t.Helper()
+	campOnce.Do(func() {
+		camp, campErr = RunCampaign(SmallCampaign())
+	})
+	if campErr != nil {
+		t.Fatal(campErr)
+	}
+	return camp
+}
+
+func TestFig4SourcesSpreadWide(t *testing.T) {
+	c := smallCampaign(t)
+	r := Fig4(c)
+	if len(r.Points) == 0 {
+		t.Fatal("no sink-view losses")
+	}
+	// "Packets generated at different nodes have a similar probability to
+	// get lost": most non-sink nodes appear as loss sources.
+	nonSink := c.Res.Config.Nodes - 1
+	if r.DistinctSources < nonSink*3/4 {
+		t.Errorf("distinct sources = %d of %d non-sink nodes", r.DistinctSources, nonSink)
+	}
+	if !strings.Contains(r.Text, "source view") {
+		t.Error("missing label in rendering")
+	}
+}
+
+func TestFig5PositionsConcentrate(t *testing.T) {
+	c := smallCampaign(t)
+	r := Fig5(c)
+	if len(r.Points) == 0 {
+		t.Fatal("no position points")
+	}
+	// "Loss positions are on a small portion of nodes": the top five
+	// positions account for a large share of losses...
+	if r.TopShare < 0.40 {
+		t.Errorf("top-5 position share = %.2f, want >= 0.40", r.TopShare)
+	}
+	// ...with the sink band dominating ("a lot of received losses on the
+	// sink node").
+	if r.SinkShare < 0.25 {
+		t.Errorf("sink share = %.2f, want >= 0.25", r.SinkShare)
+	}
+}
+
+func TestFig6SnowSpikeAndFixCollapse(t *testing.T) {
+	c := smallCampaign(t)
+	r := Fig6(c)
+	if r.SnowDayLosses <= r.MedianDayLosses {
+		t.Errorf("snow-day losses (%d) should exceed clear-day median (%d)",
+			r.SnowDayLosses, r.MedianDayLosses)
+	}
+	// "After the 23th day, we changed the sink … packet losses are
+	// significantly reduced": sink-attributed share collapses post-fix.
+	if r.SinkSharePreFix < 0.15 {
+		t.Errorf("pre-fix sink share = %.2f, want >= 0.15", r.SinkSharePreFix)
+	}
+	if r.SinkSharePostFix*4 > r.SinkSharePreFix {
+		t.Errorf("fix did not collapse sink share: %.2f -> %.2f",
+			r.SinkSharePreFix, r.SinkSharePostFix)
+	}
+}
+
+func TestFig8SinkHasMostReceivedLosses(t *testing.T) {
+	c := smallCampaign(t)
+	r := Fig8(c)
+	if !r.SinkIsMax {
+		t.Errorf("sink does not hold the received-loss maximum: %v", r.BySite)
+	}
+	if len(r.BySite) < 2 {
+		t.Error("received losses should also appear off-sink")
+	}
+}
+
+func TestFig9BreakdownShape(t *testing.T) {
+	c := smallCampaign(t)
+	r := Fig9(c)
+	// In-node losses (received + acked) dominate, link losses (timeout)
+	// stay small — the paper's "node loss vs link loss" finding.
+	inNode := r.Frac[diagnosis.ReceivedLoss] + r.Frac[diagnosis.AckedLoss]
+	if inNode < 0.30 {
+		t.Errorf("in-node loss share = %.2f, want >= 0.30", inNode)
+	}
+	if r.Frac[diagnosis.TimeoutLoss] > inNode {
+		t.Error("timeout losses should not dominate in-node losses")
+	}
+	// Server outages are a sizable minority, as in the paper's 22.6%.
+	if r.Frac[diagnosis.ServerOutage] < 0.05 || r.Frac[diagnosis.ServerOutage] > 0.45 {
+		t.Errorf("outage share = %.2f, want within [0.05, 0.45]", r.Frac[diagnosis.ServerOutage])
+	}
+	// Acked losses concentrate at the sink (paper: 38.0% of 38.6%).
+	if r.AckedSplit.AtSink <= r.AckedSplit.Elsewhere {
+		t.Errorf("acked losses should concentrate at the sink: %+v", r.AckedSplit)
+	}
+}
+
+func TestRefillBeatsBaselines(t *testing.T) {
+	c := smallCampaign(t)
+	rows := ScoreAllAnalyzers(c)
+	byName := map[string]AnalyzerRun{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	refill := byName["refill"].Acc
+	for _, name := range []string{"naive", "clockmerge", "timecorr"} {
+		b := byName[name].Acc
+		if refill.CauseRate() <= b.CauseRate() {
+			t.Errorf("refill cause rate %.2f <= %s %.2f", refill.CauseRate(), name, b.CauseRate())
+		}
+		if refill.PositionRate() <= b.PositionRate() {
+			t.Errorf("refill position rate %.2f <= %s %.2f", refill.PositionRate(), name, b.PositionRate())
+		}
+	}
+	if refill.CauseRate() < 0.55 || refill.PositionRate() < 0.6 {
+		t.Errorf("refill accuracy too low: cause=%.2f position=%.2f",
+			refill.CauseRate(), refill.PositionRate())
+	}
+}
+
+func TestAccuracyVsLogLossMonotoneish(t *testing.T) {
+	res, err := AccuracyVsLogLoss(workload.Tiny(5), []float64{0, 0.4, 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	refillAt := func(i int) float64 {
+		for _, r := range res.Rows[i] {
+			if r.Name == "refill" {
+				return r.Acc.CauseRate()
+			}
+		}
+		t.Fatal("refill row missing")
+		return 0
+	}
+	// Lossless collection should be at least as diagnosable as 80% loss.
+	if refillAt(0) < refillAt(2) {
+		t.Errorf("accuracy did not degrade with log loss: %.2f at 0%% vs %.2f at 80%%",
+			refillAt(0), refillAt(2))
+	}
+	if !strings.Contains(res.Text, "log loss rate") {
+		t.Error("rendering missing")
+	}
+}
+
+func TestAblationsOrdering(t *testing.T) {
+	res, err := Ablations(workload.Tiny(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	score := map[string]int{}
+	for _, r := range res.Rows {
+		score[r.Name] = r.Acc.CauseAgree + r.Acc.PositionAgree + r.Acc.DeliveredAgree
+	}
+	if score["full"] < score["neither"] {
+		t.Errorf("full engine (%d) scored below fully-ablated (%d)",
+			score["full"], score["neither"])
+	}
+	if len(res.Rows) != 4 {
+		t.Errorf("rows = %d", len(res.Rows))
+	}
+}
+
+func TestTableIIRendering(t *testing.T) {
+	s := TableII()
+	for _, want := range []string{"Case 1", "Case 4", "[1-2 recv]"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("TableII text missing %q", want)
+		}
+	}
+}
+
+func TestFigTextsRender(t *testing.T) {
+	c := smallCampaign(t)
+	for name, text := range map[string]string{
+		"fig4": Fig4(c).Text,
+		"fig5": Fig5(c).Text,
+		"fig6": Fig6(c).Text,
+		"fig8": Fig8(c).Text,
+		"fig9": Fig9(c).Text,
+	} {
+		if len(text) == 0 {
+			t.Errorf("%s rendered empty", name)
+		}
+	}
+}
+
+func TestFig3Experiment(t *testing.T) {
+	r, err := Fig3(8, 40, 11, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rounds != 40 {
+		t.Errorf("rounds = %d", r.Rounds)
+	}
+	if float64(r.CompleteAgree)/float64(r.Rounds) < 0.5 {
+		t.Errorf("completeness agreement = %d/%d", r.CompleteAgree, r.Rounds)
+	}
+	if r.Inferred == 0 {
+		t.Error("no inference under 30% log loss")
+	}
+	if !strings.Contains(r.CascadeFlow, "[") || !strings.Contains(r.CascadeFlow, "done") {
+		t.Errorf("cascade flow = %s", r.CascadeFlow)
+	}
+}

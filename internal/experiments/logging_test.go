@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestLoggingPoliciesTradeoffs(t *testing.T) {
+	res, err := LoggingPolicies(workload.Tiny(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	byName := map[string]PolicyRow{}
+	for _, r := range res.Rows {
+		byName[r.Name] = r
+	}
+	full := byName["full"]
+	sel := byName["selective"]
+	recv := byName["receiver-side"]
+	if full.VolumeFrac != 1.0 {
+		t.Errorf("full volume = %v", full.VolumeFrac)
+	}
+	// Selective logging must save substantial volume (retransmissions
+	// dominate) without losing diagnosability.
+	if sel.VolumeFrac > 0.8 {
+		t.Errorf("selective volume = %.2f, expected a real saving", sel.VolumeFrac)
+	}
+	if sel.Acc.CauseRate() < full.Acc.CauseRate()-0.05 {
+		t.Errorf("selective cause rate %.2f fell far below full %.2f",
+			sel.Acc.CauseRate(), full.Acc.CauseRate())
+	}
+	// Receiver-side logging is the most aggressive; it must still beat
+	// a coin flip thanks to inter-node inference.
+	if recv.VolumeFrac > 0.5 {
+		t.Errorf("receiver-side volume = %.2f", recv.VolumeFrac)
+	}
+	if recv.Acc.CauseRate() < 0.3 {
+		t.Errorf("receiver-side cause rate = %.2f", recv.Acc.CauseRate())
+	}
+	if !strings.Contains(res.Text, "selective") {
+		t.Error("rendering missing")
+	}
+}
+
+func TestExtendedEventsStudy(t *testing.T) {
+	res, err := ExtendedEvents(workload.Tiny(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	std, ext := res.Rows[0], res.Rows[1]
+	if ext.KeptEvents <= std.KeptEvents {
+		t.Errorf("extended event set should log more: %d vs %d",
+			ext.KeptEvents, std.KeptEvents)
+	}
+	// The richer event set must not hurt diagnosability.
+	if ext.Acc.CauseRate() < std.Acc.CauseRate()-0.05 {
+		t.Errorf("extended cause rate %.2f fell below standard %.2f",
+			ext.Acc.CauseRate(), std.Acc.CauseRate())
+	}
+}

@@ -1,0 +1,89 @@
+package fsm
+
+import "repro/internal/event"
+
+// Dissemination states. The protocol realizes the paper's Figure 3(b)/(d)
+// negotiation scenarios: a seeder broadcasts an item and waits for every
+// group member's response before declaring the round complete.
+const (
+	StateAnnounced = "Announced" // seeder broadcast the item
+	StateComplete  = "Complete"  // seeder heard every member
+	StateGot       = "Got"       // member received the item
+	StateResponded = "Responded" // member's response went out
+)
+
+// disseminationSeeder builds the seeder template:
+//
+//	Start --bcast--> Announced --done--> Complete
+//
+// `done` carries the many-to-1 prerequisite: every member must have passed
+// Responded (Figure 3(c)/(d)); `bcast` is the 1-to-many event whose
+// consequences surface as each member's recv prerequisite pointing back here
+// (Figure 3(b)).
+func disseminationSeeder() (*Graph, error) {
+	b := NewBuilder("diss-seeder")
+	start := b.State(StateStart, false)
+	announced := b.State(StateAnnounced, false)
+	complete := b.State(StateComplete, true)
+	b.Start(start)
+	b.Transition(start, announced, On(event.Bcast, SelfSender))
+	b.Transition(announced, announced, On(event.Bcast, SelfSender)) // re-announcement
+	b.Transition(announced, complete, On(event.Done, SelfSender))
+	return b.Finalize()
+}
+
+// disseminationMember builds the member template:
+//
+//	Start --recv--> Got --resp--> Responded
+func disseminationMember() (*Graph, error) {
+	b := NewBuilder("diss-member")
+	start := b.State(StateStart, false)
+	got := b.State(StateGot, false)
+	responded := b.State(StateResponded, true)
+	b.Start(start)
+	b.Transition(start, got, On(event.Recv, SelfReceiver))
+	b.Transition(got, responded, On(event.Resp, SelfSender))
+	b.Transition(responded, responded, On(event.Resp, SelfSender)) // re-response
+	return b.Finalize()
+}
+
+// Dissemination returns the negotiation-protocol semantics of Figure 3:
+//
+//   - a member's recv implies the seeder announced (inter-node, cascading);
+//   - a response at the seeder... responses are logged member-side; the
+//     seeder's Done implies EVERY member responded (group prerequisite);
+//   - a member's resp implies it received the item (normal FSM order), and
+//     REFILL's intra-node jump recovers a lost recv from a surviving resp.
+//
+// The "packet" identifies the disseminated item (origin = the seeder, seq =
+// the version/round). RoleOrigin runs the seeder template; every other node
+// runs the member template (RoleSink/RoleServer fall back to member too, so
+// the protocol is usable without a collection infrastructure).
+func Dissemination() *Protocol {
+	seeder, err := disseminationSeeder()
+	if err != nil {
+		panic(err)
+	}
+	member, err := disseminationMember()
+	if err != nil {
+		panic(err)
+	}
+	p, err := NewProtocol("dissemination", map[NodeRole]*Graph{
+		RoleOrigin:  seeder,
+		RoleForward: member,
+		RoleSink:    member,
+		RoleServer:  member,
+	}, map[event.Type]Prereq{
+		// A member holding the item implies the seeder announced it.
+		event.Recv: {PeerRole: SelfSender, AnyOf: []string{StateAnnounced}, InferTo: StateAnnounced},
+		// A response arriving back implies... the response is logged on
+		// the member; its receiver (the seeder) must have announced.
+		event.Resp: {PeerRole: SelfReceiver, AnyOf: []string{StateAnnounced}, InferTo: StateAnnounced},
+		// Completion requires the WHOLE group to have responded.
+		event.Done: {Group: true, AnyOf: []string{StateResponded}, InferTo: StateResponded},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,136 @@
+package fsm
+
+import (
+	"testing"
+
+	"repro/internal/event"
+)
+
+func TestDisseminationProtocolStructure(t *testing.T) {
+	p := Dissemination()
+	seeder := p.Graph(RoleOrigin)
+	member := p.Graph(RoleForward)
+	if seeder == nil || member == nil {
+		t.Fatal("missing graphs")
+	}
+	// Every non-origin role runs the member template.
+	if p.Graph(RoleSink) != member || p.Graph(RoleServer) != member {
+		t.Error("sink/server should fall back to the member template")
+	}
+	if seeder.StateByName(StateAnnounced) == NoState ||
+		seeder.StateByName(StateComplete) == NoState {
+		t.Error("seeder states missing")
+	}
+	if member.StateByName(StateGot) == NoState ||
+		member.StateByName(StateResponded) == NoState {
+		t.Error("member states missing")
+	}
+}
+
+func TestDisseminationPrereqs(t *testing.T) {
+	p := Dissemination()
+	pr, ok := p.Prereq(event.Done)
+	if !ok || !pr.Group {
+		t.Errorf("done prereq = %+v ok=%v, want group", pr, ok)
+	}
+	if pr.InferTo != StateResponded {
+		t.Errorf("done infers to %q", pr.InferTo)
+	}
+	pr, ok = p.Prereq(event.Recv)
+	if !ok || pr.Group || pr.PeerRole != SelfSender || pr.InferTo != StateAnnounced {
+		t.Errorf("recv prereq = %+v ok=%v", pr, ok)
+	}
+	pr, ok = p.Prereq(event.Resp)
+	if !ok || pr.PeerRole != SelfReceiver {
+		t.Errorf("resp prereq = %+v ok=%v", pr, ok)
+	}
+}
+
+func TestDisseminationSeederIntra(t *testing.T) {
+	g, err := disseminationSeeder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkIntra(t, g, []intraSpec{
+		// A done at Start implies the broadcast was lost.
+		{StateStart, StateComplete, On(event.Done, SelfSender), []event.Type{event.Bcast}},
+	})
+}
+
+func TestDisseminationMemberIntra(t *testing.T) {
+	g, err := disseminationMember()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkIntra(t, g, []intraSpec{
+		// A response at Start implies the reception was lost.
+		{StateStart, StateResponded, On(event.Resp, SelfSender), []event.Type{event.Recv}},
+	})
+}
+
+func TestExtendedForwardIntra(t *testing.T) {
+	g, err := forwardGraph(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A trans at Start must infer the whole lost chain recv, enq, deq.
+	tr, ok := g.IntraNext(g.Start(), On(event.Trans, SelfSender))
+	if !ok {
+		t.Fatal("missing intra Start --trans-->")
+	}
+	want := []event.Type{event.Recv, event.Enqueue, event.Dequeue}
+	if len(tr.InferPath) != len(want) {
+		t.Fatalf("infer path = %d steps, want %d", len(tr.InferPath), len(want))
+	}
+	for i, ty := range want {
+		if tr.InferPath[i].On.Type != ty {
+			t.Errorf("infer[%d] = %v, want %v", i, tr.InferPath[i].On.Type, ty)
+		}
+	}
+	// An enqueue at Start implies only the recv was lost.
+	tr, ok = g.IntraNext(g.Start(), On(event.Enqueue, SelfSender))
+	if !ok || len(tr.InferPath) != 1 || tr.InferPath[0].On.Type != event.Recv {
+		t.Errorf("enqueue intra = %+v ok=%v", tr, ok)
+	}
+}
+
+func TestExtendedOriginIntra(t *testing.T) {
+	g, err := originGraph(true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, ok := g.IntraNext(g.Start(), On(event.Trans, SelfSender))
+	if !ok {
+		t.Fatal("missing intra Start --trans-->")
+	}
+	want := []event.Type{event.Gen, event.Enqueue, event.Dequeue}
+	for i, ty := range want {
+		if i >= len(tr.InferPath) || tr.InferPath[i].On.Type != ty {
+			t.Fatalf("infer path %v, want types %v", tr.InferPath, want)
+		}
+	}
+}
+
+func TestSeederReannouncementSelfLoop(t *testing.T) {
+	g, err := disseminationSeeder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ann := g.StateByName(StateAnnounced)
+	tr, ok := g.NormalNext(ann, On(event.Bcast, SelfSender))
+	if !ok || tr.To != ann {
+		t.Error("re-announcement self-loop missing")
+	}
+}
+
+func TestMemberReresponseSelfLoop(t *testing.T) {
+	g, err := disseminationMember()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := g.StateByName(StateResponded)
+	tr, ok := g.NormalNext(resp, On(event.Resp, SelfSender))
+	if !ok || tr.To != resp {
+		t.Error("re-response self-loop missing")
+	}
+}

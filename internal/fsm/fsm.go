@@ -1,0 +1,391 @@
+// Package fsm implements the finite-state-machine inference engines of
+// REFILL (Section IV of the paper).
+//
+// A Graph is the paper's directed transition graph G = (S, T, E): states S,
+// directed edges T, and the event labels E on the edges. Transitions declared
+// by the protocol author are "normal transitions". After the graph is
+// finalized, the package derives the paper's intra-node transitions: for an
+// event label e and a state s_x, if among all normal transitions carrying e
+// there is exactly one target state s_jc reachable from s_x, an intra-node
+// transition s_x --e--> s_jc is added, and the normal-path events skipped by
+// the jump become inferable lost events.
+//
+// Inter-node connections (Definition 4.1, prerequisite transitions) are
+// expressed as Prereq entries in a Protocol: event types whose occurrence
+// implies the peer node's engine must already have passed a given state.
+package fsm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// StateID indexes a state inside one Graph.
+type StateID int
+
+// NoState is returned by lookups that find nothing.
+const NoState StateID = -1
+
+// State is a vertex of the transition graph.
+type State struct {
+	Name string
+	// Terminal marks states with no meaningful continuation for the
+	// current packet visit; an event arriving at a terminal state starts
+	// a new visit (packet revisiting the node, e.g. a routing loop).
+	Terminal bool
+}
+
+// Kind distinguishes declared transitions from derived ones.
+type Kind uint8
+
+const (
+	// Normal transitions come from the original protocol FSM.
+	Normal Kind = iota
+	// Intra transitions are derived per Section IV-B and are taken only
+	// when no normal transition matches (they imply lost events).
+	Intra
+)
+
+func (k Kind) String() string {
+	if k == Intra {
+		return "intra"
+	}
+	return "normal"
+}
+
+// Transition is one edge of the graph.
+type Transition struct {
+	From, To StateID
+	On       Label
+	Kind     Kind
+	// InferPath is set on Intra transitions: the sequence of normal
+	// transitions whose events were skipped by the jump and must be
+	// emitted as inferred lost events (the final edge of the underlying
+	// normal path carries the triggering event itself and is excluded).
+	InferPath []Transition
+}
+
+// Graph is a finalized protocol FSM. Build one with NewBuilder; a zero Graph
+// is not usable.
+type Graph struct {
+	name        string
+	states      []State
+	byName      map[string]StateID
+	start       StateID
+	normal      []Transition
+	intra       []Transition
+	normalIndex map[transKey][]int // (from,label) -> indices into normal
+	intraIndex  map[transKey]int   // (from,label) -> index into intra
+	reach       [][]bool           // reach[a][b]: a ≻ b via ≥1 normal transitions
+	labels      []Label            // distinct labels, deterministic order
+}
+
+type transKey struct {
+	from StateID
+	on   Label
+}
+
+// Name returns the graph's name (e.g. "ctp-forward").
+func (g *Graph) Name() string { return g.name }
+
+// Start returns the initial state.
+func (g *Graph) Start() StateID { return g.start }
+
+// NumStates returns the number of states.
+func (g *Graph) NumStates() int { return len(g.states) }
+
+// State returns the state record for id.
+func (g *Graph) State(id StateID) State { return g.states[id] }
+
+// StateByName resolves a state name, returning NoState if absent. Names are
+// the cross-template currency used by prerequisite links, since different
+// node roles (origin, forwarder, sink) run different graphs.
+func (g *Graph) StateByName(name string) StateID {
+	if id, ok := g.byName[name]; ok {
+		return id
+	}
+	return NoState
+}
+
+// Terminal reports whether id is a terminal state.
+func (g *Graph) Terminal(id StateID) bool { return g.states[id].Terminal }
+
+// Reachable reports the paper's s_a ≻ s_b: a transition sequence of length
+// at least one leads from a to b over normal transitions.
+func (g *Graph) Reachable(a, b StateID) bool { return g.reach[a][b] }
+
+// Passed reports whether an engine currently at state s has necessarily been
+// at (or is at) state target earlier in this visit. It holds when s == target
+// or when s is reachable FROM target. (For the linear protocol templates in
+// this package every state lies on a single spine, so reachability implies
+// the path actually ran through target.)
+func (g *Graph) Passed(s, target StateID) bool {
+	return s == target || g.Reachable(target, s)
+}
+
+// Next returns the transition to take at state s on label l: a normal
+// transition if one exists, otherwise a derived intra-node transition.
+// The boolean reports whether any transition matched.
+func (g *Graph) Next(s StateID, l Label) (Transition, bool) {
+	if idxs := g.normalIndex[transKey{s, l}]; len(idxs) > 0 {
+		return g.normal[idxs[0]], true
+	}
+	if i, ok := g.intraIndex[transKey{s, l}]; ok {
+		return g.intra[i], true
+	}
+	return Transition{}, false
+}
+
+// NormalNext returns only the normal transition at (s, l), if any.
+func (g *Graph) NormalNext(s StateID, l Label) (Transition, bool) {
+	if idxs := g.normalIndex[transKey{s, l}]; len(idxs) > 0 {
+		return g.normal[idxs[0]], true
+	}
+	return Transition{}, false
+}
+
+// IntraNext returns only the derived intra transition at (s, l), if any.
+func (g *Graph) IntraNext(s StateID, l Label) (Transition, bool) {
+	if i, ok := g.intraIndex[transKey{s, l}]; ok {
+		return g.intra[i], true
+	}
+	return Transition{}, false
+}
+
+// PathTo returns the shortest normal-transition path from state a to state b
+// (nil, false if none). It is the inference route used when a prerequisite
+// forces an engine forward with no logged events available: the path's
+// events become inferred lost events.
+func (g *Graph) PathTo(a, b StateID) ([]Transition, bool) {
+	if a == b {
+		return nil, true
+	}
+	// BFS over normal transitions; adjacency in declaration order keeps
+	// the result deterministic.
+	prev := make([]int, len(g.states)) // index into g.normal, -1 unset
+	for i := range prev {
+		prev[i] = -1
+	}
+	visited := make([]bool, len(g.states))
+	visited[a] = true
+	queue := []StateID{a}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for i, tr := range g.normal {
+			if tr.From != cur || visited[tr.To] {
+				continue
+			}
+			visited[tr.To] = true
+			prev[tr.To] = i
+			if tr.To == b {
+				// Reconstruct.
+				var rev []Transition
+				for at := b; at != a; {
+					tr := g.normal[prev[at]]
+					rev = append(rev, tr)
+					at = tr.From
+				}
+				path := make([]Transition, len(rev))
+				for j := range rev {
+					path[j] = rev[len(rev)-1-j]
+				}
+				return path, true
+			}
+			queue = append(queue, tr.To)
+		}
+	}
+	return nil, false
+}
+
+// Labels returns the distinct transition labels of the graph in a
+// deterministic order.
+func (g *Graph) Labels() []Label { return g.labels }
+
+// NormalTransitions returns the declared transitions (shared slice; callers
+// must not mutate).
+func (g *Graph) NormalTransitions() []Transition { return g.normal }
+
+// IntraTransitions returns the derived intra-node transitions (shared slice;
+// callers must not mutate).
+func (g *Graph) IntraTransitions() []Transition { return g.intra }
+
+// Builder assembles a Graph. Typical use:
+//
+//	b := fsm.NewBuilder("ctp-forward")
+//	start := b.State("Start", false)
+//	recvd := b.State("Received", false)
+//	b.Start(start)
+//	b.Transition(start, recvd, fsm.On(event.Recv, fsm.SelfReceiver))
+//	g, err := b.Finalize()
+type Builder struct {
+	g    *Graph
+	errs []error
+}
+
+// NewBuilder returns a Builder for a graph with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{g: &Graph{
+		name:        name,
+		byName:      make(map[string]StateID),
+		start:       NoState,
+		normalIndex: make(map[transKey][]int),
+		intraIndex:  make(map[transKey]int),
+	}}
+}
+
+// State declares a state and returns its ID. Duplicate names are an error
+// reported by Finalize.
+func (b *Builder) State(name string, terminal bool) StateID {
+	if _, dup := b.g.byName[name]; dup {
+		b.errs = append(b.errs, fmt.Errorf("fsm: duplicate state %q in %q", name, b.g.name))
+	}
+	id := StateID(len(b.g.states))
+	b.g.states = append(b.g.states, State{Name: name, Terminal: terminal})
+	b.g.byName[name] = id
+	return id
+}
+
+// Start sets the initial state.
+func (b *Builder) Start(id StateID) { b.g.start = id }
+
+// Transition declares a normal transition.
+func (b *Builder) Transition(from, to StateID, on Label) {
+	if int(from) >= len(b.g.states) || int(to) >= len(b.g.states) || from < 0 || to < 0 {
+		b.errs = append(b.errs, fmt.Errorf("fsm: transition with unknown state in %q", b.g.name))
+		return
+	}
+	b.g.normal = append(b.g.normal, Transition{From: from, To: to, On: on, Kind: Normal})
+}
+
+// Finalize validates the graph, computes reachability, and derives the
+// intra-node transitions per Section IV-B.
+func (b *Builder) Finalize() (*Graph, error) {
+	g := b.g
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	if g.start == NoState {
+		return nil, fmt.Errorf("fsm: graph %q has no start state", g.name)
+	}
+	if len(g.states) == 0 {
+		return nil, fmt.Errorf("fsm: graph %q has no states", g.name)
+	}
+	// Index normal transitions; the engine is deterministic, so at most
+	// one normal transition per (state, label).
+	for i, tr := range g.normal {
+		k := transKey{tr.From, tr.On}
+		if len(g.normalIndex[k]) > 0 {
+			return nil, fmt.Errorf("fsm: graph %q nondeterministic at state %q on %v",
+				g.name, g.states[tr.From].Name, tr.On)
+		}
+		g.normalIndex[k] = append(g.normalIndex[k], i)
+	}
+	g.computeReachability()
+	g.collectLabels()
+	if err := g.deriveIntra(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// computeReachability fills reach[a][b] = true iff a path of >=1 normal
+// transitions leads from a to b (Floyd–Warshall on the small state set).
+func (g *Graph) computeReachability() {
+	n := len(g.states)
+	g.reach = make([][]bool, n)
+	for i := range g.reach {
+		g.reach[i] = make([]bool, n)
+	}
+	for _, tr := range g.normal {
+		g.reach[tr.From][tr.To] = true
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			if !g.reach[i][k] {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if g.reach[k][j] {
+					g.reach[i][j] = true
+				}
+			}
+		}
+	}
+}
+
+// collectLabels gathers the distinct labels in deterministic order.
+func (g *Graph) collectLabels() {
+	seen := make(map[Label]bool)
+	for _, tr := range g.normal {
+		if !seen[tr.On] {
+			seen[tr.On] = true
+			g.labels = append(g.labels, tr.On)
+		}
+	}
+	sort.Slice(g.labels, func(i, j int) bool {
+		a, b := g.labels[i], g.labels[j]
+		if a.Type != b.Type {
+			return a.Type < b.Type
+		}
+		return a.Self < b.Self
+	})
+}
+
+// deriveIntra adds the paper's intra-node transitions. For each state s_x and
+// each label e with no normal transition out of s_x: collect the target
+// states of every normal transition labeled e; if exactly one distinct target
+// s_jc is reachable from s_x, add s_x --e--> s_jc with the skipped normal
+// path recorded for lost-event inference.
+func (g *Graph) deriveIntra() error {
+	for sx := StateID(0); int(sx) < len(g.states); sx++ {
+		for _, l := range g.labels {
+			if _, has := g.normalIndex[transKey{sx, l}]; has {
+				continue // normal transition exists; no jump needed
+			}
+			// Distinct reachable targets of transitions labeled l.
+			targetSet := make(map[StateID]bool)
+			for _, tr := range g.normal {
+				if tr.On == l && g.Reachable(sx, tr.To) {
+					targetSet[tr.To] = true
+				}
+			}
+			if len(targetSet) != 1 {
+				continue // none or ambiguous: no intra transition
+			}
+			var sjc StateID
+			for t := range targetSet {
+				sjc = t
+			}
+			// The inferred lost events are the normal path from s_x
+			// to the source of a transition (s_ic --l--> s_jc); pick
+			// the shortest such approach deterministically.
+			var best []Transition
+			found := false
+			for _, tr := range g.normal {
+				if tr.On != l || tr.To != sjc {
+					continue
+				}
+				path, ok := g.PathTo(sx, tr.From)
+				if !ok {
+					continue
+				}
+				if !found || len(path) < len(best) {
+					best, found = path, true
+				}
+			}
+			if !found {
+				// The target is reachable but only via routes that
+				// do not end with an l-labeled edge (e.g. through a
+				// different label into the same state). The event
+				// could not have been generated on the way, so no
+				// jump is justified.
+				continue
+			}
+			tr := Transition{From: sx, To: sjc, On: l, Kind: Intra, InferPath: best}
+			g.intraIndex[transKey{sx, l}] = len(g.intra)
+			g.intra = append(g.intra, tr)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+package fsm
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+)
+
+// Role states which endpoint of a network operation the engine's own node
+// plays. FSM transition labels are written relative to "self": the same
+// template graph is instantiated for every node.
+type Role uint8
+
+const (
+	// SelfSender: the engine's node is the operation's sender (events
+	// logged sender-side: trans, ack recvd, timeout, gen).
+	SelfSender Role = iota + 1
+	// SelfReceiver: the engine's node is the operation's receiver (events
+	// logged receiver-side: recv, dup, overflow, srecv).
+	SelfReceiver
+)
+
+func (r Role) String() string {
+	switch r {
+	case SelfSender:
+		return "sender"
+	case SelfReceiver:
+		return "receiver"
+	}
+	return fmt.Sprintf("role(%d)", uint8(r))
+}
+
+// Label identifies which events drive a transition: an event type plus the
+// role the engine's node plays in it.
+type Label struct {
+	Type event.Type
+	Self Role
+}
+
+// On is shorthand for constructing a Label.
+func On(t event.Type, self Role) Label { return Label{Type: t, Self: self} }
+
+func (l Label) String() string { return l.Type.String() + "@" + l.Self.String() }
+
+// LabelFor classifies a logged event from the perspective of node self,
+// returning the label it matches. The second result is false when the event
+// was not logged at self or self plays no role in it.
+func LabelFor(e event.Event, self event.NodeID) (Label, bool) {
+	if e.Node != self {
+		return Label{}, false
+	}
+	if e.Type.SenderSide() || e.Type.NodeLocal() {
+		if e.Sender != self {
+			return Label{}, false
+		}
+		return Label{Type: e.Type, Self: SelfSender}, true
+	}
+	if e.Receiver != self {
+		return Label{}, false
+	}
+	return Label{Type: e.Type, Self: SelfReceiver}, true
+}
+
+// Instantiate materializes the event a transition labeled l would log at node
+// self with the given peer and packet. It is used to synthesize inferred lost
+// events. The peer may be event.NoNode when genuinely unknown (the engine
+// tries to resolve it from sibling engines first).
+func (l Label) Instantiate(self, peer event.NodeID, pkt event.PacketID) event.Event {
+	e := event.Event{Node: self, Type: l.Type, Packet: pkt}
+	switch l.Self {
+	case SelfSender:
+		e.Sender = self
+		if !l.Type.NodeLocal() {
+			e.Receiver = peer
+		}
+	case SelfReceiver:
+		e.Receiver = self
+		e.Sender = peer
+	}
+	return e
+}
+
+// Peer extracts the peer node of event e from the perspective of self:
+// the other endpoint of the operation. Returns NoNode for events without a
+// second endpoint (gen).
+func Peer(e event.Event, self event.NodeID) event.NodeID {
+	if e.Sender == self {
+		return e.Receiver
+	}
+	return e.Sender
+}

@@ -1,0 +1,152 @@
+// Package logging models how event logs actually reach the analyst in a
+// CitySee-like deployment: each node stamps events with its own unsynchronized
+// local clock, log writes fail independently at some rate, whole nodes go
+// dark for stretches (crashes, depleted batteries), and the surviving records
+// are collected later. The output is exactly the kind of per-node, lossy,
+// unsynchronized input REFILL was designed for.
+package logging
+
+import (
+	"repro/internal/event"
+	"repro/internal/sim"
+)
+
+// Window is a node-failure interval [Start, End) in true time: every event
+// the node would have logged inside it is lost.
+type Window struct {
+	Start, End sim.Time
+}
+
+// Covers reports whether t falls inside the window.
+func (w Window) Covers(t sim.Time) bool { return t >= w.Start && t < w.End }
+
+// Clock is a node's local clock: local(t) = Offset + t*(1+Drift).
+type Clock struct {
+	Offset sim.Time
+	Drift  float64
+}
+
+// Local converts true time to this clock's reading.
+func (c Clock) Local(t sim.Time) sim.Time {
+	return c.Offset + t + sim.Time(float64(t)*c.Drift)
+}
+
+// Config tunes the collection process.
+type Config struct {
+	// Seed drives drop decisions and clock assignment.
+	Seed int64
+	// LossRate is the i.i.d. probability that a log record is lost
+	// (write failure, flash corruption, lossy retrieval).
+	LossRate float64
+	// MaxOffset bounds each node's initial clock offset: uniform in
+	// [-MaxOffset, +MaxOffset]. Sensor nodes are not time-synchronized.
+	MaxOffset sim.Time
+	// MaxDrift bounds crystal drift: uniform in [-MaxDrift, +MaxDrift]
+	// (5e-5 = 50 ppm, typical for mote crystals).
+	MaxDrift float64
+	// FailWindows lists per-node blackout intervals.
+	FailWindows map[event.NodeID][]Window
+	// ServerLossy subjects the base-station server's log to the same
+	// loss process. Default false: the server is a real computer with a
+	// reliable disk.
+	ServerLossy bool
+}
+
+// DefaultConfig returns the collection profile used by the CitySee scenario:
+// 20% record loss, clocks off by up to two minutes drifting up to 40 ppm.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:      seed,
+		LossRate:  0.20,
+		MaxOffset: 2 * sim.Minute,
+		MaxDrift:  4e-5,
+	}
+}
+
+// Collector implements the lossy collection process. It satisfies the
+// simulator's EventSink interface; feed it events and read the Collection.
+type Collector struct {
+	cfg     Config
+	rng     *sim.RNG
+	clocks  map[event.NodeID]Clock
+	out     *event.Collection
+	policy  Policy
+	seen    int
+	dropped int
+	skipped int // dropped by policy, not by loss
+}
+
+// NewCollector builds a collector.
+func NewCollector(cfg Config) *Collector {
+	return &Collector{
+		cfg:    cfg,
+		rng:    sim.NewRNG(cfg.Seed),
+		clocks: make(map[event.NodeID]Clock),
+		out:    event.NewCollection(),
+		policy: FullPolicy{},
+	}
+}
+
+// WithPolicy sets the node-side logging policy (builder style).
+func (c *Collector) WithPolicy(p Policy) *Collector {
+	c.policy = p
+	return c
+}
+
+// clockFor derives a node's clock deterministically from the seed and ID, so
+// clocks do not depend on event arrival order.
+func (c *Collector) clockFor(n event.NodeID) Clock {
+	if cl, ok := c.clocks[n]; ok {
+		return cl
+	}
+	var cl Clock
+	if n != event.Server { // the server's clock is NTP-disciplined
+		r := sim.NewRNG(c.cfg.Seed ^ (int64(n)+1)*0x4F1BBCDCBFA53E0B)
+		if c.cfg.MaxOffset > 0 {
+			cl.Offset = r.Int63n(2*c.cfg.MaxOffset+1) - c.cfg.MaxOffset
+		}
+		if c.cfg.MaxDrift > 0 {
+			cl.Drift = r.Range(-c.cfg.MaxDrift, c.cfg.MaxDrift)
+		}
+	}
+	c.clocks[n] = cl
+	return cl
+}
+
+// Record consumes one true event, possibly losing it, otherwise storing it
+// stamped with the node's local clock.
+func (c *Collector) Record(e event.Event) {
+	c.seen++
+	reliable := e.Node == event.Server && !c.cfg.ServerLossy
+	if !reliable && !c.policy.Keep(e) {
+		c.skipped++
+		return
+	}
+	if !reliable {
+		for _, w := range c.cfg.FailWindows[e.Node] {
+			if w.Covers(e.Time) {
+				c.dropped++
+				return
+			}
+		}
+		if c.rng.Bool(c.cfg.LossRate) {
+			c.dropped++
+			return
+		}
+	}
+	e.Time = c.clockFor(e.Node).Local(e.Time)
+	c.out.Add(e)
+}
+
+// Collection returns the collected (lossy, locally-stamped) logs.
+func (c *Collector) Collection() *event.Collection { return c.out }
+
+// Stats returns how many events were offered and how many were lost.
+func (c *Collector) Stats() (seen, dropped int) { return c.seen, c.dropped }
+
+// PolicySkipped returns how many events the logging policy chose not to
+// write (distinct from collection losses).
+func (c *Collector) PolicySkipped() int { return c.skipped }
+
+// Clock exposes the clock assigned to a node (for tests and diagnostics).
+func (c *Collector) Clock(n event.NodeID) Clock { return c.clockFor(n) }

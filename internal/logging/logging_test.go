@@ -1,0 +1,169 @@
+package logging
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/sim"
+)
+
+func mkEvent(n event.NodeID, seq uint32, t sim.Time) event.Event {
+	return event.Event{Node: n, Type: event.Gen, Sender: n,
+		Packet: event.PacketID{Origin: n, Seq: seq}, Time: t}
+}
+
+func TestClockLocal(t *testing.T) {
+	c := Clock{Offset: 100, Drift: 0.5}
+	if got := c.Local(1000); got != 100+1000+500 {
+		t.Errorf("Local = %d", got)
+	}
+	zero := Clock{}
+	if zero.Local(777) != 777 {
+		t.Error("zero clock should be identity")
+	}
+}
+
+func TestLossRateApproximate(t *testing.T) {
+	cfg := Config{Seed: 1, LossRate: 0.3}
+	c := NewCollector(cfg)
+	n := 50000
+	for i := 0; i < n; i++ {
+		c.Record(mkEvent(5, uint32(i), sim.Time(i)))
+	}
+	seen, dropped := c.Stats()
+	if seen != n {
+		t.Fatalf("seen = %d", seen)
+	}
+	frac := float64(dropped) / float64(n)
+	if frac < 0.28 || frac > 0.32 {
+		t.Errorf("drop fraction = %v, want ~0.3", frac)
+	}
+	if c.Collection().TotalEvents() != n-dropped {
+		t.Error("collection size inconsistent with drop count")
+	}
+}
+
+func TestZeroLossKeepsEverything(t *testing.T) {
+	c := NewCollector(Config{Seed: 1})
+	for i := 0; i < 1000; i++ {
+		c.Record(mkEvent(3, uint32(i), sim.Time(i)))
+	}
+	if _, dropped := c.Stats(); dropped != 0 {
+		t.Errorf("dropped = %d with zero loss rate", dropped)
+	}
+}
+
+func TestPerNodeOrderPreserved(t *testing.T) {
+	c := NewCollector(Config{Seed: 2, LossRate: 0.5})
+	for i := 0; i < 2000; i++ {
+		c.Record(mkEvent(7, uint32(i), sim.Time(i)*sim.Second))
+	}
+	evs := c.Collection().Logs[7].Events
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Packet.Seq <= evs[i-1].Packet.Seq {
+			t.Fatal("collection reordered a node's log")
+		}
+	}
+}
+
+func TestClockSkewApplied(t *testing.T) {
+	cfg := Config{Seed: 3, MaxOffset: sim.Minute, MaxDrift: 1e-4}
+	c := NewCollector(cfg)
+	c.Record(mkEvent(9, 1, sim.Hour))
+	got := c.Collection().Logs[9].Events[0].Time
+	want := c.Clock(9).Local(sim.Hour)
+	if got != want {
+		t.Errorf("stamped %d, want %d", got, want)
+	}
+	if got == sim.Hour && (c.Clock(9).Offset != 0 || c.Clock(9).Drift != 0) {
+		t.Error("skew configured but not applied")
+	}
+}
+
+func TestClocksDifferAcrossNodes(t *testing.T) {
+	cfg := Config{Seed: 4, MaxOffset: 5 * sim.Minute, MaxDrift: 1e-4}
+	c := NewCollector(cfg)
+	distinct := make(map[sim.Time]bool)
+	for n := event.NodeID(1); n <= 20; n++ {
+		distinct[c.Clock(n).Offset] = true
+	}
+	if len(distinct) < 10 {
+		t.Errorf("only %d distinct offsets across 20 nodes", len(distinct))
+	}
+}
+
+func TestClockAssignmentOrderIndependent(t *testing.T) {
+	a := NewCollector(Config{Seed: 5, MaxOffset: sim.Minute, MaxDrift: 1e-4})
+	b := NewCollector(Config{Seed: 5, MaxOffset: sim.Minute, MaxDrift: 1e-4})
+	// Touch clocks in different orders.
+	a.Clock(1)
+	a.Clock(2)
+	b.Clock(2)
+	b.Clock(1)
+	if a.Clock(1) != b.Clock(1) || a.Clock(2) != b.Clock(2) {
+		t.Error("clock depends on first-touch order")
+	}
+}
+
+func TestServerLogReliableByDefault(t *testing.T) {
+	cfg := Config{Seed: 6, LossRate: 0.99, MaxOffset: sim.Minute}
+	c := NewCollector(cfg)
+	for i := 0; i < 100; i++ {
+		c.Record(event.Event{Node: event.Server, Type: event.ServerRecv,
+			Sender: 3, Receiver: event.Server,
+			Packet: event.PacketID{Origin: 3, Seq: uint32(i)}, Time: sim.Time(i)})
+	}
+	if got := c.Collection().Logs[event.Server].Len(); got != 100 {
+		t.Errorf("server log lost events: %d/100", got)
+	}
+	// And unskewed.
+	if c.Clock(event.Server) != (Clock{}) {
+		t.Error("server clock should be disciplined")
+	}
+}
+
+func TestServerLossyOptIn(t *testing.T) {
+	cfg := Config{Seed: 6, LossRate: 0.99, ServerLossy: true}
+	c := NewCollector(cfg)
+	for i := 0; i < 100; i++ {
+		c.Record(event.Event{Node: event.Server, Type: event.ServerRecv,
+			Sender: 3, Receiver: event.Server,
+			Packet: event.PacketID{Origin: 3, Seq: uint32(i)}, Time: sim.Time(i)})
+	}
+	if l := c.Collection().Logs[event.Server]; l != nil && l.Len() > 50 {
+		t.Errorf("server log should be lossy when opted in: %d kept", l.Len())
+	}
+}
+
+func TestFailWindowsBlackOutNode(t *testing.T) {
+	cfg := Config{Seed: 7, FailWindows: map[event.NodeID][]Window{
+		4: {{Start: 100, End: 200}},
+	}}
+	c := NewCollector(cfg)
+	for i := sim.Time(0); i < 300; i += 10 {
+		c.Record(mkEvent(4, uint32(i), i))
+		c.Record(mkEvent(5, uint32(i), i))
+	}
+	for _, e := range c.Collection().Logs[4].Events {
+		if e.Time >= 100 && e.Time < 200 {
+			t.Errorf("event inside blackout survived: %+v", e)
+		}
+	}
+	if c.Collection().Logs[5].Len() != 30 {
+		t.Errorf("unaffected node lost events: %d", c.Collection().Logs[5].Len())
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := DefaultConfig(42)
+	if cfg.LossRate <= 0 || cfg.LossRate >= 1 {
+		t.Errorf("loss rate = %v", cfg.LossRate)
+	}
+	if cfg.MaxOffset <= 0 || cfg.MaxDrift <= 0 {
+		t.Error("default skew should be nonzero")
+	}
+	if math.Abs(cfg.MaxDrift) > 1e-3 {
+		t.Error("drift should be ppm-scale")
+	}
+}

@@ -1,0 +1,119 @@
+package logging
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/event"
+)
+
+func transEvent(pkt event.PacketID, s, r event.NodeID) event.Event {
+	return event.Event{Node: s, Type: event.Trans, Sender: s, Receiver: r, Packet: pkt}
+}
+
+func TestFullPolicyKeepsEverything(t *testing.T) {
+	p := FullPolicy{}
+	if !p.Keep(transEvent(event.PacketID{Origin: 1, Seq: 1}, 1, 2)) {
+		t.Error("full policy must keep")
+	}
+	if p.Name() != "full" {
+		t.Error("name")
+	}
+}
+
+func TestSelectivePolicyDropsRetransmissions(t *testing.T) {
+	p := NewSelectivePolicy()
+	pkt := event.PacketID{Origin: 1, Seq: 1}
+	first := transEvent(pkt, 1, 2)
+	if !p.Keep(first) {
+		t.Fatal("first trans must be kept")
+	}
+	for i := 0; i < 5; i++ {
+		if p.Keep(first) {
+			t.Fatal("retransmission must be dropped")
+		}
+	}
+	// A different hop of the same packet is a new first.
+	if !p.Keep(transEvent(pkt, 2, 3)) {
+		t.Error("new hop's first trans must be kept")
+	}
+	// A different packet on the same hop too.
+	if !p.Keep(transEvent(event.PacketID{Origin: 1, Seq: 2}, 1, 2)) {
+		t.Error("new packet's first trans must be kept")
+	}
+	// Non-trans events always pass.
+	recv := event.Event{Node: 2, Type: event.Recv, Sender: 1, Receiver: 2, Packet: pkt}
+	if !p.Keep(recv) || !p.Keep(recv) {
+		t.Error("non-trans events must always be kept")
+	}
+}
+
+func TestSampledPolicyRate(t *testing.T) {
+	p := NewSampledPolicy(0.25, 7)
+	if !strings.Contains(p.Name(), "25") {
+		t.Errorf("name = %q", p.Name())
+	}
+	kept := 0
+	n := 40000
+	e := transEvent(event.PacketID{Origin: 1, Seq: 1}, 1, 2)
+	for i := 0; i < n; i++ {
+		if p.Keep(e) {
+			kept++
+		}
+	}
+	frac := float64(kept) / float64(n)
+	if frac < 0.23 || frac > 0.27 {
+		t.Errorf("kept fraction = %v, want ~0.25", frac)
+	}
+}
+
+func TestReceiverSidePolicy(t *testing.T) {
+	p := ReceiverSidePolicy{}
+	pkt := event.PacketID{Origin: 1, Seq: 1}
+	dropped := []event.Event{
+		transEvent(pkt, 1, 2),
+		{Node: 1, Type: event.AckRecvd, Sender: 1, Receiver: 2, Packet: pkt},
+		{Node: 1, Type: event.Timeout, Sender: 1, Receiver: 2, Packet: pkt},
+	}
+	kept := []event.Event{
+		{Node: 2, Type: event.Recv, Sender: 1, Receiver: 2, Packet: pkt},
+		{Node: 2, Type: event.Dup, Sender: 1, Receiver: 2, Packet: pkt},
+		{Node: 1, Type: event.Gen, Sender: 1, Packet: pkt},
+	}
+	for _, e := range dropped {
+		if p.Keep(e) {
+			t.Errorf("%v should be dropped", e)
+		}
+	}
+	for _, e := range kept {
+		if !p.Keep(e) {
+			t.Errorf("%v should be kept", e)
+		}
+	}
+}
+
+func TestCollectorWithPolicy(t *testing.T) {
+	c := NewCollector(Config{Seed: 1}).WithPolicy(ReceiverSidePolicy{})
+	pkt := event.PacketID{Origin: 1, Seq: 1}
+	c.Record(transEvent(pkt, 1, 2))
+	c.Record(event.Event{Node: 2, Type: event.Recv, Sender: 1, Receiver: 2, Packet: pkt})
+	if c.Collection().TotalEvents() != 1 {
+		t.Errorf("kept = %d, want 1", c.Collection().TotalEvents())
+	}
+	if c.PolicySkipped() != 1 {
+		t.Errorf("policy skipped = %d, want 1", c.PolicySkipped())
+	}
+	if _, dropped := c.Stats(); dropped != 0 {
+		t.Errorf("loss-dropped = %d, want 0 (policy skips are separate)", dropped)
+	}
+}
+
+func TestPolicyNeverAppliesToServer(t *testing.T) {
+	// The base station's own log is not subject to mote-side policies.
+	c := NewCollector(Config{Seed: 1}).WithPolicy(NewSampledPolicy(0, 1))
+	c.Record(event.Event{Node: event.Server, Type: event.ServerRecv, Sender: 2,
+		Receiver: event.Server, Packet: event.PacketID{Origin: 2, Seq: 1}})
+	if c.Collection().TotalEvents() != 1 {
+		t.Error("server events must bypass the policy")
+	}
+}

@@ -1,0 +1,108 @@
+package report
+
+import (
+	"encoding/csv"
+	"io"
+	"strconv"
+
+	"repro/internal/diagnosis"
+	"repro/internal/sim/topology"
+)
+
+// CSV exporters: machine-readable series for external plotting tools, one
+// writer per figure family.
+
+// PointsCSV writes the Figure 4/5 scatter series: time_us, node, cause.
+func PointsCSV(w io.Writer, points []diagnosis.Point) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time_us", "node", "cause"}); err != nil {
+		return err
+	}
+	for _, p := range points {
+		rec := []string{
+			strconv.FormatInt(p.Time, 10),
+			p.Node.String(),
+			p.Cause.String(),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// DailyCSV writes the Figure 6 series: day, then one column per cause.
+func DailyCSV(w io.Writer, daily []map[diagnosis.Cause]int) error {
+	cw := csv.NewWriter(w)
+	header := []string{"day"}
+	var causes []diagnosis.Cause
+	for _, c := range diagnosis.Causes() {
+		if c == diagnosis.Delivered {
+			continue
+		}
+		causes = append(causes, c)
+		header = append(header, c.String())
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for d, m := range daily {
+		rec := []string{strconv.Itoa(d + 1)}
+		for _, c := range causes {
+			rec = append(rec, strconv.Itoa(m[c]))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// SpatialCSV writes the Figure 8 series: node, x, y, received_losses, is_sink.
+func SpatialCSV(w io.Writer, rep *diagnosis.Report, topo *topology.Topology) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"node", "x", "y", "received_losses", "is_sink"}); err != nil {
+		return err
+	}
+	losses := rep.LossesBySite(diagnosis.ReceivedLoss)
+	for _, nd := range topo.Nodes {
+		rec := []string{
+			nd.ID.String(),
+			strconv.FormatFloat(nd.X, 'f', 1, 64),
+			strconv.FormatFloat(nd.Y, 'f', 1, 64),
+			strconv.Itoa(losses[nd.ID]),
+			strconv.FormatBool(nd.ID == topo.Sink),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// BreakdownCSV writes the Figure 9 series: cause, count, fraction_of_losses.
+func BreakdownCSV(w io.Writer, rep *diagnosis.Report) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"cause", "count", "fraction_of_losses"}); err != nil {
+		return err
+	}
+	bd := rep.Breakdown()
+	for _, c := range diagnosis.Causes() {
+		if c == diagnosis.Delivered || bd[c] == 0 {
+			continue
+		}
+		rec := []string{
+			c.String(),
+			strconv.Itoa(bd[c]),
+			strconv.FormatFloat(rep.LossFraction(c), 'f', 4, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

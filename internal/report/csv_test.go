@@ -1,0 +1,109 @@
+package report
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"repro/internal/diagnosis"
+	"repro/internal/sim/topology"
+)
+
+// readCSV parses and returns all records.
+func readCSV(t *testing.T, b *bytes.Buffer) [][]string {
+	t.Helper()
+	recs, err := csv.NewReader(b).ReadAll()
+	if err != nil {
+		t.Fatalf("invalid CSV: %v", err)
+	}
+	return recs
+}
+
+func TestPointsCSV(t *testing.T) {
+	pts := []diagnosis.Point{
+		{Time: 100, Node: 1, Cause: diagnosis.ReceivedLoss},
+		{Time: 200, Node: 2, Cause: diagnosis.AckedLoss},
+	}
+	var b bytes.Buffer
+	if err := PointsCSV(&b, pts); err != nil {
+		t.Fatal(err)
+	}
+	recs := readCSV(t, &b)
+	if len(recs) != 3 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	if strings.Join(recs[0], ",") != "time_us,node,cause" {
+		t.Errorf("header = %v", recs[0])
+	}
+	if recs[1][0] != "100" || recs[1][1] != "1" || recs[1][2] != "received" {
+		t.Errorf("row = %v", recs[1])
+	}
+}
+
+func TestDailyCSV(t *testing.T) {
+	daily := []map[diagnosis.Cause]int{
+		{diagnosis.ReceivedLoss: 5},
+		{diagnosis.TimeoutLoss: 2},
+	}
+	var b bytes.Buffer
+	if err := DailyCSV(&b, daily); err != nil {
+		t.Fatal(err)
+	}
+	recs := readCSV(t, &b)
+	if len(recs) != 3 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	if recs[0][0] != "day" {
+		t.Errorf("header = %v", recs[0])
+	}
+	// The delivered column must be absent.
+	for _, col := range recs[0] {
+		if col == "delivered" {
+			t.Error("delivered column present")
+		}
+	}
+	if recs[1][0] != "1" || recs[2][0] != "2" {
+		t.Errorf("day column = %v / %v", recs[1][0], recs[2][0])
+	}
+}
+
+func TestSpatialCSV(t *testing.T) {
+	topo, err := topology.Generate(topology.DefaultConfig(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	if err := SpatialCSV(&b, mkReport(), topo); err != nil {
+		t.Fatal(err)
+	}
+	recs := readCSV(t, &b)
+	if len(recs) != 10 { // header + 9 nodes
+		t.Fatalf("records = %d", len(recs))
+	}
+	sinkRows := 0
+	for _, r := range recs[1:] {
+		if r[4] == "true" {
+			sinkRows++
+		}
+	}
+	if sinkRows != 1 {
+		t.Errorf("sink rows = %d", sinkRows)
+	}
+}
+
+func TestBreakdownCSV(t *testing.T) {
+	var b bytes.Buffer
+	if err := BreakdownCSV(&b, mkReport()); err != nil {
+		t.Fatal(err)
+	}
+	recs := readCSV(t, &b)
+	if len(recs) < 3 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	for _, r := range recs[1:] {
+		if r[0] == "delivered" {
+			t.Error("delivered row present")
+		}
+	}
+}

@@ -1,0 +1,347 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/diagnosis"
+	"repro/internal/event"
+	"repro/internal/sim/topology"
+)
+
+// SVG renderers for the paper's figures. Pure stdlib string assembly; the
+// goal is faithful shapes (a scatter of losses over time × node, stacked
+// daily bars, the spatial received-loss map with the sink triangle), not a
+// plotting library.
+
+// causeColors is a fixed palette keyed by cause, chosen for contrast.
+var causeColors = map[diagnosis.Cause]string{
+	diagnosis.ReceivedLoss: "#1f77b4",
+	diagnosis.AckedLoss:    "#ff7f0e",
+	diagnosis.TimeoutLoss:  "#d62728",
+	diagnosis.DupLoss:      "#9467bd",
+	diagnosis.OverflowLoss: "#8c564b",
+	diagnosis.TransitLoss:  "#7f7f7f",
+	diagnosis.ServerOutage: "#2ca02c",
+	diagnosis.Unknown:      "#cccccc",
+	diagnosis.Delivered:    "#17becf",
+}
+
+// CauseColor exposes the palette (tests, external tooling).
+func CauseColor(c diagnosis.Cause) string {
+	if col, ok := causeColors[c]; ok {
+		return col
+	}
+	return "#000000"
+}
+
+type svgBuilder struct {
+	b    strings.Builder
+	w, h int
+}
+
+func newSVG(w, h int) *svgBuilder {
+	s := &svgBuilder{w: w, h: h}
+	fmt.Fprintf(&s.b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`,
+		w, h, w, h)
+	s.b.WriteString(`<rect width="100%" height="100%" fill="white"/>`)
+	return s
+}
+
+func (s *svgBuilder) text(x, y float64, size int, anchor, txt string) {
+	fmt.Fprintf(&s.b, `<text x="%.1f" y="%.1f" font-size="%d" font-family="sans-serif" text-anchor="%s">%s</text>`,
+		x, y, size, anchor, escape(txt))
+}
+
+func (s *svgBuilder) circle(x, y, r float64, fill string, opacity float64) {
+	fmt.Fprintf(&s.b, `<circle cx="%.1f" cy="%.1f" r="%.2f" fill="%s" fill-opacity="%.2f"/>`,
+		x, y, r, fill, opacity)
+}
+
+func (s *svgBuilder) rect(x, y, w, h float64, fill string) {
+	fmt.Fprintf(&s.b, `<rect x="%.1f" y="%.1f" width="%.2f" height="%.2f" fill="%s"/>`,
+		x, y, w, h, fill)
+}
+
+func (s *svgBuilder) line(x1, y1, x2, y2 float64, stroke string) {
+	fmt.Fprintf(&s.b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1"/>`,
+		x1, y1, x2, y2, stroke)
+}
+
+func (s *svgBuilder) polygon(pts [][2]float64, fill string) {
+	var coords []string
+	for _, p := range pts {
+		coords = append(coords, fmt.Sprintf("%.1f,%.1f", p[0], p[1]))
+	}
+	fmt.Fprintf(&s.b, `<polygon points="%s" fill="%s"/>`, strings.Join(coords, " "), fill)
+}
+
+func (s *svgBuilder) done() string {
+	s.b.WriteString(`</svg>`)
+	return s.b.String()
+}
+
+func escape(t string) string {
+	t = strings.ReplaceAll(t, "&", "&amp;")
+	t = strings.ReplaceAll(t, "<", "&lt;")
+	t = strings.ReplaceAll(t, ">", "&gt;")
+	return t
+}
+
+// legend draws the cause legend for the given causes at (x, y).
+func (s *svgBuilder) legend(x, y float64, causes []diagnosis.Cause) {
+	for i, c := range causes {
+		yy := y + float64(i)*16
+		s.rect(x, yy-9, 10, 10, CauseColor(c))
+		s.text(x+14, yy, 11, "start", c.String())
+	}
+}
+
+// maxScatterDots bounds the SVG size; beyond it the points are stride-
+// sampled (uniformly, preserving the temporal and per-cause shape).
+const maxScatterDots = 12000
+
+// ScatterSVG renders Figures 4/5: each lost packet is a dot at (time, node),
+// colored by cause. title distinguishes the source view from the position
+// view.
+func ScatterSVG(points []diagnosis.Point, title string) string {
+	const w, h = 900, 520
+	const ml, mr, mt, mb = 60, 130, 40, 40
+	s := newSVG(w, h)
+	s.text(w/2, 20, 14, "middle", title)
+	if len(points) == 0 {
+		s.text(w/2, h/2, 12, "middle", "no losses")
+		return s.done()
+	}
+	if len(points) > maxScatterDots {
+		stride := (len(points) + maxScatterDots - 1) / maxScatterDots
+		sampled := make([]diagnosis.Point, 0, maxScatterDots)
+		for i := 0; i < len(points); i += stride {
+			sampled = append(sampled, points[i])
+		}
+		s.text(w/2, 34, 10, "middle",
+			fmt.Sprintf("(showing every %d-th of %d losses)", stride, len(points)))
+		points = sampled
+	}
+	minT, maxT := points[0].Time, points[0].Time
+	nodesSeen := map[event.NodeID]bool{}
+	causesSeen := map[diagnosis.Cause]bool{}
+	for _, p := range points {
+		if p.Time < minT {
+			minT = p.Time
+		}
+		if p.Time > maxT {
+			maxT = p.Time
+		}
+		nodesSeen[p.Node] = true
+		causesSeen[p.Cause] = true
+	}
+	if maxT == minT {
+		maxT = minT + 1
+	}
+	// Y axis: rank nodes by ID (the paper's "node ID" axis); the Server
+	// pseudo-node draws above everything.
+	var nodes []event.NodeID
+	for n := range nodesSeen {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	rank := make(map[event.NodeID]int, len(nodes))
+	for i, n := range nodes {
+		rank[n] = i
+	}
+	plotW := float64(w - ml - mr)
+	plotH := float64(h - mt - mb)
+	sx := func(t int64) float64 {
+		return float64(ml) + plotW*float64(t-minT)/float64(maxT-minT)
+	}
+	sy := func(n event.NodeID) float64 {
+		if len(nodes) == 1 {
+			return float64(mt) + plotH/2
+		}
+		return float64(mt) + plotH - plotH*float64(rank[n])/float64(len(nodes)-1)
+	}
+	// Axes.
+	s.line(float64(ml), float64(mt), float64(ml), float64(h-mb), "#333333")
+	s.line(float64(ml), float64(h-mb), float64(w-mr), float64(h-mb), "#333333")
+	s.text(w/2, float64(h-8), 11, "middle", "time")
+	s.text(14, float64(mt)+plotH/2, 11, "middle", "node")
+	for _, p := range points {
+		s.circle(sx(p.Time), sy(p.Node), 1.8, CauseColor(p.Cause), 0.75)
+	}
+	var causes []diagnosis.Cause
+	for _, c := range diagnosis.Causes() {
+		if causesSeen[c] {
+			causes = append(causes, c)
+		}
+	}
+	s.legend(float64(w-mr)+14, float64(mt)+10, causes)
+	return s.done()
+}
+
+// DailySVG renders Figure 6: stacked bars of loss causes per day.
+func DailySVG(daily []map[diagnosis.Cause]int, title string) string {
+	const w, h = 900, 420
+	const ml, mr, mt, mb = 60, 130, 40, 40
+	s := newSVG(w, h)
+	s.text(w/2, 20, 14, "middle", title)
+	if len(daily) == 0 {
+		return s.done()
+	}
+	maxDay := 1
+	causesSeen := map[diagnosis.Cause]bool{}
+	for _, m := range daily {
+		total := 0
+		for c, n := range m {
+			total += n
+			causesSeen[c] = true
+		}
+		if total > maxDay {
+			maxDay = total
+		}
+	}
+	plotW := float64(w - ml - mr)
+	plotH := float64(h - mt - mb)
+	barW := plotW / float64(len(daily))
+	for d, m := range daily {
+		x := float64(ml) + float64(d)*barW
+		y := float64(h - mb)
+		for _, c := range diagnosis.Causes() {
+			n := m[c]
+			if n == 0 {
+				continue
+			}
+			hh := plotH * float64(n) / float64(maxDay)
+			y -= hh
+			s.rect(x+1, y, barW-2, hh, CauseColor(c))
+		}
+		if len(daily) <= 31 {
+			s.text(x+barW/2, float64(h-mb)+14, 9, "middle", fmt.Sprintf("%d", d+1))
+		}
+	}
+	s.line(float64(ml), float64(mt), float64(ml), float64(h-mb), "#333333")
+	s.line(float64(ml), float64(h-mb), float64(w-mr), float64(h-mb), "#333333")
+	s.text(w/2, float64(h-8), 11, "middle", "day")
+	var causes []diagnosis.Cause
+	for _, c := range diagnosis.Causes() {
+		if causesSeen[c] {
+			causes = append(causes, c)
+		}
+	}
+	s.legend(float64(w-mr)+14, float64(mt)+10, causes)
+	return s.done()
+}
+
+// SpatialSVG renders Figure 8: nodes at their deployment coordinates, a
+// circle per received-loss site with radius proportional to sqrt(count), the
+// sink drawn as a triangle.
+func SpatialSVG(rep *diagnosis.Report, topo *topology.Topology, title string) string {
+	const w, h = 700, 640
+	const margin = 50.0
+	s := newSVG(w, h)
+	s.text(w/2, 20, 14, "middle", title)
+	minX, minY := topo.Nodes[0].X, topo.Nodes[0].Y
+	maxX, maxY := minX, minY
+	for _, n := range topo.Nodes {
+		if n.X < minX {
+			minX = n.X
+		}
+		if n.X > maxX {
+			maxX = n.X
+		}
+		if n.Y < minY {
+			minY = n.Y
+		}
+		if n.Y > maxY {
+			maxY = n.Y
+		}
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	sx := func(x float64) float64 { return margin + (float64(w)-2*margin)*(x-minX)/(maxX-minX) }
+	sy := func(y float64) float64 { return margin + (float64(h)-2*margin)*(y-minY)/(maxY-minY) }
+
+	losses := rep.LossesBySite(diagnosis.ReceivedLoss)
+	maxLoss := 1
+	for _, n := range losses {
+		if n > maxLoss {
+			maxLoss = n
+		}
+	}
+	for _, nd := range topo.Nodes {
+		x, y := sx(nd.X), sy(nd.Y)
+		if nd.ID == topo.Sink {
+			s.polygon([][2]float64{{x, y - 8}, {x - 7, y + 6}, {x + 7, y + 6}}, "#d62728")
+		} else {
+			s.circle(x, y, 1.5, "#999999", 1)
+		}
+		if cnt := losses[nd.ID]; cnt > 0 {
+			r := 4 + 24*sqrtFrac(cnt, maxLoss)
+			s.circle(x, y, r, CauseColor(diagnosis.ReceivedLoss), 0.35)
+			if cnt == maxLoss {
+				s.text(x, y-28, 10, "middle", fmt.Sprintf("%d losses", cnt))
+			}
+		}
+	}
+	s.text(w/2, float64(h-12), 11, "middle",
+		"circle radius ~ sqrt(received losses); triangle = sink")
+	return s.done()
+}
+
+func sqrtFrac(n, max int) float64 {
+	if max <= 0 {
+		return 0
+	}
+	f := float64(n) / float64(max)
+	// integer sqrt via Newton is overkill; two rounds of Heron on f.
+	x := f
+	for i := 0; i < 24; i++ {
+		if x == 0 {
+			return 0
+		}
+		x = (x + f/x) / 2
+	}
+	return x
+}
+
+// BreakdownSVG renders Figure 9: a horizontal bar per cause with its share
+// of losses.
+func BreakdownSVG(rep *diagnosis.Report, title string) string {
+	const w, h = 640, 360
+	const ml, mr, mt = 110, 70, 50
+	s := newSVG(w, h)
+	s.text(w/2, 20, 14, "middle", title)
+	var causes []diagnosis.Cause
+	bd := rep.Breakdown()
+	maxN := 1
+	for _, c := range diagnosis.Causes() {
+		if c == diagnosis.Delivered {
+			continue
+		}
+		if bd[c] > 0 {
+			causes = append(causes, c)
+			if bd[c] > maxN {
+				maxN = bd[c]
+			}
+		}
+	}
+	losses := rep.LossCount()
+	barH := 22.0
+	for i, c := range causes {
+		y := float64(mt) + float64(i)*(barH+8)
+		bw := (float64(w) - ml - mr) * float64(bd[c]) / float64(maxN)
+		s.rect(ml, y, bw, barH, CauseColor(c))
+		s.text(ml-6, y+barH-6, 11, "end", c.String())
+		pct := 0.0
+		if losses > 0 {
+			pct = 100 * float64(bd[c]) / float64(losses)
+		}
+		s.text(ml+bw+6, y+barH-6, 11, "start", fmt.Sprintf("%d (%.1f%%)", bd[c], pct))
+	}
+	return s.done()
+}

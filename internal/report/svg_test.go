@@ -1,0 +1,178 @@
+package report
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"repro/internal/diagnosis"
+	"repro/internal/event"
+	"repro/internal/sim/topology"
+)
+
+// parseSVG checks well-formedness and counts elements by local name.
+func parseSVG(t *testing.T, s string) map[string]int {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(s))
+	counts := map[string]int{}
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("invalid SVG: %v", err)
+		}
+		if se, ok := tok.(xml.StartElement); ok {
+			counts[se.Name.Local]++
+		}
+	}
+	return counts
+}
+
+func TestScatterSVG(t *testing.T) {
+	pts := []diagnosis.Point{
+		{Time: 100, Node: 1, Cause: diagnosis.ReceivedLoss},
+		{Time: 200, Node: 2, Cause: diagnosis.AckedLoss},
+		{Time: 300, Node: 1, Cause: diagnosis.TimeoutLoss},
+	}
+	svg := ScatterSVG(pts, "Fig 4")
+	counts := parseSVG(t, svg)
+	if counts["svg"] != 1 {
+		t.Error("missing svg root")
+	}
+	// 3 data dots + 3 legend swatch rects.
+	if counts["circle"] != 3 {
+		t.Errorf("circles = %d, want 3", counts["circle"])
+	}
+	if !strings.Contains(svg, "Fig 4") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(svg, CauseColor(diagnosis.AckedLoss)) {
+		t.Error("cause color missing")
+	}
+}
+
+func TestScatterSVGEmpty(t *testing.T) {
+	svg := ScatterSVG(nil, "empty")
+	parseSVG(t, svg)
+	if !strings.Contains(svg, "no losses") {
+		t.Error("empty marker missing")
+	}
+}
+
+func TestScatterSVGSingleNodeAndTime(t *testing.T) {
+	// Degenerate ranges must not divide by zero.
+	pts := []diagnosis.Point{{Time: 5, Node: 3, Cause: diagnosis.DupLoss}}
+	parseSVG(t, ScatterSVG(pts, "degenerate"))
+}
+
+func TestDailySVG(t *testing.T) {
+	daily := []map[diagnosis.Cause]int{
+		{diagnosis.ReceivedLoss: 5, diagnosis.AckedLoss: 3},
+		{diagnosis.TimeoutLoss: 2},
+		{},
+	}
+	svg := DailySVG(daily, "Fig 6")
+	counts := parseSVG(t, svg)
+	// 3 stacked segments + 3 legend swatches + background.
+	if counts["rect"] < 6 {
+		t.Errorf("rects = %d, want >= 6", counts["rect"])
+	}
+	if !strings.Contains(svg, ">1<") || !strings.Contains(svg, ">3<") {
+		t.Error("day labels missing")
+	}
+}
+
+func TestDailySVGEmpty(t *testing.T) {
+	parseSVG(t, DailySVG(nil, "empty"))
+}
+
+func TestSpatialSVG(t *testing.T) {
+	topo, err := topology.Generate(topology.DefaultConfig(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := mkReport() // from report_test.go: has a received loss at the sink
+	svg := SpatialSVG(rep, topo, "Fig 8")
+	counts := parseSVG(t, svg)
+	if counts["polygon"] != 1 {
+		t.Errorf("sink triangles = %d, want 1", counts["polygon"])
+	}
+	// 15 node dots (sink drawn as triangle) + loss circles.
+	if counts["circle"] < 15 {
+		t.Errorf("circles = %d, want >= 15", counts["circle"])
+	}
+	if !strings.Contains(svg, "triangle = sink") {
+		t.Error("caption missing")
+	}
+}
+
+func TestBreakdownSVG(t *testing.T) {
+	rep := mkReport()
+	svg := BreakdownSVG(rep, "Fig 9")
+	counts := parseSVG(t, svg)
+	if counts["rect"] < 3 { // background + at least 2 cause bars
+		t.Errorf("rects = %d", counts["rect"])
+	}
+	if !strings.Contains(svg, "%)") {
+		t.Error("percent labels missing")
+	}
+	if strings.Contains(svg, ">delivered<") {
+		t.Error("delivered must not appear as a loss bar")
+	}
+}
+
+func TestCauseColorsDistinct(t *testing.T) {
+	seen := map[string]diagnosis.Cause{}
+	for _, c := range diagnosis.Causes() {
+		col := CauseColor(c)
+		if col == "" || col[0] != '#' {
+			t.Errorf("bad color for %v: %q", c, col)
+		}
+		if prev, dup := seen[col]; dup {
+			t.Errorf("color collision: %v and %v both %s", prev, c, col)
+		}
+		seen[col] = c
+	}
+}
+
+func TestEscape(t *testing.T) {
+	if got := escape("a<b>&c"); got != "a&lt;b&gt;&amp;c" {
+		t.Errorf("escape = %q", got)
+	}
+}
+
+func TestSqrtFrac(t *testing.T) {
+	if got := sqrtFrac(25, 100); got < 0.49 || got > 0.51 {
+		t.Errorf("sqrtFrac(25,100) = %v, want ~0.5", got)
+	}
+	if sqrtFrac(0, 100) != 0 {
+		t.Error("sqrtFrac(0) should be 0")
+	}
+	if sqrtFrac(5, 0) != 0 {
+		t.Error("sqrtFrac with zero max should be 0")
+	}
+	if got := sqrtFrac(100, 100); got < 0.99 || got > 1.01 {
+		t.Errorf("sqrtFrac(100,100) = %v, want ~1", got)
+	}
+}
+
+func TestScatterSVGDecimatesLargeInputs(t *testing.T) {
+	pts := make([]diagnosis.Point, 50000)
+	for i := range pts {
+		pts[i] = diagnosis.Point{Time: int64(i), Node: event.NodeID(i%40 + 1),
+			Cause: diagnosis.ReceivedLoss}
+	}
+	svg := ScatterSVG(pts, "big")
+	counts := parseSVG(t, svg)
+	if counts["circle"] > maxScatterDots+10 {
+		t.Errorf("circles = %d, want <= %d", counts["circle"], maxScatterDots)
+	}
+	if !strings.Contains(svg, "showing every") {
+		t.Error("decimation caption missing")
+	}
+	if len(svg) > 2_000_000 {
+		t.Errorf("SVG still huge: %d bytes", len(svg))
+	}
+}

@@ -1,0 +1,199 @@
+// Package dissem simulates the dissemination/negotiation workload of the
+// paper's Figure 3(b)/(d): a seeder announces an item version to a group,
+// members respond, and the seeder re-announces until every member has been
+// heard (or it gives up). The simulation emits the same event records the
+// fsm.Dissemination protocol reconstructs, so REFILL can be evaluated on a
+// second, structurally different protocol family.
+package dissem
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/event"
+	"repro/internal/flow"
+	"repro/internal/fsm"
+	"repro/internal/sim"
+)
+
+// EventSink consumes emitted events (logging.Collector satisfies it).
+type EventSink interface {
+	Record(e event.Event)
+}
+
+// Config parameterizes a dissemination campaign.
+type Config struct {
+	// Members is the group size; nodes 1..Members, node 1 is the seeder.
+	Members int
+	// Rounds is how many item versions are disseminated.
+	Rounds int
+	// Seed drives all randomness.
+	Seed int64
+	// RoundInterval spaces the rounds.
+	RoundInterval sim.Time
+	// AnnounceLoss is the per-member probability of missing one
+	// announcement; RespLoss the probability a response goes unheard.
+	AnnounceLoss, RespLoss float64
+	// Retries bounds the seeder's re-announcements per round.
+	Retries int
+}
+
+// DefaultConfig returns a runnable campaign.
+func DefaultConfig(members, rounds int) Config {
+	return Config{
+		Members:       members,
+		Rounds:        rounds,
+		Seed:          1,
+		RoundInterval: 10 * sim.Minute,
+		AnnounceLoss:  0.25,
+		RespLoss:      0.15,
+		Retries:       6,
+	}
+}
+
+// RoundTruth is the ground truth of one round.
+type RoundTruth struct {
+	Packet event.PacketID
+	// Completed: the seeder heard every member and logged Done.
+	Completed bool
+	// Unheard lists members whose response never reached the seeder.
+	Unheard []event.NodeID
+	// NeverGot lists members that never received any announcement.
+	NeverGot []event.NodeID
+}
+
+// GroundTruth is the omniscient record of a campaign.
+type GroundTruth struct {
+	Rounds map[event.PacketID]RoundTruth
+	// Completed counts completed rounds.
+	Completed int
+}
+
+// Seeder is the group's announcing node.
+const Seeder = event.NodeID(1)
+
+// Roster returns the group membership for the config.
+func (c Config) Roster() []event.NodeID {
+	out := make([]event.NodeID, c.Members)
+	for i := range out {
+		out[i] = event.NodeID(i + 1)
+	}
+	return out
+}
+
+// validate fills defaults.
+func (c *Config) validate() error {
+	if c.Members < 2 {
+		return fmt.Errorf("dissem: need at least 2 members")
+	}
+	if c.Rounds < 1 {
+		return fmt.Errorf("dissem: need at least 1 round")
+	}
+	if c.RoundInterval <= 0 {
+		c.RoundInterval = 10 * sim.Minute
+	}
+	if c.Retries <= 0 {
+		c.Retries = 6
+	}
+	return nil
+}
+
+// Run simulates the campaign, emitting events to the sinks.
+func Run(cfg Config, sinks ...EventSink) (*GroundTruth, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := sim.NewRNG(cfg.Seed)
+	gt := &GroundTruth{Rounds: make(map[event.PacketID]RoundTruth)}
+	emit := func(e event.Event, t sim.Time) {
+		e.Time = t
+		for _, s := range sinks {
+			s.Record(e)
+		}
+	}
+	members := cfg.Roster()[1:] // everyone but the seeder
+	for round := 1; round <= cfg.Rounds; round++ {
+		pkt := event.PacketID{Origin: Seeder, Seq: uint32(round)}
+		t0 := sim.Time(round-1) * cfg.RoundInterval
+		got := make(map[event.NodeID]bool)
+		heard := make(map[event.NodeID]bool)
+		now := t0
+		for attempt := 0; attempt <= cfg.Retries; attempt++ {
+			emit(event.Event{Node: Seeder, Type: event.Bcast, Sender: Seeder, Packet: pkt}, now)
+			for _, m := range members {
+				if !got[m] {
+					if rng.Bool(cfg.AnnounceLoss) {
+						continue // missed this announcement
+					}
+					got[m] = true
+					emit(event.Event{Node: m, Type: event.Recv, Sender: Seeder,
+						Receiver: m, Packet: pkt}, now+50*sim.Millisecond)
+				}
+				if got[m] && !heard[m] {
+					// The member (re-)sends its response.
+					emit(event.Event{Node: m, Type: event.Resp, Sender: m,
+						Receiver: Seeder, Packet: pkt}, now+100*sim.Millisecond)
+					if !rng.Bool(cfg.RespLoss) {
+						heard[m] = true
+					}
+				}
+			}
+			if len(heard) == len(members) {
+				break
+			}
+			now += sim.Second * 2
+		}
+		truth := RoundTruth{Packet: pkt, Completed: len(heard) == len(members)}
+		for _, m := range members {
+			if !heard[m] {
+				truth.Unheard = append(truth.Unheard, m)
+			}
+			if !got[m] {
+				truth.NeverGot = append(truth.NeverGot, m)
+			}
+		}
+		if truth.Completed {
+			gt.Completed++
+			emit(event.Event{Node: Seeder, Type: event.Done, Sender: Seeder, Packet: pkt},
+				now+200*sim.Millisecond)
+		}
+		gt.Rounds[pkt] = truth
+	}
+	return gt, nil
+}
+
+// RoundReport is REFILL's reconstruction-level view of one round.
+type RoundReport struct {
+	Packet event.PacketID
+	// Complete: a Done event exists (logged or inferred).
+	Complete bool
+	// NotResponded lists members whose engines never reached Responded.
+	NotResponded []event.NodeID
+	// Inferred counts reconstructed (lost) events in the round's flow.
+	Inferred int
+}
+
+// Evaluate derives round reports from reconstructed flows.
+func Evaluate(flows []*flow.Flow, roster []event.NodeID) []RoundReport {
+	var out []RoundReport
+	for _, f := range flows {
+		r := RoundReport{Packet: f.Packet, Inferred: f.InferredCount()}
+		for _, it := range f.Items {
+			if it.Event.Type == event.Done {
+				r.Complete = true
+			}
+		}
+		for _, m := range roster {
+			if m == f.Packet.Origin {
+				continue
+			}
+			v, ok := f.LastVisit(m)
+			if !ok || v.State != fsm.StateResponded {
+				r.NotResponded = append(r.NotResponded, m)
+			}
+		}
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Packet.Seq < out[j].Packet.Seq })
+	return out
+}

@@ -1,0 +1,108 @@
+// Package mac models the Low Power Listening MAC of Section V-A2: nodes keep
+// their radios off and wake periodically to sense the channel; a sender
+// transmits (repeating the frame as a long preamble) until the receiver
+// wakes, ACKs, or the retry budget runs out. The package provides the retry
+// policy, per-attempt timing, and the duty-cycle/energy accounting LPL
+// exists for.
+package mac
+
+import (
+	"repro/internal/event"
+	"repro/internal/sim"
+)
+
+// Config tunes the MAC.
+type Config struct {
+	// WakeupInterval is the LPL sleep period; a unicast transmission
+	// costs on average half of it waiting for the receiver to wake.
+	WakeupInterval sim.Time
+	// MaxRetries bounds transmissions per packet per hop (CitySee: 30).
+	MaxRetries int
+	// AckWait is how long the sender listens for the hardware ACK after
+	// the frame (turnaround + ACK airtime + margin).
+	AckWait sim.Time
+	// CongestionBackoff spaces retransmissions beyond the wakeup wait.
+	CongestionBackoff sim.Time
+}
+
+// DefaultConfig returns CitySee-like LPL parameters: 512 ms wakeup, 30
+// retries.
+func DefaultConfig() Config {
+	return Config{
+		WakeupInterval:    512 * sim.Millisecond,
+		MaxRetries:        30,
+		AckWait:           2 * sim.Millisecond,
+		CongestionBackoff: 30 * sim.Millisecond,
+	}
+}
+
+// AttemptSpacing draws the time between the start of one transmission
+// attempt and the next: the residual LPL wakeup wait plus a congestion
+// backoff jitter.
+func (c Config) AttemptSpacing(rng *sim.RNG) sim.Time {
+	wake := sim.Time(1)
+	if c.WakeupInterval > 0 {
+		wake = rng.Int63n(c.WakeupInterval) + 1
+	}
+	return wake + rng.Jitter(c.CongestionBackoff, 0.5)
+}
+
+// ShouldRetry reports whether another attempt is allowed after `attempt`
+// attempts have been made.
+func (c Config) ShouldRetry(attempt int) bool { return attempt < c.MaxRetries }
+
+// Energy accounting. LPL's whole point is the radio duty cycle; the meter
+// attributes radio-on time per node so experiments can report the energy
+// price of retransmission storms (a CitySee operational concern).
+type Energy struct {
+	// TxTime and RxTime accumulate radio-on microseconds.
+	TxTime, RxTime map[event.NodeID]sim.Time
+	// Attempts counts link-layer transmissions per node.
+	Attempts map[event.NodeID]int
+}
+
+// NewEnergy returns an empty meter.
+func NewEnergy() *Energy {
+	return &Energy{
+		TxTime:   make(map[event.NodeID]sim.Time),
+		RxTime:   make(map[event.NodeID]sim.Time),
+		Attempts: make(map[event.NodeID]int),
+	}
+}
+
+// OnTransmit charges a transmission attempt: the sender radiates for the
+// frame airtime (plus the preamble stretch waiting for the receiver), the
+// receiver listens for the frame.
+func (e *Energy) OnTransmit(sender, receiver event.NodeID, airtime, preamble sim.Time) {
+	e.TxTime[sender] += airtime + preamble
+	e.RxTime[receiver] += airtime
+	e.Attempts[sender]++
+}
+
+// OnAck charges the ACK exchange.
+func (e *Energy) OnAck(sender, receiver event.NodeID, ackAirtime sim.Time) {
+	e.TxTime[receiver] += ackAirtime // the receiver's radio sends the ACK
+	e.RxTime[sender] += ackAirtime
+}
+
+// TotalTx returns the network-wide transmit airtime.
+func (e *Energy) TotalTx() sim.Time {
+	var t sim.Time
+	for _, v := range e.TxTime {
+		t += v
+	}
+	return t
+}
+
+// Busiest returns the node with the most transmit airtime (ties broken by
+// lowest ID) and its airtime; ok is false when nothing was charged.
+func (e *Energy) Busiest() (event.NodeID, sim.Time, bool) {
+	best := event.NoNode
+	var bestT sim.Time
+	for n, t := range e.TxTime {
+		if best == event.NoNode || t > bestT || (t == bestT && n < best) {
+			best, bestT = n, t
+		}
+	}
+	return best, bestT, best != event.NoNode
+}

@@ -1,0 +1,102 @@
+package mac
+
+import (
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/sim"
+)
+
+func TestDefaultConfig(t *testing.T) {
+	c := DefaultConfig()
+	if c.WakeupInterval != 512*sim.Millisecond || c.MaxRetries != 30 {
+		t.Errorf("defaults = %+v", c)
+	}
+}
+
+func TestAttemptSpacingBounds(t *testing.T) {
+	c := DefaultConfig()
+	rng := sim.NewRNG(1)
+	maxAllowed := c.WakeupInterval + c.CongestionBackoff + c.CongestionBackoff/2
+	for i := 0; i < 5000; i++ {
+		s := c.AttemptSpacing(rng)
+		if s <= 0 || s > maxAllowed {
+			t.Fatalf("spacing %d out of (0, %d]", s, maxAllowed)
+		}
+	}
+}
+
+func TestAttemptSpacingMeanNearHalfWakeup(t *testing.T) {
+	c := DefaultConfig()
+	rng := sim.NewRNG(2)
+	var sum sim.Time
+	n := 20000
+	for i := 0; i < n; i++ {
+		sum += c.AttemptSpacing(rng)
+	}
+	mean := sum / sim.Time(n)
+	want := c.WakeupInterval/2 + c.CongestionBackoff
+	if mean < want*8/10 || mean > want*12/10 {
+		t.Errorf("mean spacing = %d, want ~%d", mean, want)
+	}
+}
+
+func TestAttemptSpacingZeroWakeup(t *testing.T) {
+	c := Config{WakeupInterval: 0, CongestionBackoff: 0}
+	rng := sim.NewRNG(3)
+	if s := c.AttemptSpacing(rng); s <= 0 {
+		t.Errorf("spacing must be positive, got %d", s)
+	}
+}
+
+func TestShouldRetry(t *testing.T) {
+	c := Config{MaxRetries: 3}
+	if !c.ShouldRetry(1) || !c.ShouldRetry(2) {
+		t.Error("retries 1,2 should be allowed")
+	}
+	if c.ShouldRetry(3) || c.ShouldRetry(4) {
+		t.Error("budget must stop at MaxRetries")
+	}
+}
+
+func TestEnergyAccounting(t *testing.T) {
+	e := NewEnergy()
+	e.OnTransmit(1, 2, 1000, 500)
+	e.OnTransmit(1, 2, 1000, 500)
+	e.OnAck(1, 2, 100)
+	if e.TxTime[1] != 3000 {
+		t.Errorf("sender tx = %d, want 3000", e.TxTime[1])
+	}
+	if e.RxTime[2] != 2000 {
+		t.Errorf("receiver rx = %d, want 2000", e.RxTime[2])
+	}
+	// The ACK is transmitted by the receiver's radio.
+	if e.TxTime[2] != 100 || e.RxTime[1] != 100 {
+		t.Errorf("ack charges wrong: tx2=%d rx1=%d", e.TxTime[2], e.RxTime[1])
+	}
+	if e.Attempts[1] != 2 {
+		t.Errorf("attempts = %d", e.Attempts[1])
+	}
+	if e.TotalTx() != 3100 {
+		t.Errorf("total tx = %d", e.TotalTx())
+	}
+}
+
+func TestEnergyBusiest(t *testing.T) {
+	e := NewEnergy()
+	if _, _, ok := e.Busiest(); ok {
+		t.Error("empty meter should report none")
+	}
+	e.OnTransmit(3, 4, 100, 0)
+	e.OnTransmit(5, 6, 300, 0)
+	n, tt, ok := e.Busiest()
+	if !ok || n != event.NodeID(5) || tt != 300 {
+		t.Errorf("busiest = %v %d %v", n, tt, ok)
+	}
+	// Tie breaks by lowest ID.
+	e.OnTransmit(2, 4, 200, 100) // node 2 now also at 300
+	n, _, _ = e.Busiest()
+	if n != event.NodeID(2) {
+		t.Errorf("tie break = %v, want 2", n)
+	}
+}

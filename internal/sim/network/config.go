@@ -1,0 +1,200 @@
+// Package network is the full CitySee-like substrate: a discrete-event
+// simulation of periodic data collection over CTP with an LPL MAC, hardware
+// ACKs and bounded retransmissions (Section V-A), per-node queues, duplicate
+// suppression, in-node delivery failures, the sink's unstable serial cable,
+// and base-station server outages. It produces the event record REFILL
+// analyzes plus a ground-truth fate per packet to score reconstructions
+// against.
+package network
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+	"repro/internal/sim"
+	"repro/internal/sim/ctp"
+	"repro/internal/sim/mac"
+	"repro/internal/sim/topology"
+)
+
+// Window is a half-open virtual-time interval [Start, End).
+type Window struct {
+	Start, End sim.Time
+}
+
+// Covers reports whether t lies inside the window.
+func (w Window) Covers(t sim.Time) bool { return t >= w.Start && t < w.End }
+
+// Varying is a failure probability that changes once — the paper's sink
+// cable was replaced on day 23, collapsing sink-side losses.
+type Varying struct {
+	Before, After float64
+	// SwitchAt is when After takes over; zero means Before applies forever.
+	SwitchAt sim.Time
+}
+
+// At returns the probability in effect at time t.
+func (v Varying) At(t sim.Time) float64 {
+	if v.SwitchAt > 0 && t >= v.SwitchAt {
+		return v.After
+	}
+	return v.Before
+}
+
+// Surge is an event-triggered traffic burst: nodes within Radius of Center
+// generate readings Factor times faster during the window (a sensed event —
+// e.g. a CO2 spike — triggers dense reporting). Surges are what push
+// forwarding queues to overflow.
+type Surge struct {
+	Center     event.NodeID
+	Radius     float64
+	Start, End sim.Time
+	Factor     float64
+}
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// Nodes is the deployment size (IDs 1..Nodes, node 1 is the sink).
+	Nodes int
+	// Seed drives every random draw (topology placement uses Seed too).
+	Seed int64
+	// Duration is the campaign length; generation stops at Duration and
+	// the run drains for DrainGrace afterwards.
+	Duration   sim.Time
+	DrainGrace sim.Time
+	// Period is each node's data-generation period.
+	Period sim.Time
+	// Spacing/Range override topology defaults when nonzero.
+	Spacing, Range float64
+
+	// QueueCap is the forwarding queue capacity per node.
+	QueueCap int
+	// MaxRetries bounds link-layer transmissions per hop (the paper's
+	// "up to 30 retransmissions").
+	MaxRetries int
+	// Backoff is the mean spacing between retransmission attempts; the
+	// LPL wakeup interval dominates it (internally the MAC's wakeup
+	// interval is set to twice this value, making the mean residual wait
+	// equal to it).
+	Backoff sim.Time
+	// AckExponent shapes ACK reliability: P(ack|frame) = q^AckExponent.
+	// ACK frames are short, so they survive much better than data.
+	AckExponent float64
+	// PayloadBytes sizes the data frames (drives PHY airtime).
+	PayloadBytes int
+
+	// PreRecvFail is the probability a relay drops an already-ACKed frame
+	// before logging recv (hand-up failure: busy MCU, no memory) — the
+	// mechanism behind "acked loss".
+	PreRecvFail float64
+	// PostRecvFail is the probability a relay loses the packet after
+	// logging recv (task-post failure) — "received loss".
+	PostRecvFail float64
+	// SinkPreRecvFail and SinkSerialLoss are the sink's elevated failure
+	// modes caused by the long RS-232 cable, until the fix.
+	SinkPreRecvFail Varying
+	SinkSerialLoss  Varying
+	// SerialDelay is the sink-to-server transfer time.
+	SerialDelay sim.Time
+
+	// Outages lists base-station downtime windows.
+	Outages []Window
+	// Surges lists event-triggered traffic bursts.
+	Surges []Surge
+
+	// Routing configures CTP; Weather and Bursts shape link quality.
+	Routing ctp.Config
+	Weather func(sim.Time) float64
+	Bursts  []topology.Burst
+
+	// DupCache is the per-node duplicate-suppression cache size.
+	DupCache int
+	// MaxHops bounds packet travel (safety valve for pathological loops).
+	MaxHops int
+
+	// RecordTruthEvents keeps the complete true event record in the
+	// ground truth (memory-heavy; accuracy experiments only).
+	RecordTruthEvents bool
+	// LogQueueEvents makes nodes log Enqueue/Dequeue too — the extended
+	// event set of the paper's future work. Pair with fsm.ExtendedCTP().
+	LogQueueEvents bool
+}
+
+// DefaultConfig returns a runnable medium-scale configuration.
+func DefaultConfig(nodes int, duration sim.Time) Config {
+	return Config{
+		Nodes:           nodes,
+		Seed:            1,
+		Duration:        duration,
+		DrainGrace:      time30m(),
+		Period:          20 * sim.Minute,
+		QueueCap:        12,
+		MaxRetries:      30,
+		Backoff:         250 * sim.Millisecond,
+		AckExponent:     0.25,
+		PayloadBytes:    40,
+		PreRecvFail:     0.0005,
+		PostRecvFail:    0.0035,
+		SinkPreRecvFail: Varying{Before: 0.05, After: 0.002},
+		SinkSerialLoss:  Varying{Before: 0.025, After: 0.001},
+		SerialDelay:     50 * sim.Millisecond,
+		DupCache:        32,
+		MaxHops:         64,
+	}
+}
+
+func time30m() sim.Time { return 30 * sim.Minute }
+
+// validate fills defaults and rejects nonsense.
+func (c *Config) validate() error {
+	if c.Nodes < 2 {
+		return fmt.Errorf("network: need at least 2 nodes")
+	}
+	if c.Duration <= 0 {
+		return fmt.Errorf("network: duration must be positive")
+	}
+	if c.Period <= 0 {
+		return fmt.Errorf("network: period must be positive")
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 12
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 30
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = 250 * sim.Millisecond
+	}
+	if c.AckExponent <= 0 {
+		c.AckExponent = 0.25
+	}
+	if c.PayloadBytes <= 0 {
+		c.PayloadBytes = 40
+	}
+	if c.SerialDelay <= 0 {
+		c.SerialDelay = 50 * sim.Millisecond
+	}
+	if c.DupCache <= 0 {
+		c.DupCache = 32
+	}
+	if c.MaxHops <= 0 {
+		c.MaxHops = 64
+	}
+	if c.DrainGrace <= 0 {
+		c.DrainGrace = 30 * sim.Minute
+	}
+	for _, w := range c.Outages {
+		if w.End <= w.Start {
+			return fmt.Errorf("network: bad outage window %+v", w)
+		}
+	}
+	return nil
+}
+
+// macConfig derives the LPL MAC parameters from the user-facing knobs.
+func (c *Config) macConfig() mac.Config {
+	m := mac.DefaultConfig()
+	m.WakeupInterval = 2 * c.Backoff
+	m.MaxRetries = c.MaxRetries
+	return m
+}

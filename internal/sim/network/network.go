@@ -1,0 +1,550 @@
+package network
+
+import (
+	"repro/internal/diagnosis"
+	"repro/internal/event"
+	"repro/internal/sim"
+	"repro/internal/sim/ctp"
+	"repro/internal/sim/mac"
+	"repro/internal/sim/phy"
+	"repro/internal/sim/topology"
+)
+
+// EventSink consumes the events the network emits, in emission order, with
+// Time set to the true global clock. The lossy logging layer and the ground
+// truth recorder are both sinks.
+type EventSink interface {
+	Record(e event.Event)
+}
+
+// SinkFunc adapts a function to the EventSink interface.
+type SinkFunc func(e event.Event)
+
+// Record implements EventSink.
+func (f SinkFunc) Record(e event.Event) { f(e) }
+
+// Fate is the ground-truth disposition of one packet.
+type Fate struct {
+	Cause    diagnosis.Cause
+	Position event.NodeID
+	Toward   event.NodeID
+	Time     sim.Time
+	// GenTime is when the packet was generated (true clock); with Time it
+	// gives the true end-to-end delay of delivered packets.
+	GenTime sim.Time
+	Hops    int
+	Loop    bool
+}
+
+// GroundTruth is the simulator's omniscient record of the run.
+type GroundTruth struct {
+	// Fates maps every generated packet to its true disposition. Packets
+	// still in flight when the drain grace expired are Unknown (censored).
+	Fates map[event.PacketID]Fate
+	// Events is the complete true event record (only when
+	// Config.RecordTruthEvents was set).
+	Events *event.Collection
+	// Generated and Delivered count packets.
+	Generated, Delivered int
+}
+
+// LossCount returns the number of packets with a non-delivered fate.
+func (g *GroundTruth) LossCount() int { return g.Generated - g.Delivered }
+
+// Network is a configured simulation instance.
+type Network struct {
+	cfg    Config
+	topo   *topology.Topology
+	links  *topology.LinkModel
+	router *ctp.Router
+	sched  *sim.Scheduler
+	rng    *sim.RNG
+	sinks  []EventSink
+	gt     *GroundTruth
+	nodes  map[event.NodeID]*node
+	pkts   map[event.PacketID]*pkt
+
+	radio   *phy.Radio
+	macCfg  mac.Config
+	energy  *mac.Energy
+	airtime sim.Time // data-frame airtime for the configured payload
+}
+
+// node is the per-mote runtime state.
+type node struct {
+	id      event.NodeID
+	queue   []*pkt
+	busy    bool
+	dupRing []event.PacketID
+	dupSet  map[event.PacketID]bool
+	seq     uint32
+}
+
+// pkt is a live packet's custody state.
+type pkt struct {
+	id        event.PacketID
+	copies    int
+	delivered bool
+	dead      bool
+	hops      int
+	loop      bool
+	genTime   sim.Time
+	visited   []event.NodeID
+	// lastDeath remembers the most recent death of an ACCEPTED copy —
+	// the deepest custody the packet reached.
+	lastDeath     *Fate
+	hasAccepted   map[event.NodeID]bool
+	lastRejection map[event.NodeID]diagnosis.Cause
+}
+
+func (p *pkt) sawNode(n event.NodeID) bool {
+	for _, v := range p.visited {
+		if v == n {
+			return true
+		}
+	}
+	return false
+}
+
+// New builds a network from the configuration.
+func New(cfg Config) (*Network, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	tc := topology.DefaultConfig(cfg.Nodes)
+	tc.Seed = cfg.Seed
+	if cfg.Spacing > 0 {
+		tc.Spacing = cfg.Spacing
+	}
+	if cfg.Range > 0 {
+		tc.Range = cfg.Range
+	}
+	topo, err := topology.Generate(tc)
+	if err != nil {
+		return nil, err
+	}
+	rng := sim.NewRNG(cfg.Seed)
+	links := topology.NewLinkModel(topo, rng.Int63n(1<<62))
+	links.Weather = cfg.Weather
+	for _, b := range cfg.Bursts {
+		links.AddBurst(b)
+	}
+	router := ctp.NewRouter(topo, links, rng.Fork(), cfg.Routing)
+	n := &Network{
+		cfg:    cfg,
+		topo:   topo,
+		links:  links,
+		router: router,
+		sched:  sim.NewScheduler(),
+		rng:    rng,
+		gt: &GroundTruth{
+			Fates: make(map[event.PacketID]Fate),
+		},
+		nodes: make(map[event.NodeID]*node),
+		pkts:  make(map[event.PacketID]*pkt),
+	}
+	if cfg.RecordTruthEvents {
+		n.gt.Events = event.NewCollection()
+	}
+	n.radio = phy.NewRadio(rng, cfg.AckExponent)
+	n.macCfg = cfg.macConfig()
+	n.energy = mac.NewEnergy()
+	n.airtime = phy.Airtime(cfg.PayloadBytes)
+	for _, id := range topo.NodeIDs() {
+		n.nodes[id] = &node{id: id, dupSet: make(map[event.PacketID]bool)}
+	}
+	return n, nil
+}
+
+// Energy exposes the MAC's radio duty-cycle accounting.
+func (n *Network) Energy() *mac.Energy { return n.energy }
+
+// Topology exposes the generated deployment (for reports and experiments).
+func (n *Network) Topology() *topology.Topology { return n.topo }
+
+// Links exposes the link model (workloads add bursts through it).
+func (n *Network) Links() *topology.LinkModel { return n.links }
+
+// Router exposes the routing state.
+func (n *Network) Router() *ctp.Router { return n.router }
+
+// Sink returns the deployment's sink node.
+func (n *Network) Sink() event.NodeID { return n.topo.Sink }
+
+// AddSink registers an event consumer.
+func (n *Network) AddSink(s EventSink) { n.sinks = append(n.sinks, s) }
+
+// emit stamps the true time on an event and fans it out.
+func (n *Network) emit(e event.Event) {
+	e.Time = n.sched.Now()
+	if n.gt.Events != nil {
+		n.gt.Events.Add(e)
+	}
+	for _, s := range n.sinks {
+		s.Record(e)
+	}
+}
+
+// Run executes the whole campaign and returns the ground truth.
+func (n *Network) Run() *GroundTruth {
+	cfg := &n.cfg
+	// Routing epochs.
+	interval := n.routerInterval()
+	var epochTick func()
+	epochTick = func() {
+		if n.sched.Now() >= cfg.Duration {
+			return
+		}
+		n.router.Epoch(n.sched.Now())
+		n.sched.After(interval, epochTick)
+	}
+	n.sched.After(interval, epochTick)
+
+	// Server outage boundaries (operational events on the Server node).
+	for _, w := range cfg.Outages {
+		w := w
+		n.sched.At(w.Start, func() {
+			n.emit(event.Event{Node: event.Server, Type: event.ServerDown})
+		})
+		n.sched.At(w.End, func() {
+			n.emit(event.Event{Node: event.Server, Type: event.ServerUp})
+		})
+	}
+
+	// Periodic generation at every non-sink node, phase-jittered; active
+	// surges shorten the effective period (event-triggered reporting).
+	for _, id := range n.topo.NodeIDs() {
+		if id == n.topo.Sink {
+			continue
+		}
+		id := id
+		var tick func()
+		tick = func() {
+			if n.sched.Now() >= cfg.Duration {
+				return
+			}
+			n.generate(id)
+			n.sched.After(n.rng.Jitter(n.effectivePeriod(id), 0.05), tick)
+		}
+		n.sched.At(n.rng.Int63n(cfg.Period), tick)
+	}
+
+	n.sched.RunUntil(cfg.Duration + cfg.DrainGrace)
+
+	// Censor whatever is still in flight.
+	for id, p := range n.pkts {
+		if !p.delivered && !p.dead {
+			n.gt.Fates[id] = Fate{Cause: diagnosis.Unknown, Position: event.NoNode,
+				Toward: event.NoNode, Time: n.sched.Now(), GenTime: p.genTime,
+				Hops: p.hops, Loop: p.loop}
+		}
+	}
+	return n.gt
+}
+
+func (n *Network) routerInterval() sim.Time {
+	if n.cfg.Routing.BeaconInterval > 0 {
+		return n.cfg.Routing.BeaconInterval
+	}
+	return 2 * sim.Minute
+}
+
+// effectivePeriod returns the node's generation period, shortened when an
+// event surge covers it.
+func (n *Network) effectivePeriod(id event.NodeID) sim.Time {
+	p := n.cfg.Period
+	now := n.sched.Now()
+	for _, s := range n.cfg.Surges {
+		if s.Factor <= 1 || now < s.Start || now >= s.End {
+			continue
+		}
+		if n.topo.Distance(s.Center, id) <= s.Radius {
+			p = sim.Time(float64(p) / s.Factor)
+		}
+	}
+	if p < sim.Second {
+		p = sim.Second
+	}
+	return p
+}
+
+// serverDown reports whether the base station is inside an outage window.
+func (n *Network) serverDown(t sim.Time) bool {
+	for _, w := range n.cfg.Outages {
+		if w.Covers(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// generate creates a new packet at origin and enqueues it locally.
+func (n *Network) generate(origin event.NodeID) {
+	nd := n.nodes[origin]
+	nd.seq++
+	id := event.PacketID{Origin: origin, Seq: nd.seq}
+	p := &pkt{id: id, copies: 1, genTime: n.sched.Now(),
+		hasAccepted:   make(map[event.NodeID]bool),
+		lastRejection: make(map[event.NodeID]diagnosis.Cause),
+		visited:       []event.NodeID{origin},
+	}
+	n.pkts[id] = p
+	n.gt.Generated++
+	n.emit(event.Event{Node: origin, Type: event.Gen, Sender: origin, Packet: id})
+	if len(nd.queue) >= n.cfg.QueueCap {
+		// The origin's own queue is full: the reading dies inside the
+		// node before any transmission (no overflow event — Table I's
+		// overflow is a reception-side record).
+		n.copyDied(p, Fate{Cause: diagnosis.ReceivedLoss, Position: origin,
+			Toward: event.NoNode, Time: n.sched.Now(), Hops: 0})
+		return
+	}
+	n.enqueue(nd, p)
+}
+
+// enqueue appends to the forwarding queue (optionally logging the extended
+// queue event) and starts service.
+func (n *Network) enqueue(nd *node, p *pkt) {
+	if n.cfg.LogQueueEvents {
+		n.emit(event.Event{Node: nd.id, Type: event.Enqueue, Sender: nd.id, Packet: p.id})
+	}
+	nd.queue = append(nd.queue, p)
+	n.kickService(nd)
+}
+
+// copyDied decrements the live-copy count after recording the death of an
+// accepted copy, sealing the packet's fate if no copies remain.
+func (n *Network) copyDied(p *pkt, f Fate) {
+	f.Hops = p.hops
+	f.Loop = p.loop
+	f.GenTime = p.genTime
+	p.lastDeath = &f
+	p.copies--
+	n.checkDead(p)
+}
+
+// checkDead seals a packet's fate when its last copy is gone.
+func (n *Network) checkDead(p *pkt) {
+	if p.copies > 0 || p.delivered || p.dead {
+		return
+	}
+	p.dead = true
+	if p.lastDeath != nil {
+		n.gt.Fates[p.id] = *p.lastDeath
+	} else {
+		n.gt.Fates[p.id] = Fate{Cause: diagnosis.Unknown, Position: event.NoNode,
+			Toward: event.NoNode, Time: n.sched.Now(), GenTime: p.genTime,
+			Hops: p.hops, Loop: p.loop}
+	}
+	delete(n.pkts, p.id)
+}
+
+// kickService starts the node's forwarding service if idle.
+func (n *Network) kickService(nd *node) {
+	if nd.busy || len(nd.queue) == 0 {
+		return
+	}
+	nd.busy = true
+	p := nd.queue[0]
+	if n.cfg.LogQueueEvents {
+		n.emit(event.Event{Node: nd.id, Type: event.Dequeue, Sender: nd.id, Packet: p.id})
+	}
+	// Small processing delay before the first transmission attempt.
+	n.sched.After(n.rng.Jitter(20*sim.Millisecond, 0.5), func() {
+		n.transmit(nd, p, 1, event.NoNode)
+	})
+}
+
+// finishService pops the served packet and moves on.
+func (n *Network) finishService(nd *node) {
+	if len(nd.queue) > 0 {
+		nd.queue = nd.queue[1:]
+	}
+	nd.busy = false
+	n.kickService(nd)
+}
+
+// transmit performs one link-layer attempt of the head packet. The target is
+// chosen from the CTP parent on the first attempt and pinned for the whole
+// retry sequence (the link-layer retransmits the same frame; re-routing
+// happens per packet, not per retry).
+func (n *Network) transmit(nd *node, p *pkt, attempt int, target event.NodeID) {
+	if target == event.NoNode {
+		target = n.router.Parent(nd.id)
+	}
+	if target == event.NoNode {
+		// Momentarily unrouted: retry shortly; give up eventually.
+		if attempt >= n.cfg.MaxRetries {
+			n.onTimeout(nd, p, target)
+			return
+		}
+		n.sched.After(n.rng.Jitter(n.cfg.Backoff*4, 0.5), func() {
+			n.transmit(nd, p, attempt+1, event.NoNode)
+		})
+		return
+	}
+	now := n.sched.Now()
+	n.emit(event.Event{Node: nd.id, Type: event.Trans, Sender: nd.id, Receiver: target, Packet: p.id})
+	q := n.links.Quality(nd.id, target, now)
+	out := n.radio.Attempt(q)
+	n.energy.OnTransmit(nd.id, target, n.airtime, n.cfg.Backoff)
+	if out.FrameOK {
+		n.sched.After(n.airtime, func() { n.receiveFrame(target, nd.id, p) })
+	}
+	resolve := n.airtime + phy.AckDelay()
+	if out.AckOK {
+		n.energy.OnAck(nd.id, target, phy.AckAirtime())
+		n.sched.After(resolve, func() { n.onAck(nd, p, target) })
+		return
+	}
+	if !n.macCfg.ShouldRetry(attempt) {
+		n.sched.After(resolve, func() { n.onTimeout(nd, p, target) })
+		return
+	}
+	n.sched.After(n.macCfg.AttemptSpacing(n.rng), func() { n.transmit(nd, p, attempt+1, target) })
+}
+
+// onAck handles a received hardware acknowledgement: the sender releases
+// custody. If the receiver never actually accepted the packet (hand-up
+// failure, duplicate, overflow), the release may kill the packet — the
+// "acked loss" family.
+func (n *Network) onAck(nd *node, p *pkt, target event.NodeID) {
+	n.emit(event.Event{Node: nd.id, Type: event.AckRecvd, Sender: nd.id, Receiver: target, Packet: p.id})
+	p.copies--
+	if !p.hasAccepted[target] && p.copies == 0 && !p.delivered && !p.dead {
+		// The receiver rejected (dup/overflow) or silently lost every
+		// frame; the sender's release is what kills the packet, and the
+		// loss is positioned at the receiver.
+		cause, ok := p.lastRejection[target]
+		if !ok {
+			cause = diagnosis.AckedLoss // silent hand-up failure
+		}
+		p.lastDeath = &Fate{Cause: cause, Position: target, Toward: event.NoNode,
+			Time: n.sched.Now(), GenTime: p.genTime, Hops: p.hops, Loop: p.loop}
+	}
+	n.checkDead(p)
+	n.finishService(nd)
+}
+
+// onTimeout handles retry exhaustion: the sender drops its copy.
+func (n *Network) onTimeout(nd *node, p *pkt, target event.NodeID) {
+	if target != event.NoNode {
+		n.emit(event.Event{Node: nd.id, Type: event.Timeout, Sender: nd.id, Receiver: target, Packet: p.id})
+	}
+	p.copies--
+	if p.copies == 0 && !p.delivered && !p.dead && p.lastDeath == nil {
+		p.lastDeath = &Fate{Cause: diagnosis.TimeoutLoss, Position: nd.id, Toward: target,
+			Time: n.sched.Now(), GenTime: p.genTime, Hops: p.hops, Loop: p.loop}
+	}
+	n.checkDead(p)
+	n.finishService(nd)
+}
+
+// receiveFrame is the receiver-side pipeline: duplicate suppression, hand-up,
+// queue admission, then either sink serial transfer or relay forwarding.
+func (n *Network) receiveFrame(to, from event.NodeID, p *pkt) {
+	nd := n.nodes[to]
+	now := n.sched.Now()
+	// Duplicate suppression (CTP's packet cache; loops and ACK-loss
+	// retransmissions both land here).
+	if nd.dupSet[p.id] {
+		n.emit(event.Event{Node: to, Type: event.Dup, Sender: from, Receiver: to, Packet: p.id})
+		if !p.hasAccepted[to] {
+			p.lastRejection[to] = diagnosis.DupLoss
+			// CTP's datapath validation: a duplicate from a node we
+			// did not send to signals a routing loop; trigger an
+			// immediate route refresh around both endpoints.
+			n.router.Refresh(to, now)
+			n.router.Refresh(from, now)
+		}
+		return
+	}
+	// Pathological-loop safety valve.
+	if p.hops >= n.cfg.MaxHops {
+		n.emit(event.Event{Node: to, Type: event.Dup, Sender: from, Receiver: to, Packet: p.id})
+		p.lastRejection[to] = diagnosis.DupLoss
+		return
+	}
+	// Hand-up failure: the radio ACKed but the packet never reaches the
+	// upper layer — nothing is logged, the sender's ACK is the only trace.
+	pre := n.cfg.PreRecvFail
+	if to == n.topo.Sink {
+		pre = n.cfg.SinkPreRecvFail.At(now)
+	}
+	if n.rng.Bool(pre) {
+		p.lastRejection[to] = diagnosis.AckedLoss
+		return
+	}
+	// Queue admission (relays only; the sink hands off over serial).
+	if to != n.topo.Sink && len(nd.queue) >= n.cfg.QueueCap {
+		n.emit(event.Event{Node: to, Type: event.Overflow, Sender: from, Receiver: to, Packet: p.id})
+		p.lastRejection[to] = diagnosis.OverflowLoss
+		return
+	}
+	// Accepted: the upper layer logs the reception.
+	n.emit(event.Event{Node: to, Type: event.Recv, Sender: from, Receiver: to, Packet: p.id})
+	if p.sawNode(to) {
+		p.loop = true
+	}
+	p.visited = append(p.visited, to)
+	p.hasAccepted[to] = true
+	p.copies++
+	p.hops++
+	nd.dupAdd(p.id, n.cfg.DupCache)
+
+	if to == n.topo.Sink {
+		n.sched.After(n.cfg.SerialDelay, func() { n.sinkSerial(p) })
+		return
+	}
+	// Post-recv in-node failure: logged recv, then the forwarding task
+	// dies — "received loss".
+	if n.rng.Bool(n.cfg.PostRecvFail) {
+		n.copyDied(p, Fate{Cause: diagnosis.ReceivedLoss, Position: to,
+			Toward: event.NoNode, Time: now})
+		return
+	}
+	n.enqueue(nd, p)
+}
+
+// sinkSerial moves an accepted packet from the sink mote over the RS-232
+// cable to the base station.
+func (n *Network) sinkSerial(p *pkt) {
+	if p.delivered {
+		return // a forked ghost copy re-arrived; the packet already counted
+	}
+	now := n.sched.Now()
+	if n.rng.Bool(n.cfg.SinkSerialLoss.At(now)) {
+		// Died on the cable after the sink logged recv: a received
+		// loss positioned at the sink — the paper's headline finding.
+		n.copyDied(p, Fate{Cause: diagnosis.ReceivedLoss, Position: n.topo.Sink,
+			Toward: event.Server, Time: now})
+		return
+	}
+	if n.serverDown(now) {
+		n.copyDied(p, Fate{Cause: diagnosis.ServerOutage, Position: event.Server,
+			Toward: event.NoNode, Time: now})
+		return
+	}
+	n.emit(event.Event{Node: event.Server, Type: event.ServerRecv,
+		Sender: n.topo.Sink, Receiver: event.Server, Packet: p.id})
+	p.delivered = true
+	p.copies--
+	n.gt.Delivered++
+	n.gt.Fates[p.id] = Fate{Cause: diagnosis.Delivered, Position: event.Server,
+		Toward: event.NoNode, Time: now, GenTime: p.genTime, Hops: p.hops, Loop: p.loop}
+	delete(n.pkts, p.id)
+}
+
+// dupAdd inserts into the bounded duplicate cache (FIFO eviction).
+func (nd *node) dupAdd(id event.PacketID, cap int) {
+	if nd.dupSet[id] {
+		return
+	}
+	nd.dupRing = append(nd.dupRing, id)
+	nd.dupSet[id] = true
+	for len(nd.dupRing) > cap {
+		old := nd.dupRing[0]
+		nd.dupRing = nd.dupRing[1:]
+		delete(nd.dupSet, old)
+	}
+}

@@ -1,0 +1,312 @@
+package network
+
+import (
+	"testing"
+
+	"repro/internal/diagnosis"
+	"repro/internal/event"
+	"repro/internal/sim"
+)
+
+// smallConfig returns a quick-running deployment for tests.
+func smallConfig(nodes int, hours int) Config {
+	cfg := DefaultConfig(nodes, sim.Time(hours)*sim.Hour)
+	cfg.Period = 5 * sim.Minute
+	return cfg
+}
+
+func runSmall(t *testing.T, cfg Config) (*Network, *GroundTruth, *event.Collection) {
+	t.Helper()
+	net, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll := event.NewCollection()
+	net.AddSink(SinkFunc(func(e event.Event) { coll.Add(e) }))
+	gt := net.Run()
+	return net, gt, coll
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Nodes: 1, Duration: sim.Hour, Period: sim.Minute},
+		{Nodes: 10, Duration: 0, Period: sim.Minute},
+		{Nodes: 10, Duration: sim.Hour, Period: 0},
+		{Nodes: 10, Duration: sim.Hour, Period: sim.Minute,
+			Outages: []Window{{Start: 5, End: 5}}},
+	}
+	for i, c := range bad {
+		if _, err := New(c); err == nil {
+			t.Errorf("config %d should fail validation", i)
+		}
+	}
+}
+
+func TestVaryingAt(t *testing.T) {
+	v := Varying{Before: 0.5, After: 0.1, SwitchAt: 100}
+	if v.At(50) != 0.5 || v.At(100) != 0.1 || v.At(200) != 0.1 {
+		t.Error("Varying.At wrong")
+	}
+	forever := Varying{Before: 0.3}
+	if forever.At(1<<50) != 0.3 {
+		t.Error("zero SwitchAt should keep Before forever")
+	}
+}
+
+func TestRunConservation(t *testing.T) {
+	// Every generated packet gets exactly one fate; delivered + lost =
+	// generated.
+	_, gt, _ := runSmall(t, smallConfig(25, 4))
+	if gt.Generated == 0 {
+		t.Fatal("nothing generated")
+	}
+	if len(gt.Fates) != gt.Generated {
+		t.Errorf("fates = %d, generated = %d", len(gt.Fates), gt.Generated)
+	}
+	delivered := 0
+	for _, f := range gt.Fates {
+		if f.Cause == diagnosis.Delivered {
+			delivered++
+		}
+	}
+	if delivered != gt.Delivered {
+		t.Errorf("delivered fates = %d, counter = %d", delivered, gt.Delivered)
+	}
+}
+
+func TestRunDeliversMostPackets(t *testing.T) {
+	_, gt, _ := runSmall(t, smallConfig(25, 4))
+	ratio := float64(gt.Delivered) / float64(gt.Generated)
+	if ratio < 0.75 {
+		t.Errorf("delivery ratio = %.3f, want >= 0.75 (losses: %d/%d)",
+			ratio, gt.LossCount(), gt.Generated)
+	}
+	if ratio == 1 {
+		t.Error("a lossy network should lose something")
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	_, gt1, c1 := runSmall(t, smallConfig(16, 2))
+	_, gt2, c2 := runSmall(t, smallConfig(16, 2))
+	if gt1.Generated != gt2.Generated || gt1.Delivered != gt2.Delivered {
+		t.Fatalf("counters differ: %d/%d vs %d/%d",
+			gt1.Generated, gt1.Delivered, gt2.Generated, gt2.Delivered)
+	}
+	if c1.TotalEvents() != c2.TotalEvents() {
+		t.Fatalf("event counts differ: %d vs %d", c1.TotalEvents(), c2.TotalEvents())
+	}
+	for id, f1 := range gt1.Fates {
+		if f2, ok := gt2.Fates[id]; !ok || f1 != f2 {
+			t.Fatalf("fate of %v differs: %+v vs %+v", id, f1, f2)
+		}
+	}
+}
+
+func TestEventsAreWellFormed(t *testing.T) {
+	_, _, coll := runSmall(t, smallConfig(16, 2))
+	if err := coll.Validate(); err != nil {
+		t.Fatalf("emitted events invalid: %v", err)
+	}
+	// Per-node times are nondecreasing (true clock stamping).
+	for _, n := range coll.Nodes() {
+		last := int64(-1)
+		for _, e := range coll.Logs[n].Events {
+			if e.Time < last {
+				t.Fatalf("node %v times regress: %d after %d", n, e.Time, last)
+			}
+			last = e.Time
+		}
+	}
+}
+
+func TestSinkLossesDominateBeforeFix(t *testing.T) {
+	cfg := smallConfig(25, 6)
+	cfg.SinkPreRecvFail = Varying{Before: 0.08}
+	cfg.SinkSerialLoss = Varying{Before: 0.04}
+	net, gt, _ := runSmall(t, cfg)
+	sink := net.Sink()
+	atSink, elsewhere := 0, 0
+	for _, f := range gt.Fates {
+		switch f.Cause {
+		case diagnosis.ReceivedLoss, diagnosis.AckedLoss:
+			if f.Position == sink {
+				atSink++
+			} else {
+				elsewhere++
+			}
+		}
+	}
+	if atSink == 0 {
+		t.Fatal("no sink losses despite a bad cable")
+	}
+	if atSink <= elsewhere {
+		t.Errorf("sink losses (%d) should dominate relay losses (%d)", atSink, elsewhere)
+	}
+}
+
+func TestFixCollapsesSinkLosses(t *testing.T) {
+	cfg := smallConfig(25, 12)
+	fix := 6 * sim.Hour
+	cfg.SinkPreRecvFail = Varying{Before: 0.10, After: 0.001, SwitchAt: fix}
+	cfg.SinkSerialLoss = Varying{Before: 0.05, After: 0.0005, SwitchAt: fix}
+	net, gt, _ := runSmall(t, cfg)
+	sink := net.Sink()
+	before, after := 0, 0
+	for _, f := range gt.Fates {
+		if (f.Cause == diagnosis.ReceivedLoss || f.Cause == diagnosis.AckedLoss) && f.Position == sink {
+			if f.Time < fix {
+				before++
+			} else {
+				after++
+			}
+		}
+	}
+	if before == 0 {
+		t.Fatal("no pre-fix sink losses")
+	}
+	if after*4 >= before {
+		t.Errorf("fix did not collapse sink losses: before=%d after=%d", before, after)
+	}
+}
+
+func TestOutagesProduceOutageFatesAndEvents(t *testing.T) {
+	cfg := smallConfig(25, 6)
+	cfg.Outages = []Window{{Start: 2 * sim.Hour, End: 3 * sim.Hour}}
+	_, gt, coll := runSmall(t, cfg)
+	outages := 0
+	for _, f := range gt.Fates {
+		if f.Cause == diagnosis.ServerOutage {
+			outages++
+			if f.Time < 2*sim.Hour || f.Time >= 3*sim.Hour {
+				t.Errorf("outage fate outside window: %+v", f)
+			}
+		}
+	}
+	if outages == 0 {
+		t.Error("an hour-long outage should lose packets")
+	}
+	srv := coll.Logs[event.Server]
+	if srv == nil {
+		t.Fatal("no server log")
+	}
+	downs, ups := 0, 0
+	for _, e := range srv.Events {
+		switch e.Type {
+		case event.ServerDown:
+			downs++
+		case event.ServerUp:
+			ups++
+		}
+	}
+	if downs != 1 || ups != 1 {
+		t.Errorf("server ops events: %d down, %d up", downs, ups)
+	}
+}
+
+func TestWeatherIncreasesTimeouts(t *testing.T) {
+	base := smallConfig(25, 6)
+	_, gtGood, _ := runSmall(t, base)
+
+	// Mild degradation is absorbed by the 30-retry budget (the paper's
+	// point that link-quality losses stay low); a snowstorm-grade collapse
+	// is needed for a statistically unambiguous signal.
+	stormy := smallConfig(25, 6)
+	stormy.Weather = func(t sim.Time) float64 { return 0.15 }
+	_, gtBad, _ := runSmall(t, stormy)
+
+	timeouts := func(gt *GroundTruth) int {
+		n := 0
+		for _, f := range gt.Fates {
+			if f.Cause == diagnosis.TimeoutLoss {
+				n++
+			}
+		}
+		return n
+	}
+	lossRatio := func(gt *GroundTruth) float64 {
+		return float64(gt.LossCount()) / float64(gt.Generated)
+	}
+	if lossRatio(gtBad) <= lossRatio(gtGood) {
+		t.Errorf("weather did not increase losses: %.4f vs %.4f",
+			lossRatio(gtBad), lossRatio(gtGood))
+	}
+	if timeouts(gtBad) <= timeouts(gtGood) {
+		t.Errorf("weather did not increase timeout losses: %d vs %d",
+			timeouts(gtBad), timeouts(gtGood))
+	}
+}
+
+func TestOverflowUnderCongestion(t *testing.T) {
+	cfg := smallConfig(36, 3)
+	cfg.Period = 30 * sim.Second // very heavy traffic
+	cfg.QueueCap = 3
+	cfg.Backoff = 2 * sim.Second // slow service
+	_, gt, coll := runSmall(t, cfg)
+	overflows := 0
+	for _, f := range gt.Fates {
+		if f.Cause == diagnosis.OverflowLoss {
+			overflows++
+		}
+	}
+	overflowEvents := 0
+	for _, n := range coll.Nodes() {
+		for _, e := range coll.Logs[n].Events {
+			if e.Type == event.Overflow {
+				overflowEvents++
+			}
+		}
+	}
+	if overflows == 0 || overflowEvents == 0 {
+		t.Errorf("congestion produced no overflow (fates=%d events=%d, gen=%d)",
+			overflows, overflowEvents, gt.Generated)
+	}
+}
+
+func TestGroundTruthEventsOptIn(t *testing.T) {
+	cfg := smallConfig(9, 1)
+	_, gt, _ := runSmall(t, cfg)
+	if gt.Events != nil {
+		t.Error("truth events recorded without opt-in")
+	}
+	cfg.RecordTruthEvents = true
+	_, gt, coll := runSmall(t, cfg)
+	if gt.Events == nil {
+		t.Fatal("truth events missing despite opt-in")
+	}
+	if gt.Events.TotalEvents() != coll.TotalEvents() {
+		t.Errorf("truth (%d) and sink (%d) event counts differ",
+			gt.Events.TotalEvents(), coll.TotalEvents())
+	}
+}
+
+func TestFateTimesWithinRun(t *testing.T) {
+	cfg := smallConfig(16, 2)
+	_, gt, _ := runSmall(t, cfg)
+	for id, f := range gt.Fates {
+		if f.Time < 0 || f.Time > cfg.Duration+cfg.DrainGrace {
+			t.Errorf("fate time out of range for %v: %d", id, f.Time)
+		}
+	}
+}
+
+func TestDupCacheEviction(t *testing.T) {
+	nd := &node{dupSet: make(map[event.PacketID]bool)}
+	for i := 0; i < 10; i++ {
+		nd.dupAdd(event.PacketID{Origin: 1, Seq: uint32(i)}, 4)
+	}
+	if len(nd.dupRing) != 4 || len(nd.dupSet) != 4 {
+		t.Errorf("cache size = %d/%d, want 4", len(nd.dupRing), len(nd.dupSet))
+	}
+	if nd.dupSet[event.PacketID{Origin: 1, Seq: 0}] {
+		t.Error("oldest entry should have been evicted")
+	}
+	if !nd.dupSet[event.PacketID{Origin: 1, Seq: 9}] {
+		t.Error("newest entry missing")
+	}
+	// Re-adding an existing entry is a no-op.
+	nd.dupAdd(event.PacketID{Origin: 1, Seq: 9}, 4)
+	if len(nd.dupRing) != 4 {
+		t.Error("duplicate add grew the ring")
+	}
+}

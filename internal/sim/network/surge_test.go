@@ -1,0 +1,107 @@
+package network
+
+import (
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/sim"
+)
+
+func TestSurgeIncreasesTraffic(t *testing.T) {
+	base := smallConfig(16, 2)
+	_, gtBase, _ := runSmall(t, base)
+
+	surged := smallConfig(16, 2)
+	surged.Surges = []Surge{{
+		Center: 8, Radius: 1e9, // whole network
+		Start: 0, End: 2 * sim.Hour, Factor: 10,
+	}}
+	_, gtSurge, _ := runSmall(t, surged)
+
+	if gtSurge.Generated <= gtBase.Generated {
+		t.Errorf("surge did not increase traffic: %d vs %d",
+			gtSurge.Generated, gtBase.Generated)
+	}
+	// A 10x surge for 2 of 2 hours should produce far more packets.
+	if gtSurge.Generated < gtBase.Generated*3 {
+		t.Errorf("surge volume too small: %d vs %d", gtSurge.Generated, gtBase.Generated)
+	}
+}
+
+func TestSurgeOutsideWindowNoEffect(t *testing.T) {
+	cfg := smallConfig(16, 1)
+	cfg.Surges = []Surge{{
+		Center: 8, Radius: 1e9,
+		Start: 10 * sim.Day, End: 11 * sim.Day, Factor: 10, // after the run
+	}}
+	net, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := net.effectivePeriod(8); p != cfg.Period {
+		t.Errorf("period = %d, want %d", p, cfg.Period)
+	}
+}
+
+func TestSurgeRadiusScopesEffect(t *testing.T) {
+	cfg := smallConfig(36, 1)
+	net, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := net.Topology().NodeIDs()
+	center := ids[10]
+	var far event.NodeID
+	for _, n := range ids {
+		if net.Topology().Distance(center, n) > 150 {
+			far = n
+			break
+		}
+	}
+	if far == event.NoNode {
+		t.Skip("grid too small")
+	}
+	net.cfg.Surges = []Surge{{Center: center, Radius: 50, Start: 0, End: sim.Hour, Factor: 10}}
+	if p := net.effectivePeriod(center); p >= cfg.Period {
+		t.Errorf("center period = %d, want shortened", p)
+	}
+	if p := net.effectivePeriod(far); p != cfg.Period {
+		t.Errorf("far period = %d, want unchanged", p)
+	}
+}
+
+func TestSurgePeriodFloor(t *testing.T) {
+	cfg := smallConfig(9, 1)
+	net, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.cfg.Surges = []Surge{{Center: 2, Radius: 1e9, Start: 0, End: sim.Hour, Factor: 1e12}}
+	if p := net.effectivePeriod(2); p < sim.Second {
+		t.Errorf("period = %d, must floor at 1s", p)
+	}
+}
+
+func TestEnergyMeterPopulated(t *testing.T) {
+	net, gt, _ := runSmall(t, smallConfig(16, 2))
+	e := net.Energy()
+	if e.TotalTx() == 0 {
+		t.Fatal("no transmit energy recorded")
+	}
+	busiest, tx, ok := e.Busiest()
+	if !ok || tx == 0 {
+		t.Fatal("no busiest node")
+	}
+	// The busiest node should be near the sink (it relays everything);
+	// at minimum it must have more attempts than an average leaf.
+	if e.Attempts[busiest] == 0 {
+		t.Error("busiest node has no attempts")
+	}
+	total := 0
+	for _, a := range e.Attempts {
+		total += a
+	}
+	if total < gt.Generated {
+		t.Errorf("attempts (%d) < generated packets (%d)", total, gt.Generated)
+	}
+}

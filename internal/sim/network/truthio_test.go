@@ -1,0 +1,82 @@
+package network
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/diagnosis"
+	"repro/internal/event"
+)
+
+func sampleFates() map[event.PacketID]Fate {
+	return map[event.PacketID]Fate{
+		{Origin: 1, Seq: 1}: {Cause: diagnosis.Delivered, Position: event.Server,
+			Toward: event.NoNode, Time: 500, GenTime: 100, Hops: 3},
+		{Origin: 2, Seq: 7}: {Cause: diagnosis.TimeoutLoss, Position: 4, Toward: 5,
+			Time: 900, GenTime: 200, Hops: 2, Loop: true},
+		{Origin: 1, Seq: 2}: {Cause: diagnosis.AckedLoss, Position: 3,
+			Toward: event.NoNode, Time: 700, GenTime: 300, Hops: 1},
+	}
+}
+
+func TestFatesRoundTrip(t *testing.T) {
+	fates := sampleFates()
+	var buf bytes.Buffer
+	if err := WriteFates(&buf, fates); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFates(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, fates) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, fates)
+	}
+}
+
+func TestFatesWriteSorted(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFates(&buf, sampleFates()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "1:1 ") || !strings.HasPrefix(lines[1], "1:2 ") ||
+		!strings.HasPrefix(lines[2], "2:7 ") {
+		t.Errorf("not sorted:\n%s", buf.String())
+	}
+}
+
+func TestReadFatesSkipsCommentsAndBlank(t *testing.T) {
+	in := "# header\n\n1:1 delivered server - 500 100 3 false\n"
+	got, err := ReadFates(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Errorf("fates = %d", len(got))
+	}
+}
+
+func TestReadFatesErrors(t *testing.T) {
+	bad := []string{
+		"1:1 delivered server - 500 100 3",        // short
+		"xx delivered server - 500 100 3 false",   // bad packet
+		"1:1 nonsense server - 500 100 3 false",   // bad cause
+		"1:1 delivered bogus - 500 100 3 false",   // bad position
+		"1:1 delivered server zz 500 100 3 false", // bad toward
+		"1:1 delivered server - abc 100 3 false",  // bad time
+		"1:1 delivered server - 500 xyz 3 false",  // bad gentime
+		"1:1 delivered server - 500 100 q false",  // bad hops
+		"1:1 delivered server - 500 100 3 maybe",  // bad loop
+	}
+	for _, line := range bad {
+		if _, err := ReadFates(strings.NewReader(line + "\n")); err == nil {
+			t.Errorf("accepted bad line %q", line)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+// Package phy models the CC2420/802.15.4 physical layer of Section V-A1:
+// frame layout (preamble, length, MAC header, payload, CRC), on-air times at
+// 250 kbps, CRC-governed frame loss, and the hardware acknowledgement the
+// receiver's radio emits for every CRC-clean unicast frame — before the
+// packet reaches any software, which is precisely why an ACK does not prove
+// delivery (the paper's Section V-D5).
+package phy
+
+import (
+	"math"
+
+	"repro/internal/sim"
+)
+
+// 802.15.4 / CC2420 constants.
+const (
+	// BitrateBps is the 2.4 GHz O-QPSK PHY rate.
+	BitrateBps = 250_000
+	// SyncHeaderBytes covers preamble (4) + SFD (1) + length (1).
+	SyncHeaderBytes = 6
+	// MACHeaderBytes covers FCF (2) + DSN (1) + PAN (2) + dst (2) + src (2).
+	MACHeaderBytes = 9
+	// FCSBytes is the CRC-16 trailer.
+	FCSBytes = 2
+	// AckFrameBytes is the fixed size of a hardware ACK (sync + FCF + DSN
+	// + FCS).
+	AckFrameBytes = 11
+	// TurnaroundTime is the RX/TX switch before the hardware ACK.
+	TurnaroundTime = 192 * sim.Microsecond
+	// MaxPayloadBytes is the 802.15.4 MTU minus headers.
+	MaxPayloadBytes = 102
+)
+
+// Airtime returns the on-air duration of a frame with the given MAC payload.
+func Airtime(payloadBytes int) sim.Time {
+	if payloadBytes < 0 {
+		payloadBytes = 0
+	}
+	if payloadBytes > MaxPayloadBytes {
+		payloadBytes = MaxPayloadBytes
+	}
+	bits := (SyncHeaderBytes + MACHeaderBytes + payloadBytes + FCSBytes) * 8
+	return sim.Time(bits) * sim.Second / BitrateBps
+}
+
+// AckAirtime returns the on-air duration of a hardware acknowledgement.
+func AckAirtime() sim.Time {
+	return sim.Time(AckFrameBytes*8) * sim.Second / BitrateBps
+}
+
+// AckDelay returns the delay from end-of-frame to end-of-ACK.
+func AckDelay() sim.Time { return TurnaroundTime + AckAirtime() }
+
+// Outcome is the result of one link-layer transmission attempt.
+type Outcome struct {
+	// FrameOK: the data frame passed CRC at the receiver (the receiver's
+	// radio will hand it up AND emit a hardware ACK).
+	FrameOK bool
+	// AckOK: the hardware ACK passed CRC back at the sender. Implies
+	// FrameOK — no frame, no ACK.
+	AckOK bool
+}
+
+// Radio draws transmission outcomes from link quality. ACK frames are an
+// order of magnitude shorter than data frames, so their per-bit survival
+// translates into a much higher frame success probability; AckExponent
+// captures that (P(ack|frame) = q^exponent with exponent < 1).
+type Radio struct {
+	rng *sim.RNG
+	// AckExponent shapes ACK robustness; 0.25 by default.
+	AckExponent float64
+}
+
+// NewRadio returns a Radio over the given random source.
+func NewRadio(rng *sim.RNG, ackExponent float64) *Radio {
+	if ackExponent <= 0 {
+		ackExponent = 0.25
+	}
+	return &Radio{rng: rng, AckExponent: ackExponent}
+}
+
+// AckProb returns the ACK survival probability given data-frame quality q.
+func (r *Radio) AckProb(q float64) float64 {
+	if q <= 0 {
+		return 0
+	}
+	if q >= 1 {
+		return 1
+	}
+	return math.Pow(q, r.AckExponent)
+}
+
+// Attempt draws one transmission outcome on a link of quality q.
+func (r *Radio) Attempt(q float64) Outcome {
+	var out Outcome
+	out.FrameOK = r.rng.Bool(q)
+	if out.FrameOK {
+		out.AckOK = r.rng.Bool(r.AckProb(q))
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+package phy
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestAirtimeScalesWithPayload(t *testing.T) {
+	small := Airtime(10)
+	large := Airtime(100)
+	if small >= large {
+		t.Errorf("airtime not monotone: %d vs %d", small, large)
+	}
+	// 40-byte payload: (6+9+40+2)*8 bits / 250 kbps = 1824 us.
+	if got := Airtime(40); got != 1824*sim.Microsecond {
+		t.Errorf("Airtime(40) = %d, want 1824us", got)
+	}
+}
+
+func TestAirtimeClampsPayload(t *testing.T) {
+	if Airtime(-5) != Airtime(0) {
+		t.Error("negative payload should clamp to 0")
+	}
+	if Airtime(MaxPayloadBytes+50) != Airtime(MaxPayloadBytes) {
+		t.Error("oversized payload should clamp to MTU")
+	}
+}
+
+func TestAckAirtime(t *testing.T) {
+	// 11 bytes * 8 / 250 kbps = 352 us.
+	if got := AckAirtime(); got != 352*sim.Microsecond {
+		t.Errorf("AckAirtime = %d", got)
+	}
+	if AckDelay() != TurnaroundTime+AckAirtime() {
+		t.Error("AckDelay composition wrong")
+	}
+	if AckAirtime() >= Airtime(40) {
+		t.Error("ACKs must be shorter than data frames")
+	}
+}
+
+func TestAckProbBeatsFrameProb(t *testing.T) {
+	r := NewRadio(sim.NewRNG(1), 0.25)
+	for _, q := range []float64{0.1, 0.3, 0.5, 0.8, 0.95} {
+		if p := r.AckProb(q); p <= q {
+			t.Errorf("AckProb(%v) = %v, should exceed frame quality", q, p)
+		}
+	}
+	if r.AckProb(0) != 0 || r.AckProb(1) != 1 {
+		t.Error("AckProb edge values wrong")
+	}
+}
+
+func TestNewRadioDefaultsExponent(t *testing.T) {
+	r := NewRadio(sim.NewRNG(1), 0)
+	if r.AckExponent != 0.25 {
+		t.Errorf("default exponent = %v", r.AckExponent)
+	}
+}
+
+func TestAttemptAckImpliesFrame(t *testing.T) {
+	r := NewRadio(sim.NewRNG(2), 0.25)
+	for i := 0; i < 10000; i++ {
+		out := r.Attempt(0.5)
+		if out.AckOK && !out.FrameOK {
+			t.Fatal("ACK without frame")
+		}
+	}
+}
+
+func TestAttemptFrequencies(t *testing.T) {
+	r := NewRadio(sim.NewRNG(3), 0.25)
+	const q = 0.6
+	n, frames, acks := 100000, 0, 0
+	for i := 0; i < n; i++ {
+		out := r.Attempt(q)
+		if out.FrameOK {
+			frames++
+		}
+		if out.AckOK {
+			acks++
+		}
+	}
+	fFrac := float64(frames) / float64(n)
+	if fFrac < 0.58 || fFrac > 0.62 {
+		t.Errorf("frame fraction = %v, want ~0.6", fFrac)
+	}
+	// P(ack) = q * q^0.25 = 0.6^1.25 ~ 0.528.
+	aFrac := float64(acks) / float64(n)
+	if aFrac < 0.50 || aFrac > 0.56 {
+		t.Errorf("ack fraction = %v, want ~0.528", aFrac)
+	}
+}

@@ -1,0 +1,155 @@
+// Package sim provides the deterministic discrete-event simulation kernel
+// underneath the CitySee-like network substrate: a time-ordered event queue
+// and a seeded random source. Everything the simulator does is a function
+// scheduled at a virtual timestamp; runs are reproducible given a seed.
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+)
+
+// Time is virtual time in microseconds since the start of the run.
+type Time = int64
+
+// Time unit helpers.
+const (
+	Microsecond Time = 1
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+	Minute      Time = 60 * Second
+	Hour        Time = 60 * Minute
+	Day         Time = 24 * Hour
+)
+
+// item is one scheduled callback. seq breaks timestamp ties in scheduling
+// order, keeping runs deterministic.
+type item struct {
+	t   Time
+	seq uint64
+	fn  func()
+}
+
+type itemHeap []item
+
+func (h itemHeap) Len() int { return len(h) }
+func (h itemHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h itemHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *itemHeap) Push(x interface{}) { *h = append(*h, x.(item)) }
+func (h *itemHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Scheduler is a deterministic discrete-event scheduler.
+type Scheduler struct {
+	now  Time
+	seq  uint64
+	heap itemHeap
+}
+
+// NewScheduler returns an empty scheduler at time zero.
+func NewScheduler() *Scheduler { return &Scheduler{} }
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// At schedules fn at absolute time t. Scheduling in the past schedules at
+// the current time (fires next).
+func (s *Scheduler) At(t Time, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.heap, item{t: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn d time units from now.
+func (s *Scheduler) After(d Time, fn func()) { s.At(s.now+d, fn) }
+
+// Pending returns the number of queued events.
+func (s *Scheduler) Pending() int { return len(s.heap) }
+
+// Step executes the next event; it reports false when the queue is empty.
+func (s *Scheduler) Step() bool {
+	if len(s.heap) == 0 {
+		return false
+	}
+	it := heap.Pop(&s.heap).(item)
+	s.now = it.t
+	it.fn()
+	return true
+}
+
+// RunUntil executes events with timestamps strictly before end, then
+// advances the clock to end.
+func (s *Scheduler) RunUntil(end Time) {
+	for len(s.heap) > 0 && s.heap[0].t < end {
+		s.Step()
+	}
+	if s.now < end {
+		s.now = end
+	}
+}
+
+// Run executes every queued event (including ones scheduled while running)
+// until the queue drains.
+func (s *Scheduler) Run() {
+	for s.Step() {
+	}
+}
+
+// RNG wraps math/rand with the convenience draws the simulator uses. It is
+// NOT safe for concurrent use; the simulator is single-goroutine by design
+// (determinism over parallelism — analysis, not simulation, is the hot path).
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a seeded random source.
+func NewRNG(seed int64) *RNG { return &RNG{r: rand.New(rand.NewSource(seed))} }
+
+// Bool returns true with probability p.
+func (g *RNG) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return g.r.Float64() < p
+}
+
+// Intn returns a uniform int in [0, n).
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Int63n returns a uniform int64 in [0, n).
+func (g *RNG) Int63n(n int64) int64 { return g.r.Int63n(n) }
+
+// Float64 returns a uniform float64 in [0, 1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Range returns a uniform float64 in [lo, hi).
+func (g *RNG) Range(lo, hi float64) float64 { return lo + (hi-lo)*g.r.Float64() }
+
+// Jitter returns d scaled by a uniform factor in [1-f, 1+f].
+func (g *RNG) Jitter(d Time, f float64) Time {
+	if d <= 0 || f <= 0 {
+		return d
+	}
+	lo := float64(d) * (1 - f)
+	hi := float64(d) * (1 + f)
+	return Time(lo + (hi-lo)*g.r.Float64())
+}
+
+// Fork derives an independent deterministic stream (for subsystems that
+// should not perturb each other's draw sequences).
+func (g *RNG) Fork() *RNG { return NewRNG(g.r.Int63()) }

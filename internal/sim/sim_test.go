@@ -1,0 +1,175 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestSchedulerOrdersByTime(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	s.At(30, func() { got = append(got, 3) })
+	s.At(10, func() { got = append(got, 1) })
+	s.At(20, func() { got = append(got, 2) })
+	s.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("order = %v", got)
+	}
+	if s.Now() != 30 {
+		t.Errorf("now = %d", s.Now())
+	}
+}
+
+func TestSchedulerTieBreaksBySchedulingOrder(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie order broken: %v", got)
+		}
+	}
+}
+
+func TestSchedulerNestedScheduling(t *testing.T) {
+	s := NewScheduler()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 5 {
+			s.After(10, tick)
+		}
+	}
+	s.After(0, tick)
+	s.Run()
+	if count != 5 {
+		t.Errorf("count = %d", count)
+	}
+	if s.Now() != 40 {
+		t.Errorf("now = %d", s.Now())
+	}
+}
+
+func TestSchedulerPastSchedulingClamps(t *testing.T) {
+	s := NewScheduler()
+	fired := false
+	s.At(100, func() {
+		s.At(50, func() { fired = true }) // in the past: fires at now
+	})
+	s.Run()
+	if !fired {
+		t.Error("past-scheduled event did not fire")
+	}
+	if s.Now() != 100 {
+		t.Errorf("now = %d", s.Now())
+	}
+}
+
+func TestRunUntilStopsEarly(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	s.At(10, func() { got = append(got, 1) })
+	s.At(20, func() { got = append(got, 2) })
+	s.At(30, func() { got = append(got, 3) })
+	s.RunUntil(25)
+	if len(got) != 2 {
+		t.Errorf("got = %v", got)
+	}
+	if s.Now() != 25 {
+		t.Errorf("now = %d", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Errorf("pending = %d", s.Pending())
+	}
+}
+
+func TestStepEmpty(t *testing.T) {
+	s := NewScheduler()
+	if s.Step() {
+		t.Error("Step on empty queue should return false")
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed should give same stream")
+		}
+	}
+}
+
+func TestRNGBoolEdges(t *testing.T) {
+	g := NewRNG(1)
+	for i := 0; i < 10; i++ {
+		if g.Bool(0) {
+			t.Fatal("Bool(0) must be false")
+		}
+		if !g.Bool(1) {
+			t.Fatal("Bool(1) must be true")
+		}
+	}
+}
+
+func TestRNGBoolApproximatesP(t *testing.T) {
+	g := NewRNG(2)
+	n, hits := 100000, 0
+	for i := 0; i < n; i++ {
+		if g.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / float64(n)
+	if frac < 0.28 || frac > 0.32 {
+		t.Errorf("Bool(0.3) frequency = %v", frac)
+	}
+}
+
+func TestRNGRange(t *testing.T) {
+	g := NewRNG(3)
+	for i := 0; i < 1000; i++ {
+		v := g.Range(5, 7)
+		if v < 5 || v >= 7 {
+			t.Fatalf("Range out of bounds: %v", v)
+		}
+	}
+}
+
+func TestRNGJitter(t *testing.T) {
+	g := NewRNG(4)
+	for i := 0; i < 1000; i++ {
+		v := g.Jitter(1000, 0.2)
+		if v < 800 || v > 1200 {
+			t.Fatalf("Jitter out of bounds: %v", v)
+		}
+	}
+	if g.Jitter(0, 0.5) != 0 {
+		t.Error("Jitter(0) should be 0")
+	}
+	if g.Jitter(100, 0) != 100 {
+		t.Error("Jitter with zero factor should be identity")
+	}
+}
+
+func TestRNGForkIndependence(t *testing.T) {
+	a := NewRNG(5)
+	f1 := a.Fork()
+	// Forked stream is deterministic given the parent state.
+	b := NewRNG(5)
+	f2 := b.Fork()
+	for i := 0; i < 50; i++ {
+		if f1.Float64() != f2.Float64() {
+			t.Fatal("forks of identical parents should match")
+		}
+	}
+}
+
+func TestTimeUnits(t *testing.T) {
+	if Second != 1_000_000 || Minute != 60*Second || Hour != 60*Minute || Day != 24*Hour {
+		t.Error("time unit arithmetic broken")
+	}
+}

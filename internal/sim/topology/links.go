@@ -1,0 +1,136 @@
+package topology
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/event"
+	"repro/internal/sim"
+)
+
+// Burst is a localized interference episode: links near Center degrade by
+// Factor during [Start, End). Bursts are how the simulator reproduces the
+// paper's bursty, time-correlated timeout/duplicate losses (Figures 4–5).
+type Burst struct {
+	Center     event.NodeID
+	Radius     float64
+	Start, End sim.Time
+	// Factor multiplies link quality (0 < Factor <= 1).
+	Factor float64
+}
+
+// LinkModel computes instantaneous link quality q(a, b, t) in [0, 1].
+// CTP's link ETX is 1/q. Quality combines:
+//
+//   - a distance-based floor (closer is better, CC2420-style gray region),
+//   - a static symmetric per-link fading factor (walls, antennas),
+//   - a global weather multiplier (the paper's snow days),
+//   - localized interference bursts.
+type LinkModel struct {
+	topo   *Topology
+	static map[[2]event.NodeID]float64
+	// Weather returns the global quality multiplier at time t (default 1).
+	Weather func(t sim.Time) float64
+	bursts  []Burst
+	// MinQuality / MaxQuality clamp the result; real links are never
+	// perfect and rarely total losses while in range.
+	MinQuality, MaxQuality float64
+}
+
+// NewLinkModel builds a link model over a topology with seeded fading.
+func NewLinkModel(t *Topology, seed int64) *LinkModel {
+	rng := sim.NewRNG(seed)
+	lm := &LinkModel{
+		topo:       t,
+		static:     make(map[[2]event.NodeID]float64),
+		MinQuality: 0.02,
+		MaxQuality: 0.98,
+	}
+	// Deterministic iteration: ascending node pairs.
+	ids := t.NodeIDs()
+	for _, a := range ids {
+		for _, b := range t.Neighbors(a) {
+			if a >= b {
+				continue
+			}
+			// Mostly good links with a heavy-ish tail of bad ones —
+			// the distribution deployments actually see.
+			f := rng.Range(0.75, 1.10)
+			if rng.Bool(0.08) {
+				f = rng.Range(0.25, 0.6) // a lossy outlier link
+			}
+			lm.static[pairKey(a, b)] = f
+		}
+	}
+	return lm
+}
+
+func pairKey(a, b event.NodeID) [2]event.NodeID {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]event.NodeID{a, b}
+}
+
+// AddBurst registers an interference burst.
+func (lm *LinkModel) AddBurst(b Burst) { lm.bursts = append(lm.bursts, b) }
+
+// Bursts returns the registered bursts (shared slice).
+func (lm *LinkModel) Bursts() []Burst { return lm.bursts }
+
+// Quality returns the link quality between neighbors a and b at time t.
+// Non-neighbors have quality 0.
+func (lm *LinkModel) Quality(a, b event.NodeID, t sim.Time) float64 {
+	d := lm.topo.Distance(a, b)
+	if math.IsInf(d, 1) || d > lm.topo.Range {
+		return 0
+	}
+	// Distance rolloff: near-perfect close in, degrading sharply at the
+	// fringe (the 802.15.4 "gray region").
+	q := 1 - math.Pow(d/lm.topo.Range, 3)
+	if f, ok := lm.static[pairKey(a, b)]; ok {
+		q *= f
+	}
+	if lm.Weather != nil {
+		q *= lm.Weather(t)
+	}
+	for _, burst := range lm.bursts {
+		if t < burst.Start || t >= burst.End {
+			continue
+		}
+		if lm.topo.Distance(burst.Center, a) <= burst.Radius ||
+			lm.topo.Distance(burst.Center, b) <= burst.Radius {
+			q *= burst.Factor
+		}
+	}
+	if q < lm.MinQuality {
+		q = lm.MinQuality
+	}
+	if q > lm.MaxQuality {
+		q = lm.MaxQuality
+	}
+	return q
+}
+
+// ETX returns the expected transmission count of a link at time t
+// (infinite for non-links).
+func (lm *LinkModel) ETX(a, b event.NodeID, t sim.Time) float64 {
+	q := lm.Quality(a, b, t)
+	if q <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / q
+}
+
+// NodesNear returns node IDs within radius of the given node (itself
+// included), ascending — used to scope burst effects and reports.
+func (lm *LinkModel) NodesNear(center event.NodeID, radius float64) []event.NodeID {
+	var out []event.NodeID
+	for _, n := range lm.topo.NodeIDs() {
+		if lm.topo.Distance(center, n) <= radius || n == center {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

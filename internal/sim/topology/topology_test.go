@@ -1,0 +1,239 @@
+package topology
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/sim"
+)
+
+func mustGen(t *testing.T, n int) *Topology {
+	t.Helper()
+	topo, err := Generate(DefaultConfig(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Config{N: 1, Spacing: 10, Range: 20}); err == nil {
+		t.Error("N=1 should fail")
+	}
+	if _, err := Generate(Config{N: 10, Spacing: 20, Range: 10}); err == nil {
+		t.Error("Range <= Spacing should fail")
+	}
+	if _, err := Generate(Config{N: 10, Spacing: 0, Range: 10}); err == nil {
+		t.Error("zero spacing should fail")
+	}
+}
+
+func TestGenerateBasics(t *testing.T) {
+	topo := mustGen(t, 25)
+	if len(topo.Nodes) != 25 {
+		t.Fatalf("nodes = %d", len(topo.Nodes))
+	}
+	if topo.Sink != 1 {
+		t.Errorf("sink = %v", topo.Sink)
+	}
+	if x, y, ok := topo.Position(topo.Sink); !ok || x != 0 || y != 0 {
+		t.Errorf("sink position = (%v,%v) ok=%v", x, y, ok)
+	}
+	if !topo.Contains(25) || topo.Contains(26) {
+		t.Error("Contains wrong")
+	}
+}
+
+func TestGenerateConnected(t *testing.T) {
+	for _, n := range []int{4, 25, 100, 300} {
+		topo := mustGen(t, n)
+		if !topo.Connected() {
+			t.Errorf("topology with %d nodes is disconnected", n)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := mustGen(t, 50)
+	b := mustGen(t, 50)
+	for i := range a.Nodes {
+		if a.Nodes[i] != b.Nodes[i] {
+			t.Fatal("same seed produced different topologies")
+		}
+	}
+}
+
+func TestNeighborsSymmetricAndSorted(t *testing.T) {
+	topo := mustGen(t, 64)
+	for _, a := range topo.NodeIDs() {
+		nbrs := topo.Neighbors(a)
+		for i := 1; i < len(nbrs); i++ {
+			if nbrs[i-1] >= nbrs[i] {
+				t.Fatalf("neighbors of %v unsorted: %v", a, nbrs)
+			}
+		}
+		for _, b := range nbrs {
+			found := false
+			for _, back := range topo.Neighbors(b) {
+				if back == a {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("asymmetric neighbors: %v -> %v", a, b)
+			}
+			if topo.Distance(a, b) > topo.Range {
+				t.Fatalf("neighbor %v-%v beyond range", a, b)
+			}
+		}
+	}
+}
+
+func TestDistanceUnknownNode(t *testing.T) {
+	topo := mustGen(t, 9)
+	if !math.IsInf(topo.Distance(1, 999), 1) {
+		t.Error("distance to unknown node should be +Inf")
+	}
+	if _, _, ok := topo.Position(999); ok {
+		t.Error("position of unknown node should miss")
+	}
+}
+
+func TestLinkQualityBounds(t *testing.T) {
+	topo := mustGen(t, 64)
+	lm := NewLinkModel(topo, 7)
+	for _, a := range topo.NodeIDs() {
+		for _, b := range topo.Neighbors(a) {
+			q := lm.Quality(a, b, 0)
+			if q < lm.MinQuality || q > lm.MaxQuality {
+				t.Fatalf("q(%v,%v) = %v out of bounds", a, b, q)
+			}
+		}
+	}
+}
+
+func TestLinkQualityZeroForNonNeighbors(t *testing.T) {
+	topo := mustGen(t, 100)
+	lm := NewLinkModel(topo, 7)
+	// Find a distant pair.
+	ids := topo.NodeIDs()
+	a, b := ids[0], ids[len(ids)-1]
+	if topo.Distance(a, b) <= topo.Range {
+		t.Skip("grid too small for a distant pair")
+	}
+	if q := lm.Quality(a, b, 0); q != 0 {
+		t.Errorf("distant pair quality = %v", q)
+	}
+}
+
+func TestLinkQualitySymmetric(t *testing.T) {
+	topo := mustGen(t, 49)
+	lm := NewLinkModel(topo, 7)
+	for _, a := range topo.NodeIDs() {
+		for _, b := range topo.Neighbors(a) {
+			if lm.Quality(a, b, 0) != lm.Quality(b, a, 0) {
+				t.Fatalf("asymmetric quality %v-%v", a, b)
+			}
+		}
+	}
+}
+
+func TestLinkQualityDecreasesWithDistance(t *testing.T) {
+	topo := mustGen(t, 49)
+	lm := NewLinkModel(topo, 7)
+	// Strip static fading for a clean monotonicity check.
+	for k := range lm.static {
+		lm.static[k] = 1
+	}
+	var pairs [][2]event.NodeID
+	for _, a := range topo.NodeIDs() {
+		for _, b := range topo.Neighbors(a) {
+			pairs = append(pairs, [2]event.NodeID{a, b})
+		}
+	}
+	for i := 0; i < len(pairs); i++ {
+		for j := 0; j < len(pairs); j++ {
+			di := topo.Distance(pairs[i][0], pairs[i][1])
+			dj := topo.Distance(pairs[j][0], pairs[j][1])
+			qi := lm.Quality(pairs[i][0], pairs[i][1], 0)
+			qj := lm.Quality(pairs[j][0], pairs[j][1], 0)
+			if di < dj && qi < qj {
+				t.Fatalf("quality not monotone: d=%v q=%v vs d=%v q=%v", di, qi, dj, qj)
+			}
+		}
+	}
+}
+
+func TestWeatherMultiplier(t *testing.T) {
+	topo := mustGen(t, 25)
+	lm := NewLinkModel(topo, 7)
+	a := topo.NodeIDs()[2]
+	b := topo.Neighbors(a)[0]
+	base := lm.Quality(a, b, 0)
+	lm.Weather = func(t sim.Time) float64 {
+		if t >= 100 {
+			return 0.5
+		}
+		return 1
+	}
+	if got := lm.Quality(a, b, 0); got != base {
+		t.Errorf("pre-weather quality changed: %v vs %v", got, base)
+	}
+	got := lm.Quality(a, b, 200)
+	if got >= base && base > lm.MinQuality {
+		t.Errorf("weather did not degrade quality: %v vs %v", got, base)
+	}
+}
+
+func TestBurstDegradesLocally(t *testing.T) {
+	topo := mustGen(t, 100)
+	lm := NewLinkModel(topo, 7)
+	center := topo.NodeIDs()[35]
+	lm.AddBurst(Burst{Center: center, Radius: 1, Start: 10, End: 20, Factor: 0.1})
+	nb := topo.Neighbors(center)[0]
+	during := lm.Quality(center, nb, 15)
+	outside := lm.Quality(center, nb, 25)
+	if during >= outside && outside > lm.MinQuality {
+		t.Errorf("burst did not degrade: during=%v outside=%v", during, outside)
+	}
+	// A far-away pair is unaffected.
+	ids := topo.NodeIDs()
+	far := ids[len(ids)-1]
+	if topo.Distance(center, far) > topo.Range*3 {
+		fnb := topo.Neighbors(far)
+		if len(fnb) > 0 {
+			if lm.Quality(far, fnb[0], 15) != lm.Quality(far, fnb[0], 25) {
+				t.Error("burst affected distant link")
+			}
+		}
+	}
+}
+
+func TestETX(t *testing.T) {
+	topo := mustGen(t, 25)
+	lm := NewLinkModel(topo, 7)
+	a := topo.NodeIDs()[3]
+	b := topo.Neighbors(a)[0]
+	q := lm.Quality(a, b, 0)
+	if got := lm.ETX(a, b, 0); math.Abs(got-1/q) > 1e-12 {
+		t.Errorf("ETX = %v, want %v", got, 1/q)
+	}
+	if !math.IsInf(lm.ETX(1, 9999, 0), 1) {
+		t.Error("ETX of non-link should be +Inf")
+	}
+}
+
+func TestNodesNear(t *testing.T) {
+	topo := mustGen(t, 25)
+	lm := NewLinkModel(topo, 7)
+	near := lm.NodesNear(1, topo.Range)
+	if len(near) == 0 {
+		t.Fatal("no nodes near sink")
+	}
+	for i := 1; i < len(near); i++ {
+		if near[i-1] >= near[i] {
+			t.Fatal("NodesNear unsorted")
+		}
+	}
+}

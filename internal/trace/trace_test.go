@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/diagnosis"
+	"repro/internal/event"
+	"repro/internal/flow"
+)
+
+var pkt = event.PacketID{Origin: 1, Seq: 3}
+
+func item(t event.Type, s, r event.NodeID, inferred bool) flow.Item {
+	node := r
+	if t.SenderSide() || t == event.Gen {
+		node = s
+	}
+	return flow.Item{Event: event.Event{Node: node, Type: t, Sender: s, Receiver: r, Packet: pkt}, Inferred: inferred}
+}
+
+func chainFlow() *flow.Flow {
+	f := &flow.Flow{Packet: pkt}
+	f.Append(item(event.Gen, 1, event.NoNode, false))
+	f.Append(item(event.Trans, 1, 2, false))
+	f.Append(item(event.Trans, 1, 2, false)) // retransmission
+	f.Append(item(event.Recv, 1, 2, true))
+	f.Append(item(event.AckRecvd, 1, 2, false))
+	f.Append(item(event.Trans, 2, 3, false))
+	f.Append(item(event.Recv, 2, 3, false))
+	return f
+}
+
+func TestBuildHops(t *testing.T) {
+	tr := Build(chainFlow())
+	if len(tr.Hops) != 2 {
+		t.Fatalf("hops = %d", len(tr.Hops))
+	}
+	h12 := tr.Hops[0]
+	if h12.Sender != 1 || h12.Receiver != 2 || h12.Attempts != 2 || !h12.Acked || !h12.Arrived || !h12.Inferred {
+		t.Errorf("hop 1-2 = %+v", h12)
+	}
+	h23 := tr.Hops[1]
+	if h23.Attempts != 1 || h23.Acked || !h23.Arrived || h23.Inferred {
+		t.Errorf("hop 2-3 = %+v", h23)
+	}
+	if tr.InferredEvents != 1 {
+		t.Errorf("inferred = %d", tr.InferredEvents)
+	}
+}
+
+func TestPathString(t *testing.T) {
+	tr := Build(chainFlow())
+	if got := tr.PathString(); got != "1 -> 2 -> 3" {
+		t.Errorf("path = %q", got)
+	}
+}
+
+func TestStringRendersOutcome(t *testing.T) {
+	f := chainFlow()
+	f.Visits = []flow.Visit{
+		{Node: 3, Index: 0, State: "Received", LastPos: 6},
+	}
+	s := Build(f).String()
+	for _, want := range []string{"packet 1:3", "1 -> 2 -> 3", "2 attempt(s)", "received loss at 3"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("trace output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestStringDelivered(t *testing.T) {
+	f := chainFlow()
+	f.Append(flow.Item{Event: event.Event{Node: event.Server, Type: event.ServerRecv,
+		Sender: 3, Receiver: event.Server, Packet: pkt}})
+	s := Build(f).String()
+	if !strings.Contains(s, "outcome: delivered") {
+		t.Errorf("missing delivered outcome:\n%s", s)
+	}
+}
+
+func TestLoopDetection(t *testing.T) {
+	f := chainFlow()
+	f.Append(item(event.Trans, 3, 1, false))
+	f.Append(item(event.Recv, 3, 1, false))
+	tr := Build(f)
+	if !tr.Loop {
+		t.Error("loop not flagged")
+	}
+	if !strings.Contains(tr.String(), "LOOP") {
+		t.Error("loop not rendered")
+	}
+}
+
+func TestBuildAllSorted(t *testing.T) {
+	f1 := &flow.Flow{Packet: event.PacketID{Origin: 2, Seq: 1}}
+	f2 := &flow.Flow{Packet: event.PacketID{Origin: 1, Seq: 9}}
+	f3 := &flow.Flow{Packet: event.PacketID{Origin: 1, Seq: 2}}
+	traces := BuildAll([]*flow.Flow{f1, f2, f3})
+	if traces[0].Packet != f3.Packet || traces[1].Packet != f2.Packet || traces[2].Packet != f1.Packet {
+		t.Errorf("order: %v %v %v", traces[0].Packet, traces[1].Packet, traces[2].Packet)
+	}
+}
+
+func TestLoopsFilter(t *testing.T) {
+	plain := Build(chainFlow())
+	looped := Build(chainFlow())
+	looped.Loop = true
+	got := Loops([]*Trace{plain, looped})
+	if len(got) != 1 || !got[0].Loop {
+		t.Errorf("loops = %v", got)
+	}
+}
+
+func TestOutcomeMatchesClassifier(t *testing.T) {
+	f := chainFlow()
+	f.Visits = []flow.Visit{{Node: 3, Index: 0, State: "Received", LastPos: 6}}
+	tr := Build(f)
+	want := diagnosis.Classify(f)
+	if tr.Outcome != want {
+		t.Errorf("outcome = %+v, want %+v", tr.Outcome, want)
+	}
+}

@@ -1,0 +1,158 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/diagnosis"
+	"repro/internal/event"
+	"repro/internal/sim"
+)
+
+func TestDefaults(t *testing.T) {
+	c := CitySeeConfig{}.withDefaults()
+	if c.Nodes != 120 || c.Days != 30 || c.FixDay != 23 {
+		t.Errorf("defaults = %+v", c)
+	}
+	if len(c.SnowDays) != 2 || c.SnowDays[0] != 9 {
+		t.Errorf("snow days = %v", c.SnowDays)
+	}
+	// Explicit values survive.
+	c = CitySeeConfig{Nodes: 10, Days: 3}.withDefaults()
+	if c.Nodes != 10 || c.Days != 3 {
+		t.Errorf("explicit config clobbered: %+v", c)
+	}
+}
+
+func TestTinyCampaignRuns(t *testing.T) {
+	res, err := Run(Tiny(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truth.Generated == 0 {
+		t.Fatal("nothing generated")
+	}
+	if res.Logs.TotalEvents() == 0 {
+		t.Fatal("no logs collected")
+	}
+	if res.LogsDropped == 0 {
+		t.Error("lossy collection dropped nothing")
+	}
+	frac := float64(res.LogsDropped) / float64(res.LogsSeen)
+	if frac < 0.15 || frac > 0.35 {
+		t.Errorf("log drop fraction = %.3f, want ~0.2 (+blackouts)", frac)
+	}
+	if res.Sink != res.Topology.Sink {
+		t.Error("sink mismatch")
+	}
+}
+
+func TestCampaignDeterminism(t *testing.T) {
+	a, err := Run(Tiny(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Tiny(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Truth.Generated != b.Truth.Generated || a.Truth.Delivered != b.Truth.Delivered {
+		t.Errorf("ground truth differs across identical runs")
+	}
+	if a.Logs.TotalEvents() != b.Logs.TotalEvents() {
+		t.Errorf("log sizes differ: %d vs %d", a.Logs.TotalEvents(), b.Logs.TotalEvents())
+	}
+}
+
+func TestCampaignHasDiverseLossCauses(t *testing.T) {
+	res, err := Run(Tiny(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	causes := make(map[diagnosis.Cause]int)
+	for _, f := range res.Truth.Fates {
+		causes[f.Cause]++
+	}
+	if causes[diagnosis.Delivered] == 0 {
+		t.Error("no deliveries")
+	}
+	lost := res.Truth.LossCount()
+	if lost == 0 {
+		t.Fatal("no losses at all")
+	}
+	// The tiny campaign must at least produce sink-side losses (the bad
+	// cable era) and some in-network loss.
+	sinkSide := 0
+	for _, f := range res.Truth.Fates {
+		if (f.Cause == diagnosis.ReceivedLoss || f.Cause == diagnosis.AckedLoss) &&
+			f.Position == res.Sink {
+			sinkSide++
+		}
+	}
+	if sinkSide == 0 {
+		t.Errorf("no sink-side losses; causes = %v", causes)
+	}
+}
+
+func TestOutageWindowsGenerateServerEvents(t *testing.T) {
+	res, err := Run(Tiny(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := res.Logs.Logs[event.Server]
+	if srv == nil {
+		t.Fatal("no server log")
+	}
+	downs := 0
+	for _, e := range srv.Events {
+		if e.Type == event.ServerDown {
+			downs++
+		}
+	}
+	if downs == 0 {
+		t.Error("no server outage events despite OutageHours")
+	}
+}
+
+func TestBuildAllowsExtraSinks(t *testing.T) {
+	net, coll, cfg, err := Build(Tiny(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	net.AddSink(sinkFunc(func(e event.Event) { count++ }))
+	net.Run()
+	if count == 0 {
+		t.Error("extra sink saw nothing")
+	}
+	seen, _ := coll.Stats()
+	if seen != count {
+		t.Errorf("sinks disagree: collector %d, counter %d", seen, count)
+	}
+	if cfg.Nodes != 25 {
+		t.Errorf("cfg = %+v", cfg)
+	}
+}
+
+type sinkFunc func(event.Event)
+
+func (f sinkFunc) Record(e event.Event) { f(e) }
+
+func TestSnowDegradesDay(t *testing.T) {
+	// Build the campaign and probe its weather function indirectly via
+	// the network's link model at snow vs clear times.
+	net, _, _, err := Build(Tiny(5)) // Tiny: snow on day 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := net.Topology()
+	var a, b event.NodeID
+	a = topo.NodeIDs()[2]
+	b = topo.Neighbors(a)[0]
+	snowT := sim.Time(0) + 6*sim.Hour       // day 1
+	clearT := sim.Day + 6*sim.Hour          // day 2
+	qs := net.Links().Quality(a, b, snowT)  // during snow
+	qc := net.Links().Quality(a, b, clearT) // clear (may still hit a burst)
+	if qs >= qc {
+		t.Errorf("snow-day quality %v >= clear-day %v", qs, qc)
+	}
+}
