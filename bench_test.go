@@ -67,6 +67,7 @@ func BenchmarkTableII(b *testing.B) {
 		b.Fatal(err)
 	}
 	view := tableIIView()
+	b.ReportAllocs()
 	b.ResetTimer()
 	var inferred int
 	for i := 0; i < b.N; i++ {
@@ -74,6 +75,48 @@ func BenchmarkTableII(b *testing.B) {
 		inferred = f.InferredCount()
 	}
 	b.ReportMetric(float64(inferred), "inferred/pkt")
+}
+
+// BenchmarkAnalyzePacket isolates single-packet reconstruction cost on a
+// lossy multi-hop chain: the engine must infer a lost recv and a lost ack,
+// exercising prerequisite driving and path inference, with no campaign or
+// partitioning overhead around it.
+func BenchmarkAnalyzePacket(b *testing.B) {
+	pkt := event.PacketID{Origin: 1, Seq: 1}
+	hops := 8
+	path := make([]event.NodeID, hops+1)
+	for i := range path {
+		path[i] = event.NodeID(i + 1)
+	}
+	view := &event.PacketView{Packet: pkt, PerNode: map[event.NodeID][]event.Event{}}
+	add := func(e event.Event) {
+		view.PerNode[e.Node] = append(view.PerNode[e.Node], e)
+	}
+	add(event.Event{Node: 1, Type: event.Gen, Sender: 1, Packet: pkt})
+	for i := 0; i+1 < len(path); i++ {
+		s, r := path[i], path[i+1]
+		add(event.Event{Node: s, Type: event.Trans, Sender: s, Receiver: r, Packet: pkt})
+		if i%3 != 1 { // every third hop loses its recv record
+			add(event.Event{Node: r, Type: event.Recv, Sender: s, Receiver: r, Packet: pkt})
+		}
+		if i%4 != 2 { // and some hops lose the ack record
+			add(event.Event{Node: s, Type: event.AckRecvd, Sender: s, Receiver: r, Packet: pkt})
+		}
+	}
+	eng, err := engine.New(engine.Options{Sink: path[len(path)-1]})
+	if err != nil {
+		b.Fatal(err)
+	}
+	nEvents := view.TotalEvents()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := eng.AnalyzePacket(view)
+		if len(f.Items) == 0 {
+			b.Fatal("empty flow")
+		}
+	}
+	b.ReportMetric(float64(nEvents)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
 }
 
 // BenchmarkFig3Dissemination measures the Figure 3 scenarios (experiment
@@ -187,6 +230,7 @@ func BenchmarkAnalyzeCampaign(b *testing.B) {
 		b.Fatal(err)
 	}
 	events := c.Res.Logs.TotalEvents()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		out := an.Analyze(c.Res.Logs)
@@ -195,6 +239,7 @@ func BenchmarkAnalyzeCampaign(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(events), "events")
+	b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
 }
 
 // BenchmarkAccuracyVsLogLoss runs the E-A1 sweep at benchmark scale and
@@ -277,6 +322,7 @@ func BenchmarkEngineChain(b *testing.B) {
 				b.Fatal(err)
 			}
 			nEvents := view.TotalEvents()
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				f := eng.AnalyzePacket(view)
@@ -321,6 +367,8 @@ func BenchmarkAnalyzeCampaignParallel(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	events := c.Res.Logs.TotalEvents()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res := eng.AnalyzeParallel(c.Res.Logs, 0)
@@ -328,6 +376,27 @@ func BenchmarkAnalyzeCampaignParallel(b *testing.B) {
 			b.Fatal("no flows")
 		}
 	}
+	b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkAnalyzeCampaignStream measures the streaming pipeline, where
+// partitioning overlaps with per-packet analysis.
+func BenchmarkAnalyzeCampaignStream(b *testing.B) {
+	c := benchCampaign(b)
+	eng, err := engine.New(engine.Options{Sink: c.Res.Sink})
+	if err != nil {
+		b.Fatal(err)
+	}
+	events := c.Res.Logs.TotalEvents()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := eng.AnalyzeStream(c.Res.Logs, 0)
+		if len(res.Flows) == 0 {
+			b.Fatal("no flows")
+		}
+	}
+	b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
 }
 
 // BenchmarkClockRecovery measures post-hoc clock estimation (E-A6) over the

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/profiling"
 	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -32,8 +33,15 @@ func main() {
 		small  = flag.Bool("small", false, "use the small benchmark-scale campaign")
 		svgDir = flag.String("svg", "", "also write fig*.svg into this directory")
 		csvDir = flag.String("csv", "", "also write fig*.csv series into this directory")
+		prof   profiling.Flags
 	)
+	prof.Register(flag.CommandLine)
 	flag.Parse()
+	stopProf, err := profiling.Start(prof)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 	for _, dir := range []string{*svgDir, *csvDir} {
 		if dir != "" {
 			if err := os.MkdirAll(dir, 0o755); err != nil {

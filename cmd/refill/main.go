@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/profiling"
 	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/sim/network"
@@ -31,13 +32,20 @@ func main() {
 		days      = flag.Int("days", 30, "campaign length in days (bounds open outage windows)")
 		binFormat = flag.Bool("binary", false, "input is the compact binary log format")
 		clocks    = flag.Bool("clocks", false, "recover per-node clock offsets from the flows")
+		prof      profiling.Flags
 	)
+	prof.Register(flag.CommandLine)
 	flag.Parse()
 	if *logsPath == "" {
 		fmt.Fprintln(os.Stderr, "refill: -logs is required")
 		flag.Usage()
 		os.Exit(2)
 	}
+	stopProf, err := profiling.Start(prof)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 	f, err := os.Open(*logsPath)
 	if err != nil {
 		fatal(err)

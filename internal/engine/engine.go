@@ -7,6 +7,7 @@ package engine
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/event"
 	"repro/internal/flow"
@@ -39,9 +40,41 @@ type Options struct {
 	Group []event.NodeID
 }
 
+// prereqRule is a protocol prerequisite flattened into a dense per-type
+// table, so the per-event lookup is an array index instead of a map access.
+type prereqRule struct {
+	pr fsm.Prereq
+	ok bool
+}
+
+// resolvedPrereq is a Prereq with its state names resolved against one
+// concrete graph: the per-drive StateByName lookups (and the slice the old
+// acceptable() allocated per call) are paid once at engine construction.
+type resolvedPrereq struct {
+	states  []fsm.StateID // pr.AnyOf resolved in the graph, declaration order
+	inferTo fsm.StateID   // fsm.NoState when the graph lacks the state
+}
+
+// graphPrereqs holds every event type's resolved prerequisites for one graph.
+type graphPrereqs struct {
+	inter []resolvedPrereq // indexed by event.Type
+	self  []resolvedPrereq
+}
+
 // Engine reconstructs per-packet event flows from lossy per-node logs.
 type Engine struct {
 	opts Options
+	// interPrereq / selfPrereq are the protocol's prerequisite rules as
+	// dense per-type tables; prereqs resolves their state names per role
+	// graph. sentBound[t] marks rules that bind a transmission target
+	// (PeerRole sender, AnyOf includes Sent) for checkPeerBinding.
+	interPrereq [event.NumTypes]prereqRule
+	selfPrereq  [event.NumTypes]prereqRule
+	sentBound   [event.NumTypes]bool
+	prereqs     map[*fsm.Graph]*graphPrereqs
+	// runPool recycles per-packet run state (node tables, visit structs)
+	// across AnalyzePacket calls; safe for concurrent workers.
+	runPool sync.Pool
 }
 
 // New validates options and returns an Engine.
@@ -58,7 +91,61 @@ func New(opts Options) (*Engine, error) {
 	if opts.MaxDepth <= 0 {
 		opts.MaxDepth = 256
 	}
-	return &Engine{opts: opts}, nil
+	e := &Engine{opts: opts, prereqs: make(map[*fsm.Graph]*graphPrereqs, 4)}
+	for t := 0; t < event.NumTypes; t++ {
+		if pr, ok := opts.Protocol.Prereq(event.Type(t)); ok {
+			e.interPrereq[t] = prereqRule{pr: pr, ok: true}
+			if pr.PeerRole == fsm.SelfSender && !pr.Group {
+				for _, name := range pr.AnyOf {
+					if name == fsm.StateSent {
+						e.sentBound[t] = true
+					}
+				}
+			}
+		}
+		if pr, ok := opts.Protocol.SelfPrereq(event.Type(t)); ok {
+			e.selfPrereq[t] = prereqRule{pr: pr, ok: true}
+		}
+	}
+	for _, role := range []fsm.NodeRole{fsm.RoleOrigin, fsm.RoleForward, fsm.RoleSink, fsm.RoleServer} {
+		g := opts.Protocol.Graph(role)
+		if g == nil {
+			continue
+		}
+		if _, done := e.prereqs[g]; done {
+			continue
+		}
+		gp := &graphPrereqs{
+			inter: make([]resolvedPrereq, event.NumTypes),
+			self:  make([]resolvedPrereq, event.NumTypes),
+		}
+		for t := 0; t < event.NumTypes; t++ {
+			gp.inter[t] = resolvePrereq(g, e.interPrereq[t])
+			gp.self[t] = resolvePrereq(g, e.selfPrereq[t])
+		}
+		e.prereqs[g] = gp
+	}
+	e.runPool.New = func() any { return new(run) }
+	return e, nil
+}
+
+// resolvePrereq resolves a rule's state names in g, mirroring the semantics
+// of the prerequisite "acceptable" set: AnyOf states in declaration order,
+// plus the preferred inference target.
+func resolvePrereq(g *fsm.Graph, rule prereqRule) resolvedPrereq {
+	rp := resolvedPrereq{inferTo: fsm.NoState}
+	if !rule.ok {
+		return rp
+	}
+	for _, name := range rule.pr.AnyOf {
+		if id := g.StateByName(name); id != fsm.NoState {
+			rp.states = append(rp.states, id)
+		}
+	}
+	if id := g.StateByName(rule.pr.InferTo); id != fsm.NoState {
+		rp.inferTo = id
+	}
+	return rp
 }
 
 // Result is the outcome of analyzing a whole collection.
@@ -73,9 +160,9 @@ type Result struct {
 // Analyze partitions the collection by packet and reconstructs every flow.
 func (e *Engine) Analyze(c *event.Collection) *Result {
 	views, ops := event.Partition(c)
-	res := &Result{Operational: ops}
-	for _, v := range views {
-		res.Flows = append(res.Flows, e.AnalyzePacket(v))
+	res := &Result{Operational: ops, Flows: make([]*flow.Flow, len(views))}
+	for i, v := range views {
+		res.Flows[i] = e.AnalyzePacket(v)
 	}
 	return res
 }
@@ -83,40 +170,54 @@ func (e *Engine) Analyze(c *event.Collection) *Result {
 // AnalyzePacket reconstructs the event flow for a single packet from its
 // per-node log slices.
 func (e *Engine) AnalyzePacket(v *event.PacketView) *flow.Flow {
-	r := &run{
-		e:          e,
-		pkt:        v.Packet,
-		f:          &flow.Flow{Packet: v.Packet},
-		queues:     make(map[event.NodeID][]event.Event),
-		current:    make(map[event.NodeID]*visit),
-		driving:    make(map[event.NodeID]bool),
-		processing: make(map[event.NodeID]int),
-	}
+	r := e.runPool.Get().(*run)
+	r.e = e
+	r.pkt = v.Packet
+	r.infers = 0
+	r.inferCapHit = false
+	total := 0
+	r.scratch = r.scratch[:0]
 	for n, evs := range v.PerNode {
-		r.queues[n] = evs
+		total += len(evs)
+		r.scratch = append(r.scratch, n)
 	}
+	// Insertion sort: per-packet node sets are tiny, and this avoids the
+	// sort.Slice closure allocation on every packet.
+	for i := 1; i < len(r.scratch); i++ {
+		for j := i; j > 0 && r.scratch[j] < r.scratch[j-1]; j-- {
+			r.scratch[j], r.scratch[j-1] = r.scratch[j-1], r.scratch[j]
+		}
+	}
+	r.f = &flow.Flow{Packet: v.Packet, Items: make([]flow.Item, 0, total+4)}
 	// Deterministic node order: the packet's origin first (the paper's
 	// algorithm starts from a given node; custody starts at the origin),
 	// then ascending node IDs. The Server pseudo-node has the largest ID
 	// and therefore naturally comes last.
-	nodes := v.Nodes()
 	r.order = r.order[:0]
-	if _, hasOrigin := v.PerNode[v.Packet.Origin]; hasOrigin {
-		r.order = append(r.order, v.Packet.Origin)
+	if evs, hasOrigin := v.PerNode[v.Packet.Origin]; hasOrigin {
+		ni := r.addNode(v.Packet.Origin)
+		r.queues[ni] = evs
+		r.order = append(r.order, int32(ni))
 	}
-	for _, n := range nodes {
-		if n != v.Packet.Origin {
-			r.order = append(r.order, n)
+	for _, n := range r.scratch {
+		if n == v.Packet.Origin {
+			continue
 		}
+		ni := r.addNode(n)
+		r.queues[ni] = v.PerNode[n]
+		r.order = append(r.order, int32(ni))
 	}
 	r.exec()
-	return r.f
+	f := r.f
+	r.release()
+	return f
 }
 
 // visit is one life cycle of one node's engine for the packet under analysis.
 type visit struct {
 	node    event.NodeID
 	graph   *fsm.Graph
+	gp      *graphPrereqs // resolved prerequisites of graph (nil if unknown)
 	index   int
 	cur     fsm.StateID
 	peer    event.NodeID // transmission target bound by trans/ack/timeout
@@ -125,22 +226,77 @@ type visit struct {
 	started bool
 }
 
-// run is the per-packet execution state of the transition algorithm.
+// run is the per-packet execution state of the transition algorithm. All
+// per-node bookkeeping is slice-backed, indexed by a dense per-packet node
+// index (nodes), so the per-event hot path performs no map operations; the
+// whole struct — including retired visit structs — is recycled through the
+// engine's run pool.
 type run struct {
-	e       *Engine
-	pkt     event.PacketID
-	f       *flow.Flow
-	queues  map[event.NodeID][]event.Event
-	current map[event.NodeID]*visit
-	all     []*visit // every visit ever created, in creation order
-	order   []event.NodeID
-	driving map[event.NodeID]bool
-	// processing counts in-flight process() frames per node: a node whose
-	// own event is mid-processing must not be driven (consuming its later
-	// events first would violate per-node log order).
-	processing  map[event.NodeID]int
-	infers      int
+	e   *Engine
+	pkt event.PacketID
+	f   *flow.Flow
+	// nodes maps the dense node index to the NodeID; the parallel slices
+	// below are addressed by that index.
+	nodes      []event.NodeID
+	queues     [][]event.Event
+	current    []*visit
+	byNode     [][]*visit // every visit of the node, creation order
+	driving    []bool
+	processing []int // in-flight process() frames per node (see process)
+	all        []*visit
+	order      []int32 // node indices in deterministic processing order
+	scratch    []event.NodeID
+	spare      []*visit // retired visit structs for reuse
+	infers     int
 	inferCapHit bool
+}
+
+// release returns the run to the engine pool, recycling visit structs and
+// dropping references that would pin the caller's collection or flow.
+func (r *run) release() {
+	r.spare = append(r.spare, r.all...)
+	r.all = r.all[:0]
+	for i := range r.nodes {
+		r.queues[i] = nil
+		r.current[i] = nil
+	}
+	r.nodes = r.nodes[:0]
+	r.queues = r.queues[:0]
+	r.current = r.current[:0]
+	r.driving = r.driving[:0]
+	r.processing = r.processing[:0]
+	r.byNode = r.byNode[:0] // inner slices keep their capacity (see addNode)
+	r.f = nil
+	r.e.runPool.Put(r)
+}
+
+// addNode registers a node under the next dense index.
+func (r *run) addNode(n event.NodeID) int {
+	i := len(r.nodes)
+	r.nodes = append(r.nodes, n)
+	r.queues = append(r.queues, nil)
+	r.current = append(r.current, nil)
+	r.driving = append(r.driving, false)
+	r.processing = append(r.processing, 0)
+	if i < cap(r.byNode) {
+		r.byNode = r.byNode[:i+1]
+		r.byNode[i] = r.byNode[i][:0]
+	} else {
+		r.byNode = append(r.byNode, nil)
+	}
+	return i
+}
+
+// idx returns the dense index for a node, registering it on first use (a
+// prerequisite peer may have no logged events of its own). Node sets per
+// packet are small, so a linear scan beats hashing.
+func (r *run) idx(n event.NodeID) int {
+	for i, m := range r.nodes {
+		if m == n {
+			return i
+		}
+	}
+	return r.addNode(n)
 }
 
 // roleOf classifies which template a node runs for this packet.
@@ -157,29 +313,46 @@ func (r *run) roleOf(n event.NodeID) fsm.NodeRole {
 	}
 }
 
+// newVisit opens a visit on graph g at node index ni, reusing a retired
+// visit struct when one is available.
+func (r *run) newVisit(ni int, g *fsm.Graph, index int) *visit {
+	var v *visit
+	if k := len(r.spare); k > 0 {
+		v = r.spare[k-1]
+		r.spare = r.spare[:k-1]
+		*v = visit{}
+	} else {
+		v = new(visit)
+	}
+	v.node = r.nodes[ni]
+	v.graph = g
+	v.gp = r.e.prereqs[g]
+	v.index = index
+	v.cur = g.Start()
+	v.peer = event.NoNode
+	v.lastPos = -1
+	r.current[ni] = v
+	r.all = append(r.all, v)
+	r.byNode[ni] = append(r.byNode[ni], v)
+	return v
+}
+
 // visitFor returns the node's current visit, creating visit 0 on first use.
-func (r *run) visitFor(n event.NodeID) *visit {
-	if v, ok := r.current[n]; ok {
+func (r *run) visitFor(ni int) *visit {
+	if v := r.current[ni]; v != nil {
 		return v
 	}
-	g := r.e.opts.Protocol.Graph(r.roleOf(n))
-	v := &visit{node: n, graph: g, index: 0, cur: g.Start(), peer: event.NoNode, lastPos: -1}
-	r.current[n] = v
-	r.all = append(r.all, v)
-	return v
+	g := r.e.opts.Protocol.Graph(r.roleOf(r.nodes[ni]))
+	return r.newVisit(ni, g, 0)
 }
 
 // rotate closes the node's current visit and opens a fresh one on graph g
 // (the packet revisiting the node: routing loop or duplicate copy). A loop
 // can bring a packet back to its own origin, in which case the new visit runs
 // the forwarding template instead of the origin one.
-func (r *run) rotate(n event.NodeID, g *fsm.Graph) *visit {
-	old := r.current[n]
-	v := &visit{node: n, graph: g, index: old.index + 1,
-		cur: g.Start(), peer: event.NoNode, lastPos: -1}
-	r.current[n] = v
-	r.all = append(r.all, v)
-	return v
+func (r *run) rotate(ni int, g *fsm.Graph) *visit {
+	old := r.current[ni]
+	return r.newVisit(ni, g, old.index+1)
 }
 
 // altGraph returns the alternative template a node may run on a revisit:
@@ -192,17 +365,46 @@ func (r *run) altGraph(n event.NodeID) *fsm.Graph {
 	return nil
 }
 
+// resolved returns the visit's resolved prerequisite entry for event type t
+// (inter- or self-prerequisite). Visits on protocol role graphs hit the
+// precomputed table; foreign graphs fall back to resolving by name.
+func (r *run) resolved(v *visit, t event.Type, self bool) resolvedPrereq {
+	if v.gp != nil {
+		if self {
+			return v.gp.self[t]
+		}
+		return v.gp.inter[t]
+	}
+	return r.resolvedIn(v.graph, t, self)
+}
+
+// resolvedIn is resolved for an arbitrary graph (used before rotating onto
+// an alternative template).
+func (r *run) resolvedIn(g *fsm.Graph, t event.Type, self bool) resolvedPrereq {
+	if gp := r.e.prereqs[g]; gp != nil {
+		if self {
+			return gp.self[t]
+		}
+		return gp.inter[t]
+	}
+	rule := r.e.interPrereq[t]
+	if self {
+		rule = r.e.selfPrereq[t]
+	}
+	return resolvePrereq(g, rule)
+}
+
 // exec runs the main loop: drain every node's queue in deterministic order
 // (prerequisite recursion may consume other queues along the way), then
 // finalize visit summaries.
 func (r *run) exec() {
 	for pass := 0; pass < 2; pass++ {
 		progress := false
-		for _, n := range r.order {
-			for len(r.queues[n]) > 0 {
-				ev := r.queues[n][0]
-				r.queues[n] = r.queues[n][1:]
-				r.process(n, ev, 0)
+		for _, ni := range r.order {
+			for len(r.queues[ni]) > 0 {
+				ev := r.queues[ni][0]
+				r.queues[ni] = r.queues[ni][1:]
+				r.process(int(ni), ev, 0)
 				progress = true
 			}
 		}
@@ -210,6 +412,16 @@ func (r *run) exec() {
 			break
 		}
 	}
+	started := 0
+	for _, v := range r.all {
+		if v.started {
+			started++
+		}
+	}
+	if started == 0 {
+		return
+	}
+	r.f.Visits = make([]flow.Visit, 0, started)
 	for _, v := range r.all {
 		if !v.started {
 			continue
@@ -226,7 +438,7 @@ func (r *run) exec() {
 	}
 }
 
-// process applies one logged event at node n, following the paper's
+// process applies one logged event at node index ni, following the paper's
 // transition algorithm:
 //
 //  1. take the normal transition if one matches, first satisfying any
@@ -238,7 +450,8 @@ func (r *run) exec() {
 //  4. otherwise the event cannot be processed and is omitted (anomaly).
 //
 // It reports whether the event was applied.
-func (r *run) process(n event.NodeID, ev event.Event, depth int) bool {
+func (r *run) process(ni int, ev event.Event, depth int) bool {
+	n := r.nodes[ni]
 	if depth > r.e.opts.MaxDepth {
 		r.anomaly(ev, "recursion depth exceeded")
 		return false
@@ -252,17 +465,15 @@ func (r *run) process(n event.NodeID, ev event.Event, depth int) bool {
 		r.anomaly(ev, "event for a different packet")
 		return false
 	}
-	r.processing[n]++
-	defer func() { r.processing[n]-- }()
+	r.processing[ni]++
+	defer func() { r.processing[ni]-- }()
 	// Self-prerequisite: the event is only possible if some visit of this
 	// node already passed a given state (e.g. dup implies a prior recv).
 	// An intra-node correlation, so it obeys the DisableIntra ablation.
-	if !r.e.opts.DisableIntra {
-		if spr, ok := r.e.opts.Protocol.SelfPrereq(ev.Type); ok {
-			r.ensureSelf(n, spr, ev, depth)
-		}
+	if !r.e.opts.DisableIntra && int(ev.Type) < event.NumTypes && r.e.selfPrereq[ev.Type].ok {
+		r.ensureSelf(ni, ev, depth)
 	}
-	v := r.visitFor(n)
+	v := r.visitFor(ni)
 	tr, ok := r.transitionFor(v, label)
 	if !ok {
 		// The current visit cannot consume the event; if a fresh
@@ -270,12 +481,12 @@ func (r *run) process(n event.NodeID, ev event.Event, depth int) bool {
 		// a routing loop, on the forwarding template — the packet is
 		// revisiting the node.
 		if v.cur != v.graph.Start() && r.startCan(v.graph, label) {
-			v = r.rotate(n, v.graph)
+			v = r.rotate(ni, v.graph)
 			tr, ok = r.transitionFor(v, label)
 		}
 		if !ok {
 			if alt := r.altGraph(n); alt != nil && alt != v.graph && r.startCan(alt, label) {
-				v = r.rotate(n, alt)
+				v = r.rotate(ni, alt)
 				tr, ok = r.transitionFor(v, label)
 			}
 		}
@@ -297,7 +508,7 @@ func (r *run) process(n event.NodeID, ev event.Event, depth int) bool {
 	r.satisfyPrereq(ev, depth)
 	// A deep prerequisite chain may itself have advanced or rotated this
 	// node's engine (cyclic traffic); re-resolve before committing.
-	if cur := r.current[n]; cur != v {
+	if cur := r.current[ni]; cur != v {
 		v = cur
 		if tr, ok = r.transitionFor(v, label); !ok {
 			r.anomaly(ev, "visit advanced by prerequisite chain; no transition from "+v.graph.State(v.cur).Name)
@@ -374,18 +585,28 @@ func hintsFromEvent(ev event.Event, self event.NodeID) (up, down event.NodeID) {
 	return
 }
 
+// budgetInfer accounts one inferred event against the per-packet MaxInferred
+// budget, recording the exhaustion anomaly once. Every inference — including
+// the retargeted transmissions of checkPeerBinding — must pass through it.
+func (r *run) budgetInfer(n event.NodeID) bool {
+	if r.infers >= r.e.opts.MaxInferred {
+		if !r.inferCapHit {
+			r.inferCapHit = true
+			r.anomaly(event.Event{Node: n, Packet: r.pkt}, "inference budget exhausted")
+		}
+		return false
+	}
+	r.infers++
+	return true
+}
+
 // emitInferred synthesizes the lost event for one normal transition edge at
 // visit v, resolving the peer from hints or sibling engines, recursively
 // satisfying the inferred event's own prerequisite, and applying it.
 func (r *run) emitInferred(v *visit, step fsm.Transition, up, down event.NodeID, depth int) {
-	if r.infers >= r.e.opts.MaxInferred {
-		if !r.inferCapHit {
-			r.inferCapHit = true
-			r.anomaly(event.Event{Node: v.node, Packet: r.pkt}, "inference budget exhausted")
-		}
+	if !r.budgetInfer(v.node) {
 		return
 	}
-	r.infers++
 	peer := event.NoNode
 	switch step.On.Self {
 	case fsm.SelfSender:
@@ -410,33 +631,36 @@ func (r *run) emitInferred(v *visit, step fsm.Transition, up, down event.NodeID,
 }
 
 // findUpstream scans sibling engines for a node whose engine has passed Sent
-// toward n — the only candidate sender of an inferred reception at n.
+// toward n — the only candidate sender of an inferred reception at n. The
+// scan runs backward over creation order (the forward scan kept the LAST
+// match), exiting at the first hit.
 func (r *run) findUpstream(n event.NodeID) event.NodeID {
-	best := event.NoNode
-	for _, v := range r.all {
+	for i := len(r.all) - 1; i >= 0; i-- {
+		v := r.all[i]
 		if v.node == n || !v.started || v.peer != n {
 			continue
 		}
-		sent := v.graph.StateByName(fsm.StateSent)
+		sent := v.graph.SentState()
 		if sent == fsm.NoState {
 			continue
 		}
 		if v.graph.Passed(v.cur, sent) {
-			best = v.node
+			return v.node
 		}
 	}
-	return best
+	return event.NoNode
 }
 
-// anyVisitPassed reports whether any visit of node n has passed one of the
-// named states (resolved per visit graph).
-func (r *run) anyVisitPassed(n event.NodeID, names []string) bool {
-	for _, v := range r.all {
-		if v.node != n || !v.started {
+// anyVisitPassed reports whether any visit of node index ni has passed one of
+// the self-prerequisite states for event type t (resolved per visit graph).
+func (r *run) anyVisitPassed(ni int, t event.Type) bool {
+	for _, v := range r.byNode[ni] {
+		if !v.started {
 			continue
 		}
-		for _, name := range names {
-			if id := v.graph.StateByName(name); id != fsm.NoState && v.graph.Passed(v.cur, id) {
+		rp := r.resolved(v, t, true)
+		for _, s := range rp.states {
+			if v.graph.Passed(v.cur, s) {
 				return true
 			}
 		}
@@ -444,17 +668,17 @@ func (r *run) anyVisitPassed(n event.NodeID, names []string) bool {
 	return false
 }
 
-// ensureSelf realizes a self-prerequisite: if no visit of n has passed the
-// required state, the lost events that would have gotten it there are
+// ensureSelf realizes a self-prerequisite: if no visit of the node has passed
+// the required state, the lost events that would have gotten it there are
 // inferred into the current (or a suitably-templated fresh) visit.
-func (r *run) ensureSelf(n event.NodeID, spr fsm.Prereq, ev event.Event, depth int) {
-	if r.anyVisitPassed(n, spr.AnyOf) {
+func (r *run) ensureSelf(ni int, ev event.Event, depth int) {
+	if r.anyVisitPassed(ni, ev.Type) {
 		return
 	}
-	v := r.visitFor(n)
-	path, v2, ok := r.inferRoute(n, v, spr)
+	v := r.visitFor(ni)
+	path, v2, ok := r.inferRoute(ni, v, ev.Type, true)
 	if !ok {
-		r.anomaly(ev, "self-prerequisite cannot be inferred at "+n.String())
+		r.anomaly(ev, "self-prerequisite cannot be inferred at "+r.nodes[ni].String())
 		return
 	}
 	for _, step := range path {
@@ -472,7 +696,7 @@ func (r *run) findBroadcaster(n event.NodeID) event.NodeID {
 		if v.node == n || !v.started {
 			continue
 		}
-		ann := v.graph.StateByName(fsm.StateAnnounced)
+		ann := v.graph.AnnouncedState()
 		if ann == fsm.NoState || !v.graph.Passed(v.cur, ann) {
 			continue
 		}
@@ -492,16 +716,16 @@ func (r *run) satisfyPrereq(ev event.Event, depth int) {
 	if r.e.opts.DisableInter {
 		return
 	}
-	pr, ok := r.e.opts.Protocol.Prereq(ev.Type)
-	if !ok {
+	if int(ev.Type) >= event.NumTypes || !r.e.interPrereq[ev.Type].ok {
 		return
 	}
+	pr := &r.e.interPrereq[ev.Type].pr
 	if pr.Group {
 		// Many-to-1 prerequisite (Figure 3(c)/(d)): every group member
 		// except the event's own node must be driven into place.
 		for _, member := range r.e.opts.Group {
 			if member != ev.Node {
-				r.drive(member, pr, ev, depth+1)
+				r.drive(member, ev, depth+1)
 			}
 		}
 		return
@@ -516,22 +740,7 @@ func (r *run) satisfyPrereq(ev event.Event, depth int) {
 	if peer == event.NoNode || peer == ev.Node {
 		return // unresolved endpoint: nothing to drive
 	}
-	r.drive(peer, pr, ev, depth+1)
-}
-
-// acceptable returns the prerequisite's acceptable state set resolved in g,
-// and the preferred inference target.
-func acceptable(g *fsm.Graph, pr fsm.Prereq) (states []fsm.StateID, inferTo fsm.StateID) {
-	inferTo = fsm.NoState
-	for _, name := range pr.AnyOf {
-		if id := g.StateByName(name); id != fsm.NoState {
-			states = append(states, id)
-		}
-	}
-	if id := g.StateByName(pr.InferTo); id != fsm.NoState {
-		inferTo = id
-	}
-	return
+	r.drive(peer, ev, depth+1)
 }
 
 // passedAny reports whether the visit has passed any acceptable state.
@@ -548,42 +757,44 @@ func passedAny(v *visit, states []fsm.StateID) bool {
 // demanded by event ev (logged elsewhere). Logged events are consumed first;
 // when they run out the remaining normal path is inferred. A re-entrancy
 // guard keeps cyclic prerequisites from recursing forever.
-func (r *run) drive(p event.NodeID, pr fsm.Prereq, ev event.Event, depth int) {
+func (r *run) drive(p event.NodeID, ev event.Event, depth int) {
 	if depth > r.e.opts.MaxDepth {
 		r.anomaly(ev, "prerequisite recursion depth exceeded")
 		return
 	}
-	v := r.visitFor(p)
+	pi := r.idx(p)
+	t := ev.Type
+	v := r.visitFor(pi)
 	wantPeer := ev.Node // the prerequisite operation pointed at ev's logger
-	if states, _ := acceptable(v.graph, pr); passedAny(v, states) {
-		r.checkPeerBinding(v, pr, wantPeer)
+	if passedAny(v, r.resolved(v, t, false).states) {
+		r.checkPeerBinding(v, t, wantPeer)
 		return
 	}
-	if r.driving[p] || r.processing[p] > 0 {
+	if r.driving[pi] || r.processing[pi] > 0 {
 		// Already driving p higher up the stack, or p's own event is
 		// mid-processing: consuming p's later events now would violate
 		// its log order. Let the outer frame finish.
 		return
 	}
-	r.driving[p] = true
-	defer delete(r.driving, p)
+	r.driving[pi] = true
+	defer func() { r.driving[pi] = false }()
 
 	// First consume p's own logged events — they are better evidence than
 	// inference (and the paper's step 1 does exactly this: "recursively
 	// process events on the node i until reaching state s_x").
-	for len(r.queues[p]) > 0 {
-		v = r.current[p]
-		if states, _ := acceptable(v.graph, pr); passedAny(v, states) {
-			r.checkPeerBinding(v, pr, wantPeer)
+	for len(r.queues[pi]) > 0 {
+		v = r.current[pi]
+		if passedAny(v, r.resolved(v, t, false).states) {
+			r.checkPeerBinding(v, t, wantPeer)
 			return
 		}
-		next := r.queues[p][0]
-		r.queues[p] = r.queues[p][1:]
-		r.process(p, next, depth+1)
+		next := r.queues[pi][0]
+		r.queues[pi] = r.queues[pi][1:]
+		r.process(pi, next, depth+1)
 	}
-	v = r.current[p]
-	if states, _ := acceptable(v.graph, pr); passedAny(v, states) {
-		r.checkPeerBinding(v, pr, wantPeer)
+	v = r.current[pi]
+	if passedAny(v, r.resolved(v, t, false).states) {
+		r.checkPeerBinding(v, t, wantPeer)
 		return
 	}
 	// Out of logged evidence: infer the lost events along the normal path.
@@ -593,7 +804,7 @@ func (r *run) drive(p event.NodeID, pr fsm.Prereq, ev event.Event, depth int) {
 	} else if p == ev.Receiver {
 		up = ev.Sender
 	}
-	path, v2, ok := r.inferRoute(p, v, pr)
+	path, v2, ok := r.inferRoute(pi, v, t, false)
 	if !ok {
 		r.anomaly(ev, "prerequisite cannot be inferred at peer "+p.String())
 		return
@@ -602,21 +813,22 @@ func (r *run) drive(p event.NodeID, pr fsm.Prereq, ev event.Event, depth int) {
 	for _, step := range path {
 		r.emitInferred(v, step, up, down, depth)
 	}
-	r.checkPeerBinding(v, pr, wantPeer)
+	r.checkPeerBinding(v, t, wantPeer)
 }
 
-// inferRoute finds the normal path that realizes prerequisite pr at node p,
-// rotating to a fresh visit when the current one is stuck in a terminal drop
-// and falling back to the forwarding template for an origin caught in a loop.
-// It returns the path and the visit it applies to.
-func (r *run) inferRoute(p event.NodeID, v *visit, pr fsm.Prereq) ([]fsm.Transition, *visit, bool) {
-	if _, inferTo := acceptable(v.graph, pr); inferTo != fsm.NoState {
+// inferRoute finds the normal path that realizes the prerequisite for event
+// type t (self-prerequisite when self is set) at node index ni, rotating to
+// a fresh visit when the current one is stuck in a terminal drop and falling
+// back to the forwarding template for an origin caught in a loop. It returns
+// the path and the visit it applies to.
+func (r *run) inferRoute(ni int, v *visit, t event.Type, self bool) ([]fsm.Transition, *visit, bool) {
+	if inferTo := r.resolved(v, t, self).inferTo; inferTo != fsm.NoState {
 		if path, ok := v.graph.PathTo(v.cur, inferTo); ok {
 			return path, v, true
 		}
 		// Current visit cannot reach the prerequisite (terminal drop):
 		// the prerequisite belongs to a fresh visit of the packet at p.
-		nv := r.rotate(p, v.graph)
+		nv := r.rotate(ni, v.graph)
 		if path, ok := nv.graph.PathTo(nv.cur, inferTo); ok {
 			return path, nv, true
 		}
@@ -624,9 +836,9 @@ func (r *run) inferRoute(p event.NodeID, v *visit, pr fsm.Prereq) ([]fsm.Transit
 	}
 	// The node's own template does not know the prerequisite state at all
 	// (an origin asked for Received): use the forwarding template.
-	if alt := r.altGraph(p); alt != nil && alt != v.graph {
-		if _, inferTo := acceptable(alt, pr); inferTo != fsm.NoState {
-			nv := r.rotate(p, alt)
+	if alt := r.altGraph(r.nodes[ni]); alt != nil && alt != v.graph {
+		if inferTo := r.resolvedIn(alt, t, self).inferTo; inferTo != fsm.NoState {
+			nv := r.rotate(ni, alt)
 			if path, ok := nv.graph.PathTo(nv.cur, inferTo); ok {
 				return path, nv, true
 			}
@@ -639,19 +851,11 @@ func (r *run) inferRoute(p event.NodeID, v *visit, pr fsm.Prereq) ([]fsm.Transit
 // bound transmission target: if the engine last transmitted to a different
 // node, a retargeted (lost) transmission is inferred over the Sent self-loop.
 // Only unicast-transmission prerequisites bind a peer; a broadcaster
-// (Announced) serves any number of receivers.
-func (r *run) checkPeerBinding(v *visit, pr fsm.Prereq, wantPeer event.NodeID) {
-	if pr.PeerRole != fsm.SelfSender {
-		return // only transmission targets are bound
-	}
-	sentPrereq := false
-	for _, name := range pr.AnyOf {
-		if name == fsm.StateSent {
-			sentPrereq = true
-		}
-	}
-	if !sentPrereq {
-		return
+// (Announced) serves any number of receivers. The retargeted transmission is
+// an inference like any other and is charged against the MaxInferred budget.
+func (r *run) checkPeerBinding(v *visit, t event.Type, wantPeer event.NodeID) {
+	if !r.e.sentBound[t] {
+		return // only unicast transmission targets are bound
 	}
 	if v.peer == event.NoNode || wantPeer == event.NoNode || v.peer == wantPeer {
 		if v.peer == event.NoNode && wantPeer != event.NoNode {
@@ -661,9 +865,11 @@ func (r *run) checkPeerBinding(v *visit, pr fsm.Prereq, wantPeer event.NodeID) {
 	}
 	l := fsm.On(event.Trans, fsm.SelfSender)
 	if tr, ok := v.graph.NormalNext(v.cur, l); ok {
+		if !r.budgetInfer(v.node) {
+			return
+		}
 		ev := l.Instantiate(v.node, wantPeer, r.pkt)
 		r.apply(v, tr, ev, true)
-		r.infers++
 	} else {
 		r.anomaly(l.Instantiate(v.node, wantPeer, r.pkt),
 			"peer binding mismatch: engine sent to "+v.peer.String())

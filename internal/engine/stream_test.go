@@ -1,0 +1,116 @@
+package engine
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/event"
+)
+
+// buildSeededCampaign synthesizes a deterministic lossy campaign: multi-hop
+// chains toward the sink with a server last mile, randomly thinned logs,
+// occasional duplicates, and operational events — enough variety to exercise
+// inference, rotation, peer retargeting and the operational side channel.
+func buildSeededCampaign(packets int) *event.Collection {
+	rng := rand.New(rand.NewSource(1234))
+	sink := event.NodeID(99)
+	c := event.NewCollection()
+	c.Add(event.Event{Node: event.Server, Type: event.ServerUp, Time: 0})
+	for i := 0; i < packets; i++ {
+		origin := event.NodeID(rng.Intn(20) + 1)
+		pkt := event.PacketID{Origin: origin, Seq: uint32(i + 1)}
+		t0 := int64(i * 100)
+		emit := func(ev event.Event) {
+			if rng.Float64() > 0.3 { // 30% log loss
+				c.Add(ev)
+			}
+		}
+		emit(event.Event{Node: origin, Type: event.Gen, Sender: origin, Packet: pkt, Time: t0})
+		cur := origin
+		hops := rng.Intn(3) + 1
+		for h := 0; h < hops; h++ {
+			next := event.NodeID(100 + h*20 + rng.Intn(10)) // distinct band per hop
+			emit(event.Event{Node: cur, Type: event.Trans, Sender: cur, Receiver: next, Packet: pkt, Time: t0 + int64(h*10+1)})
+			emit(event.Event{Node: cur, Type: event.AckRecvd, Sender: cur, Receiver: next, Packet: pkt, Time: t0 + int64(h*10+2)})
+			emit(event.Event{Node: next, Type: event.Recv, Sender: cur, Receiver: next, Packet: pkt, Time: t0 + int64(h*10+3)})
+			if rng.Float64() < 0.1 {
+				emit(event.Event{Node: next, Type: event.Dup, Sender: cur, Receiver: next, Packet: pkt, Time: t0 + int64(h*10+4)})
+			}
+			cur = next
+		}
+		emit(event.Event{Node: cur, Type: event.Trans, Sender: cur, Receiver: sink, Packet: pkt, Time: t0 + 50})
+		emit(event.Event{Node: sink, Type: event.Recv, Sender: cur, Receiver: sink, Packet: pkt, Time: t0 + 51})
+		emit(event.Event{Node: event.Server, Type: event.ServerRecv, Sender: sink, Receiver: event.Server, Packet: pkt, Time: t0 + 52})
+	}
+	c.Add(event.Event{Node: event.Server, Type: event.ServerDown, Time: int64(packets * 100)})
+	return c
+}
+
+// TestAnalyzeVariantsProduceIdenticalResults asserts the acceptance contract:
+// Analyze, AnalyzeParallel and AnalyzeStream return deeply-equal Results on a
+// seeded campaign, for several worker counts. Determinism is the correctness
+// contract of the whole optimization.
+func TestAnalyzeVariantsProduceIdenticalResults(t *testing.T) {
+	eng, err := New(Options{Sink: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := buildSeededCampaign(400)
+	serial := eng.Analyze(c)
+	if len(serial.Flows) == 0 || len(serial.Operational) != 2 {
+		t.Fatalf("campaign degenerate: %d flows, %d operational", len(serial.Flows), len(serial.Operational))
+	}
+	for _, workers := range []int{0, 1, 3, 8} {
+		par := eng.AnalyzeParallel(c, workers)
+		if !reflect.DeepEqual(serial, par) {
+			t.Fatalf("AnalyzeParallel(workers=%d) diverged from Analyze", workers)
+		}
+		str := eng.AnalyzeStream(c, workers)
+		if !reflect.DeepEqual(serial, str) {
+			t.Fatalf("AnalyzeStream(workers=%d) diverged from Analyze", workers)
+		}
+	}
+}
+
+// TestAnalyzeStreamEmpty checks the degenerate no-packet path.
+func TestAnalyzeStreamEmpty(t *testing.T) {
+	eng, err := New(Options{Sink: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := eng.AnalyzeStream(event.NewCollection(), 4)
+	if len(res.Flows) != 0 {
+		t.Errorf("flows = %d", len(res.Flows))
+	}
+}
+
+// TestStreamPartitionMatchesPartition pins the streaming partitioner to the
+// batch one: same views (per packet, per node, same event order) and same
+// operational events.
+func TestStreamPartitionMatchesPartition(t *testing.T) {
+	c := buildSeededCampaign(200)
+	views, ops := event.Partition(c)
+	streamed := make(map[event.PacketID]*event.PacketView, len(views))
+	sops := event.StreamPartition(c, func(v *event.PacketView) {
+		if _, dup := streamed[v.Packet]; dup {
+			t.Fatalf("packet %v emitted twice", v.Packet)
+		}
+		streamed[v.Packet] = v
+	})
+	if !reflect.DeepEqual(ops, sops) {
+		t.Fatalf("operational events diverged")
+	}
+	if len(streamed) != len(views) {
+		t.Fatalf("streamed %d views, partition built %d", len(streamed), len(views))
+	}
+	for _, want := range views {
+		got := streamed[want.Packet]
+		if got == nil {
+			t.Fatalf("packet %v missing from stream", want.Packet)
+		}
+		if !reflect.DeepEqual(want.PerNode, got.PerNode) {
+			t.Fatalf("packet %v: per-node views diverged", want.Packet)
+		}
+	}
+}

@@ -163,6 +163,11 @@ const (
 	numTypes
 )
 
+// NumTypes is the number of defined event types (including Invalid). It sizes
+// dense per-type lookup tables in packages that would otherwise pay a map
+// access per event.
+const NumTypes = int(numTypes)
+
 var typeNames = [...]string{
 	Invalid:    "invalid",
 	Gen:        "gen",

@@ -116,6 +116,16 @@ type PacketView struct {
 	Packet PacketID
 	// PerNode maps node -> that node's events about Packet, in log order.
 	PerNode map[NodeID][]Event
+
+	// buf is the contiguous backing storage the partitioners carve the
+	// PerNode slices out of: one exact-sized allocation per view instead
+	// of one growing slice per (packet, node) pair. segStart/segOpen track
+	// the in-progress segment for the node currently being scanned;
+	// expect is the event count measured by the sizing pre-pass.
+	buf      []Event
+	segStart int
+	expect   int32
+	segOpen  bool
 }
 
 // Nodes returns the nodes with events in the view, ascending.
@@ -142,24 +152,50 @@ func (v *PacketView) TotalEvents() int {
 // returned separately. Views are ordered by packet ID (origin, then seq) for
 // deterministic processing.
 func Partition(c *Collection) (views []*PacketView, operational []Event) {
-	byPacket := make(map[PacketID]*PacketView)
-	for _, n := range c.Nodes() {
+	nodes := c.Nodes()
+	// Sizing pass: create the views and count each packet's events, so the
+	// fill pass below allocates every view's buffer exactly once.
+	byPacket := make(map[PacketID]*PacketView, c.TotalEvents()/8+1)
+	for _, n := range nodes {
+		for _, e := range c.Logs[n].Events {
+			if !e.Type.PacketScoped() {
+				continue
+			}
+			v, ok := byPacket[e.Packet]
+			if !ok {
+				v = &PacketView{Packet: e.Packet, PerNode: make(map[NodeID][]Event, 4)}
+				byPacket[e.Packet] = v
+				views = append(views, v)
+			}
+			v.expect++
+		}
+	}
+	var touched []*PacketView
+	for _, n := range nodes {
+		touched = touched[:0]
 		for _, e := range c.Logs[n].Events {
 			if !e.Type.PacketScoped() {
 				operational = append(operational, e)
 				continue
 			}
-			v, ok := byPacket[e.Packet]
-			if !ok {
-				v = &PacketView{Packet: e.Packet, PerNode: make(map[NodeID][]Event)}
-				byPacket[e.Packet] = v
+			v := byPacket[e.Packet]
+			if v.buf == nil {
+				v.buf = make([]Event, 0, v.expect)
 			}
-			v.PerNode[e.Node] = append(v.PerNode[e.Node], e)
+			// Within one node's log the view's events land contiguously
+			// in v.buf; the segment is committed to PerNode once per
+			// (packet, node) pair instead of one map assign per event.
+			if !v.segOpen {
+				v.segOpen = true
+				v.segStart = len(v.buf)
+				touched = append(touched, v)
+			}
+			v.buf = append(v.buf, e)
 		}
-	}
-	views = make([]*PacketView, 0, len(byPacket))
-	for _, v := range byPacket {
-		views = append(views, v)
+		for _, v := range touched {
+			v.PerNode[n] = v.buf[v.segStart:len(v.buf):len(v.buf)]
+			v.segOpen = false
+		}
 	}
 	sort.Slice(views, func(i, j int) bool {
 		a, b := views[i].Packet, views[j].Packet
@@ -170,6 +206,79 @@ func Partition(c *Collection) (views []*PacketView, operational []Event) {
 	})
 	sort.Slice(operational, func(i, j int) bool { return operational[i].Time < operational[j].Time })
 	return views, operational
+}
+
+// StreamPartition partitions like Partition but hands each PacketView to emit
+// the moment its last event has been scanned, so packet analysis can overlap
+// with the remainder of the partitioning scan. A cheap counting pre-pass
+// records every packet's last-touch position; the main pass emits a view at
+// exactly that position. Views are emitted in completion order (deterministic
+// for a given collection, but NOT packet-ID order — callers that need the
+// Partition order must reorder). Operational events are returned once the
+// scan finishes, sorted by time.
+func StreamPartition(c *Collection, emit func(*PacketView)) (operational []Event) {
+	type packetMeta struct {
+		last  int // global scan position of the packet's final event
+		count int32
+	}
+	nodes := c.Nodes()
+	meta := make(map[PacketID]packetMeta, c.TotalEvents()/8+1)
+	pos := 0
+	for _, n := range nodes {
+		for _, e := range c.Logs[n].Events {
+			if e.Type.PacketScoped() {
+				m := meta[e.Packet]
+				m.last = pos
+				m.count++
+				meta[e.Packet] = m
+				pos++
+			}
+		}
+	}
+	byPacket := make(map[PacketID]*PacketView, len(meta))
+	var touched []*PacketView
+	pos = 0
+	for _, n := range nodes {
+		touched = touched[:0]
+		for _, e := range c.Logs[n].Events {
+			if !e.Type.PacketScoped() {
+				operational = append(operational, e)
+				continue
+			}
+			m := meta[e.Packet]
+			v, ok := byPacket[e.Packet]
+			if !ok {
+				v = &PacketView{Packet: e.Packet, PerNode: make(map[NodeID][]Event, 4)}
+				v.buf = make([]Event, 0, m.count)
+				byPacket[e.Packet] = v
+			}
+			if !v.segOpen {
+				v.segOpen = true
+				v.segStart = len(v.buf)
+				touched = append(touched, v)
+			}
+			v.buf = append(v.buf, e)
+			if pos == m.last {
+				// The view is complete: commit the open segment and
+				// hand it off. The node-end flush below skips it
+				// (segOpen is false), so the view is never written
+				// after emit — emit may safely pass it to a worker.
+				v.PerNode[n] = v.buf[v.segStart:len(v.buf):len(v.buf)]
+				v.segOpen = false
+				delete(byPacket, e.Packet)
+				emit(v)
+			}
+			pos++
+		}
+		for _, v := range touched {
+			if v.segOpen {
+				v.PerNode[n] = v.buf[v.segStart:len(v.buf):len(v.buf)]
+				v.segOpen = false
+			}
+		}
+	}
+	sort.Slice(operational, func(i, j int) bool { return operational[i].Time < operational[j].Time })
+	return operational
 }
 
 // MergeByTime flattens a collection into a single slice ordered by the Time

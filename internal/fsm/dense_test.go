@@ -1,0 +1,167 @@
+package fsm
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/event"
+)
+
+// allProtocolGraphs gathers every distinct role template the package ships:
+// the CTP variants and the dissemination protocol. The dense dispatch and
+// path memoization must agree with the reference map/BFS implementations on
+// every one of them.
+func allProtocolGraphs() map[string]*Graph {
+	graphs := map[string]*Graph{}
+	add := func(prefix string, p *Protocol) {
+		for _, role := range []NodeRole{RoleOrigin, RoleForward, RoleSink, RoleServer} {
+			if g := p.Graph(role); g != nil {
+				graphs[prefix+"/"+role.String()] = g
+			}
+		}
+	}
+	add("ctp", DefaultCTP())
+	add("tableii", TableII())
+	add("ctp-ext", ExtendedCTP())
+	add("diss", Dissemination())
+	return graphs
+}
+
+// labelUniverse enumerates every label the dispatch tables may be probed
+// with, including malformed ones (zero Role, out-of-range Role, event types
+// beyond anything the graphs mention) that must miss rather than alias.
+func labelUniverse() []Label {
+	var labels []Label
+	for t := 0; t < event.NumTypes+2; t++ {
+		for self := Role(0); self <= 3; self++ {
+			labels = append(labels, Label{Type: event.Type(t), Self: self})
+		}
+	}
+	return labels
+}
+
+// TestDenseDispatchMatchesMapIndex pins the dense-table lookups behind
+// Next/NormalNext/IntraNext to the construction-time map indices for every
+// (state, label) pair of every protocol graph.
+func TestDenseDispatchMatchesMapIndex(t *testing.T) {
+	for name, g := range allProtocolGraphs() {
+		for s := StateID(0); int(s) < g.NumStates(); s++ {
+			for _, l := range labelUniverse() {
+				k := transKey{from: s, on: l}
+
+				wantNormal := -1
+				if idx := g.normalIndex[k]; len(idx) > 0 {
+					wantNormal = idx[0]
+				}
+				gotN, okN := g.NormalNext(s, l)
+				if okN != (wantNormal >= 0) {
+					t.Fatalf("%s: NormalNext(%v, %v) ok=%v, map says %v", name, s, l, okN, wantNormal >= 0)
+				}
+				if okN && !reflect.DeepEqual(gotN, g.normal[wantNormal]) {
+					t.Fatalf("%s: NormalNext(%v, %v) = %+v, map index gives %+v", name, s, l, gotN, g.normal[wantNormal])
+				}
+
+				wantIntra, haveIntra := g.intraIndex[k]
+				gotI, okI := g.IntraNext(s, l)
+				if okI != haveIntra {
+					t.Fatalf("%s: IntraNext(%v, %v) ok=%v, map says %v", name, s, l, okI, haveIntra)
+				}
+				if okI && !reflect.DeepEqual(gotI, g.intra[wantIntra]) {
+					t.Fatalf("%s: IntraNext(%v, %v) = %+v, map index gives %+v", name, s, l, gotI, g.intra[wantIntra])
+				}
+
+				// Next prefers normal over intra.
+				gotX, okX := g.Next(s, l)
+				switch {
+				case okN:
+					if !okX || !reflect.DeepEqual(gotX, gotN) {
+						t.Fatalf("%s: Next(%v, %v) should take the normal transition", name, s, l)
+					}
+				case okI:
+					if !okX || !reflect.DeepEqual(gotX, gotI) {
+						t.Fatalf("%s: Next(%v, %v) should fall back to the intra transition", name, s, l)
+					}
+				default:
+					if okX {
+						t.Fatalf("%s: Next(%v, %v) matched %+v with no transition indexed", name, s, l, gotX)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPathToMatchesBFS pins the memoized all-pairs table behind PathTo to the
+// reference BFS for every ordered state pair of every protocol graph.
+func TestPathToMatchesBFS(t *testing.T) {
+	for name, g := range allProtocolGraphs() {
+		n := g.NumStates()
+		for a := StateID(0); int(a) < n; a++ {
+			for b := StateID(0); int(b) < n; b++ {
+				got, okG := g.PathTo(a, b)
+				want, okW := g.pathToBFS(a, b)
+				if okG != okW {
+					t.Fatalf("%s: PathTo(%v, %v) ok=%v, BFS says %v", name, a, b, okG, okW)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("%s: PathTo(%v, %v) = %+v, BFS gives %+v", name, a, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestFinalizeDeterministic finalizes the same graph twice and requires the
+// derived artifacts — intra transitions (including their InferPaths), label
+// order, and dispatch tables — to come out identical. deriveIntra iterates
+// only slices (sorted labels, declaration-ordered transitions), so rebuild
+// determinism is a structural invariant, not an accident of map iteration.
+func TestFinalizeDeterministic(t *testing.T) {
+	build := func() *Graph {
+		g, err := forwardGraph(true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	a, b := build(), build()
+	if !reflect.DeepEqual(a.intra, b.intra) {
+		t.Fatalf("intra transitions differ between identical builds:\n%+v\n%+v", a.intra, b.intra)
+	}
+	if !reflect.DeepEqual(a.labels, b.labels) {
+		t.Fatalf("label order differs between identical builds")
+	}
+	if !reflect.DeepEqual(a.normalTab, b.normalTab) || !reflect.DeepEqual(a.intraTab, b.intraTab) {
+		t.Fatalf("dispatch tables differ between identical builds")
+	}
+}
+
+// TestIntraTieBreakDeterministic pins the deriveIntra tie-break: when two
+// same-labeled normal transitions enter the jump target over equally short
+// approach paths, the first-declared edge wins.
+func TestIntraTieBreakDeterministic(t *testing.T) {
+	b := NewBuilder("tiebreak")
+	start := b.State("Start", false)
+	a := b.State("A", false)
+	c := b.State("B", false)
+	target := b.State("T", true)
+	b.Start(start)
+	b.Transition(start, a, On(event.Enqueue, SelfSender))  // approach 1 (declared first)
+	b.Transition(start, c, On(event.Dequeue, SelfSender))  // approach 2, same length
+	b.Transition(a, target, On(event.Trans, SelfSender))   // first trans edge into T
+	b.Transition(c, target, On(event.Trans, SelfSender))   // second trans edge into T
+	g, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, ok := g.IntraNext(start, On(event.Trans, SelfSender))
+	if !ok {
+		t.Fatal("expected an intra transition Start --trans--> T")
+	}
+	if tr.To != target {
+		t.Fatalf("intra target = %v, want %v", tr.To, target)
+	}
+	if len(tr.InferPath) != 1 || tr.InferPath[0].On.Type != event.Enqueue {
+		t.Fatalf("tie-break must keep the first-declared approach (via A/enq), got %+v", tr.InferPath)
+	}
+}

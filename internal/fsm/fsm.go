@@ -78,11 +78,49 @@ type Graph struct {
 	intraIndex  map[transKey]int   // (from,label) -> index into intra
 	reach       [][]bool           // reach[a][b]: a ≻ b via ≥1 normal transitions
 	labels      []Label            // distinct labels, deterministic order
+
+	// Dense dispatch: transition lookups are on the engine's per-event hot
+	// path, so Finalize flattens the (state, label) indices into row-major
+	// tables addressed by state * labelWidth + labelSlot(label). -1 = none.
+	labelWidth int
+	normalTab  []int32 // index into normal
+	intraTab   []int32 // index into intra
+	// pathTab[a][b] is the memoized shortest normal-transition path a -> b
+	// (nil when none, or when a == b). Shared slices: callers must not
+	// mutate what PathTo returns.
+	pathTab [][][]Transition
+	// sent / announced cache the StateIDs the engine resolves on every
+	// upstream / broadcaster scan (NoState when the graph lacks them).
+	sent      StateID
+	announced StateID
 }
 
 type transKey struct {
 	from StateID
 	on   Label
+}
+
+// labelSlot maps a label to its column in the dense dispatch tables. Three
+// slots per event type: one per Role value plus an always-empty slot for the
+// zero Role, so malformed labels safely miss instead of aliasing a neighbor.
+func labelSlot(l Label) int { return int(l.Type)*3 + int(l.Self) }
+
+// normalAt / intraAt are the dense lookups behind Next and friends. A slot
+// beyond labelWidth belongs to an event type the graph never mentions.
+func (g *Graph) normalAt(s StateID, l Label) int32 {
+	slot := labelSlot(l)
+	if slot >= g.labelWidth {
+		return -1
+	}
+	return g.normalTab[int(s)*g.labelWidth+slot]
+}
+
+func (g *Graph) intraAt(s StateID, l Label) int32 {
+	slot := labelSlot(l)
+	if slot >= g.labelWidth {
+		return -1
+	}
+	return g.intraTab[int(s)*g.labelWidth+slot]
 }
 
 // Name returns the graph's name (e.g. "ctp-forward").
@@ -127,10 +165,10 @@ func (g *Graph) Passed(s, target StateID) bool {
 // transition if one exists, otherwise a derived intra-node transition.
 // The boolean reports whether any transition matched.
 func (g *Graph) Next(s StateID, l Label) (Transition, bool) {
-	if idxs := g.normalIndex[transKey{s, l}]; len(idxs) > 0 {
-		return g.normal[idxs[0]], true
+	if i := g.normalAt(s, l); i >= 0 {
+		return g.normal[i], true
 	}
-	if i, ok := g.intraIndex[transKey{s, l}]; ok {
+	if i := g.intraAt(s, l); i >= 0 {
 		return g.intra[i], true
 	}
 	return Transition{}, false
@@ -138,30 +176,52 @@ func (g *Graph) Next(s StateID, l Label) (Transition, bool) {
 
 // NormalNext returns only the normal transition at (s, l), if any.
 func (g *Graph) NormalNext(s StateID, l Label) (Transition, bool) {
-	if idxs := g.normalIndex[transKey{s, l}]; len(idxs) > 0 {
-		return g.normal[idxs[0]], true
+	if i := g.normalAt(s, l); i >= 0 {
+		return g.normal[i], true
 	}
 	return Transition{}, false
 }
 
 // IntraNext returns only the derived intra transition at (s, l), if any.
 func (g *Graph) IntraNext(s StateID, l Label) (Transition, bool) {
-	if i, ok := g.intraIndex[transKey{s, l}]; ok {
+	if i := g.intraAt(s, l); i >= 0 {
 		return g.intra[i], true
 	}
 	return Transition{}, false
 }
 
+// SentState returns the StateID of the canonical Sent state, NoState if the
+// graph has none. Cached at Finalize: the engine consults it on every
+// upstream-sender scan.
+func (g *Graph) SentState() StateID { return g.sent }
+
+// AnnouncedState returns the StateID of the canonical Announced state,
+// NoState if the graph has none.
+func (g *Graph) AnnouncedState() StateID { return g.announced }
+
 // PathTo returns the shortest normal-transition path from state a to state b
 // (nil, false if none). It is the inference route used when a prerequisite
 // forces an engine forward with no logged events available: the path's
-// events become inferred lost events.
+// events become inferred lost events. The returned slice is memoized and
+// shared; callers must not mutate it.
 func (g *Graph) PathTo(a, b StateID) ([]Transition, bool) {
 	if a == b {
 		return nil, true
 	}
-	// BFS over normal transitions; adjacency in declaration order keeps
-	// the result deterministic.
+	if g.pathTab != nil {
+		p := g.pathTab[a][b]
+		return p, p != nil
+	}
+	return g.pathToBFS(a, b)
+}
+
+// pathToBFS is the original allocating BFS. It remains the reference
+// implementation the memoized table is built from (and tested against):
+// adjacency in declaration order keeps the result deterministic.
+func (g *Graph) pathToBFS(a, b StateID) ([]Transition, bool) {
+	if a == b {
+		return nil, true
+	}
 	prev := make([]int, len(g.states)) // index into g.normal, -1 unset
 	for i := range prev {
 		prev[i] = -1
@@ -283,10 +343,94 @@ func (b *Builder) Finalize() (*Graph, error) {
 	}
 	g.computeReachability()
 	g.collectLabels()
+	// Memoize all-pairs shortest inference paths before deriving intra
+	// transitions, so deriveIntra (and every later PathTo) is a table read.
+	g.buildPathTab()
 	if err := g.deriveIntra(); err != nil {
 		return nil, err
 	}
+	g.buildDispatchTables()
+	g.sent = g.StateByName(StateSent)
+	g.announced = g.StateByName(StateAnnounced)
 	return g, nil
+}
+
+// buildPathTab runs the reference BFS from every source state and stores the
+// per-target paths, making PathTo allocation-free. A full BFS visits states
+// in the same order as the early-exit reference, so prev[] — and therefore
+// every reconstructed path — is identical to what pathToBFS returns.
+func (g *Graph) buildPathTab() {
+	n := len(g.states)
+	g.pathTab = make([][][]Transition, n)
+	prev := make([]int, n)
+	visited := make([]bool, n)
+	queue := make([]StateID, 0, n)
+	for a := 0; a < n; a++ {
+		g.pathTab[a] = make([][]Transition, n)
+		for i := range prev {
+			prev[i] = -1
+			visited[i] = false
+		}
+		visited[a] = true
+		queue = append(queue[:0], StateID(a))
+		for qi := 0; qi < len(queue); qi++ {
+			cur := queue[qi]
+			for i, tr := range g.normal {
+				if tr.From != cur || visited[tr.To] {
+					continue
+				}
+				visited[tr.To] = true
+				prev[tr.To] = i
+				queue = append(queue, tr.To)
+			}
+		}
+		for b := 0; b < n; b++ {
+			if b == a || prev[b] < 0 {
+				continue
+			}
+			var rev []Transition
+			for at := StateID(b); at != StateID(a); {
+				tr := g.normal[prev[at]]
+				rev = append(rev, tr)
+				at = tr.From
+			}
+			path := make([]Transition, len(rev))
+			for j := range rev {
+				path[j] = rev[len(rev)-1-j]
+			}
+			g.pathTab[a][b] = path
+		}
+	}
+}
+
+// buildDispatchTables flattens normalIndex/intraIndex into the dense
+// row-major tables the hot-path lookups read.
+func (g *Graph) buildDispatchTables() {
+	maxType := 0
+	for _, l := range g.labels {
+		if int(l.Type) > maxType {
+			maxType = int(l.Type)
+		}
+	}
+	for _, tr := range g.intra {
+		if int(tr.On.Type) > maxType {
+			maxType = int(tr.On.Type)
+		}
+	}
+	g.labelWidth = (maxType + 1) * 3
+	size := len(g.states) * g.labelWidth
+	g.normalTab = make([]int32, size)
+	g.intraTab = make([]int32, size)
+	for i := range g.normalTab {
+		g.normalTab[i] = -1
+		g.intraTab[i] = -1
+	}
+	for i, tr := range g.normal {
+		g.normalTab[int(tr.From)*g.labelWidth+labelSlot(tr.On)] = int32(i)
+	}
+	for i, tr := range g.intra {
+		g.intraTab[int(tr.From)*g.labelWidth+labelSlot(tr.On)] = int32(i)
+	}
 }
 
 // computeReachability fills reach[a][b] = true iff a path of >=1 normal

@@ -1,0 +1,72 @@
+// Package profiling wires Go's standard profilers into the CLIs so the
+// performance trajectory of the pipeline can be measured on real runs, not
+// only in microbenchmarks: file-based CPU/heap profiles for offline pprof
+// analysis, and an optional net/http/pprof endpoint for live inspection of
+// long campaigns.
+package profiling
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers the /debug/pprof handlers
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags is the trio of profiling options every command exposes.
+type Flags struct {
+	CPUProfile string // write a CPU profile to this file
+	MemProfile string // write an allocation profile to this file on stop
+	HTTPAddr   string // serve net/http/pprof on this address (e.g. localhost:6060)
+}
+
+// Register declares the standard profiling flags on the given FlagSet.
+func (f *Flags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&f.MemProfile, "memprofile", "", "write an allocation profile to this file on exit")
+	fs.StringVar(&f.HTTPAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+}
+
+// Start begins CPU profiling and the pprof HTTP listener as requested. The
+// returned stop function flushes the profiles; call it (e.g. via defer)
+// before the process exits normally.
+func Start(f Flags) (stop func(), err error) {
+	var cpuFile *os.File
+	if f.CPUProfile != "" {
+		cpuFile, err = os.Create(f.CPUProfile)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+	}
+	if f.HTTPAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(f.HTTPAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "profiling: pprof server: %v\n", err)
+			}
+		}()
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if f.MemProfile != "" {
+			mf, err := os.Create(f.MemProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "profiling: %v\n", err)
+				return
+			}
+			defer mf.Close()
+			runtime.GC() // materialize up-to-date allocation statistics
+			if err := pprof.Lookup("allocs").WriteTo(mf, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "profiling: %v\n", err)
+			}
+		}
+	}, nil
+}
