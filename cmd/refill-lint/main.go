@@ -1,0 +1,141 @@
+// Command refill-lint statically verifies the repo's protocol machinery at
+// two layers: the domain layer checks every built-in protocol graph and
+// prerequisite table (determinism, reachability, prerequisite soundness,
+// representation coherence), and the code layer runs the custom analyzers in
+// internal/analysis (maprange, wallclock, poolhygiene) over the packages
+// named on the command line.
+//
+// Usage:
+//
+//	refill-lint                  verify built-in protocols only
+//	refill-lint ./...            also run code analyzers on the packages
+//	refill-lint -fixture all     prove each seeded violation is caught
+//
+// Exit status: 0 clean, 1 issues found, 2 usage or load error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/fsm"
+	"repro/internal/lint"
+)
+
+// codeFixturePattern is the seeded code-analyzer violation package; testdata
+// is invisible to ./... so it never dirties normal runs.
+const codeFixturePattern = "repro/internal/analysis/testdata/src/fixture"
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("refill-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fixture := fs.String("fixture", "", "run a seeded violation fixture (category or \"all\") and exit non-zero when it is caught")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *fixture != "" {
+		return runFixtures(*fixture, stdout, stderr)
+	}
+
+	issues := verifyProtocols()
+	for _, i := range issues {
+		fmt.Fprintln(stdout, i)
+	}
+	bad := len(issues) > 0
+
+	if fs.NArg() > 0 {
+		pkgs, err := analysis.Load("", fs.Args()...)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		diags := analysis.Run(pkgs, analysis.Analyzers())
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+		bad = bad || len(diags) > 0
+	}
+
+	if bad {
+		return 1
+	}
+	fmt.Fprintln(stdout, "refill-lint: ok")
+	return 0
+}
+
+// verifyProtocols runs the domain verifier over every protocol the repo
+// ships, labeling each issue with its protocol.
+func verifyProtocols() []string {
+	protocols := []struct {
+		name string
+		p    *fsm.Protocol
+	}{
+		{"ctp", fsm.DefaultCTP()},
+		{"tableii", fsm.TableII()},
+		{"extended", fsm.ExtendedCTP()},
+		{"dissemination", fsm.Dissemination()},
+	}
+	var out []string
+	for _, pr := range protocols {
+		for _, i := range lint.Protocol(pr.p) {
+			out = append(out, fmt.Sprintf("%s: %v", pr.name, i))
+		}
+	}
+	return out
+}
+
+// runFixtures seeds the requested violation category (or all of them), runs
+// the matching checker, and exits 1 when — as expected — the violation is
+// caught and printed. A fixture the linter fails to catch is a bug in the
+// linter itself and exits 2.
+func runFixtures(category string, stdout, stderr io.Writer) int {
+	categories := []string{category}
+	if category == "all" {
+		categories = append(append([]string{}, lint.FixtureCategories...), "code-analyzer")
+	}
+	caughtAll := true
+	reported := 0
+	for _, c := range categories {
+		var lines []string
+		if c == "code-analyzer" {
+			pkgs, err := analysis.Load("", codeFixturePattern)
+			if err != nil {
+				fmt.Fprintln(stderr, err)
+				return 2
+			}
+			for _, d := range analysis.Run(pkgs, analysis.Analyzers()) {
+				lines = append(lines, d.String())
+			}
+		} else {
+			issues, err := lint.BrokenFixture(c)
+			if err != nil {
+				fmt.Fprintln(stderr, err)
+				return 2
+			}
+			for _, i := range issues {
+				lines = append(lines, i.String())
+			}
+		}
+		if len(lines) == 0 {
+			fmt.Fprintf(stderr, "refill-lint: fixture %q: seeded violation NOT caught\n", c)
+			caughtAll = false
+			continue
+		}
+		for _, l := range lines {
+			fmt.Fprintf(stdout, "fixture %s: %s\n", c, l)
+			reported++
+		}
+	}
+	if !caughtAll {
+		return 2
+	}
+	fmt.Fprintf(stdout, "refill-lint: %d seeded violations caught as expected\n", reported)
+	return 1
+}

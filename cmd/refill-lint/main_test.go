@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestCleanRepoExitsZero covers both CLI layers on the real repo: protocol
+// verification plus the code analyzers over every module package.
+func TestCleanRepoExitsZero(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the full module; skipped in -short")
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"repro/..."}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d on clean repo\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "refill-lint: ok") {
+		t.Errorf("missing ok line in %q", out.String())
+	}
+}
+
+func TestProtocolOnlyModeExitsZero(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 0 {
+		t.Fatalf("exit %d with no args\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+}
+
+// TestFixtureCategories runs each seeded violation through the CLI and
+// requires a non-zero exit plus a diagnostic naming the expected check.
+func TestFixtureCategories(t *testing.T) {
+	cases := []struct {
+		category string
+		want     string
+	}{
+		{"determinism", "[determinism]"},
+		{"reachability", "[reachability]"},
+		{"prereq-cycle", "[prereq]"},
+		{"divergence", "[coherence]"},
+		{"code-analyzer", "[maprange]"},
+	}
+	for _, c := range cases {
+		var out, errb bytes.Buffer
+		code := run([]string{"-fixture", c.category}, &out, &errb)
+		if code != 1 {
+			t.Errorf("%s: exit %d, want 1\nstdout:\n%s\nstderr:\n%s", c.category, code, out.String(), errb.String())
+			continue
+		}
+		if !strings.Contains(out.String(), c.want) {
+			t.Errorf("%s: no %s diagnostic in output:\n%s", c.category, c.want, out.String())
+		}
+	}
+}
+
+func TestFixtureAll(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-fixture", "all"}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1\nstderr:\n%s", code, errb.String())
+	}
+	for _, want := range []string{"[determinism]", "[reachability]", "[prereq]", "[coherence]", "[maprange]", "[wallclock]", "[poolhygiene]"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("fixture all: missing %s in output:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestUnknownFixtureExitsTwo(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-fixture", "nope"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}

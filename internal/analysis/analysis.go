@@ -1,0 +1,147 @@
+// Package analysis is a stdlib-only static-analysis framework modeled on
+// golang.org/x/tools/go/analysis, plus the repo's custom passes. The
+// container this repo builds in has no module proxy access, so instead of
+// depending on x/tools the package drives go/parser + go/types itself with a
+// `go list -deps -json` loader (load.go). The Analyzer/Pass surface mirrors
+// x/tools closely enough that the passes can be lifted onto a real
+// multichecker unchanged if the dependency ever becomes available.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check, the moral equivalent of
+// *analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// `//refill:allow <name>` suppression directives.
+	Name string
+	// Doc is the one-line description printed by cmd/refill-lint.
+	Doc string
+	// Match restricts the analyzer to packages whose import path it
+	// accepts; nil means every package.
+	Match func(pkgPath string) bool
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// Pass carries one (analyzer, package) execution, mirroring *analysis.Pass.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	out      *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos unless a `//refill:allow <analyzer>`
+// directive on the same line or the line above suppresses it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	if p.Pkg.allowed(p.Analyzer.Name, position) {
+		return
+	}
+	*p.out = append(*p.out, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Run executes every matching analyzer over every root package (packages the
+// load patterns named directly, not their dependencies) and returns the
+// surviving diagnostics in deterministic order.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		if !pkg.Root {
+			continue
+		}
+		for _, a := range analyzers {
+			if a.Match != nil && !a.Match(pkg.Path) {
+				continue
+			}
+			a.Run(&Pass{Analyzer: a, Pkg: pkg, out: &out})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		x, y := out[i], out[j]
+		if x.Pos.Filename != y.Pos.Filename {
+			return x.Pos.Filename < y.Pos.Filename
+		}
+		if x.Pos.Line != y.Pos.Line {
+			return x.Pos.Line < y.Pos.Line
+		}
+		if x.Pos.Column != y.Pos.Column {
+			return x.Pos.Column < y.Pos.Column
+		}
+		return x.Analyzer < y.Analyzer
+	})
+	return out
+}
+
+// PathIn builds a Match function accepting exactly the given import paths.
+func PathIn(paths ...string) func(string) bool {
+	set := make(map[string]bool, len(paths))
+	for _, p := range paths {
+		set[p] = true
+	}
+	return func(pkgPath string) bool { return set[pkgPath] }
+}
+
+// allowDirective is the suppression marker. A directive names the analyzer it
+// silences and should carry a short justification, e.g.
+//
+//	//refill:allow maprange — order-insensitive: nodes are sorted below
+const allowDirective = "//refill:allow "
+
+// collectAllows scans a file's comments for suppression directives, recording
+// the analyzer name per (line) so Reportf can honor same-line and
+// line-above placements.
+func collectAllows(fset *token.FileSet, f *ast.File, into map[allowKey]bool) {
+	for _, group := range f.Comments {
+		for _, c := range group.List {
+			text := c.Text
+			if !strings.HasPrefix(text, allowDirective) {
+				continue
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(text, allowDirective))
+			name := rest
+			if i := strings.IndexAny(rest, " \t"); i >= 0 {
+				name = rest[:i]
+			}
+			if name == "" {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			into[allowKey{pos.Filename, pos.Line, name}] = true
+		}
+	}
+}
+
+type allowKey struct {
+	file string
+	line int
+	name string
+}
+
+// allowed reports whether a directive suppresses analyzer findings at the
+// given position.
+func (p *Package) allowed(analyzer string, pos token.Position) bool {
+	return p.allows[allowKey{pos.Filename, pos.Line, analyzer}] ||
+		p.allows[allowKey{pos.Filename, pos.Line - 1, analyzer}]
+}

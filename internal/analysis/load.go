@@ -1,0 +1,167 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one loaded, parsed and type-checked package.
+type Package struct {
+	// Path is the import path, Dir the on-disk directory.
+	Path string
+	Dir  string
+	// Root marks packages the load patterns named directly; analyzers run
+	// only on roots, dependencies exist for type information.
+	Root bool
+	// Fset, Files, Types and Info carry the syntax and type information
+	// analyzers consume. Info is populated for root packages only.
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	allows map[allowKey]bool
+}
+
+// listedPackage is the subset of `go list -json` output the loader reads.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Standard   bool
+	GoFiles    []string
+	Match      []string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Load resolves patterns with `go list -deps -json` (run in dir), parses
+// every package in the dependency closure and type-checks them in the
+// topological order go list guarantees. Standard-library dependencies are
+// type-checked from GOROOT source with function bodies ignored — the
+// container has no pre-built export data and no module proxy, so compiling
+// types from source is the only dependency-free route. Module packages named
+// by the patterns get full type checking (bodies included) and become Root
+// packages.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		return nil, fmt.Errorf("analysis: no packages to load")
+	}
+	args := append([]string{"list", "-e", "-deps", "-json=ImportPath,Dir,Standard,GoFiles,Match,DepOnly,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	stdout, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	var listed []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(stdout))
+	for {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		listed = append(listed, lp)
+	}
+
+	fset := token.NewFileSet()
+	byPath := make(map[string]*types.Package, len(listed))
+	// Fallback importer for packages outside the closure go list printed
+	// (it omits some low-level runtime dependencies pulled in implicitly).
+	srcImporter := importer.ForCompiler(fset, "source", nil)
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		if pkg, ok := byPath[path]; ok {
+			return pkg, nil
+		}
+		return srcImporter.Import(path)
+	})
+
+	var out []*Package
+	for _, lp := range listed {
+		if lp.ImportPath == "unsafe" {
+			byPath["unsafe"] = types.Unsafe
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("analysis: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if len(lp.GoFiles) == 0 {
+			continue
+		}
+		root := len(lp.Match) > 0 && !lp.DepOnly && !lp.Standard
+		var files []*ast.File
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, fmt.Errorf("analysis: parsing %s: %v", filepath.Join(lp.Dir, name), err)
+			}
+			files = append(files, f)
+		}
+		var info *types.Info
+		if root {
+			info = &types.Info{
+				Types:      make(map[ast.Expr]types.TypeAndValue),
+				Defs:       make(map[*ast.Ident]types.Object),
+				Uses:       make(map[*ast.Ident]types.Object),
+				Selections: make(map[*ast.SelectorExpr]*types.Selection),
+				Implicits:  make(map[ast.Node]types.Object),
+			}
+		}
+		var typeErrs []error
+		conf := &types.Config{
+			Importer:         imp,
+			FakeImportC:      true,
+			IgnoreFuncBodies: !root,
+			Error: func(err error) {
+				typeErrs = append(typeErrs, err)
+			},
+		}
+		tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+		if root && len(typeErrs) > 0 {
+			return nil, fmt.Errorf("analysis: type-checking %s: %v", lp.ImportPath, typeErrs[0])
+		}
+		if err != nil && root {
+			return nil, fmt.Errorf("analysis: type-checking %s: %v", lp.ImportPath, err)
+		}
+		// Dependencies may carry benign type errors (build-tag corners of
+		// the standard library); their exported surface is still usable.
+		byPath[lp.ImportPath] = tpkg
+		pkg := &Package{
+			Path:  lp.ImportPath,
+			Dir:   lp.Dir,
+			Root:  root,
+			Fset:  fset,
+			Files: files,
+			Types: tpkg,
+			Info:  info,
+		}
+		if root {
+			pkg.allows = make(map[allowKey]bool)
+			for _, f := range files {
+				collectAllows(fset, f, pkg.allows)
+			}
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// importerFunc adapts a function to types.Importer, like the x/tools helper.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

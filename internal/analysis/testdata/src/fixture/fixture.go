@@ -1,0 +1,43 @@
+// Package fixture seeds one violation per refill-lint code analyzer, plus a
+// suppressed occurrence proving //refill:allow directives work. Line numbers
+// are pinned by internal/analysis tests — keep edits append-only.
+package fixture
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+var pool sync.Pool
+
+// MapOrder leaks map iteration order into its output.
+func MapOrder(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// AllowedMapOrder carries a suppression directive and must not be reported.
+func AllowedMapOrder(m map[string]int) int {
+	total := 0
+	//refill:allow maprange — commutative sum, order cannot leak
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Clocked observes the wall clock and global randomness.
+func Clocked() int64 {
+	return time.Now().UnixNano() + int64(rand.Int())
+}
+
+// Recycle touches a pooled value after returning it.
+func Recycle() any {
+	x := pool.Get()
+	pool.Put(x)
+	return x
+}

@@ -177,6 +177,7 @@ func (e *Engine) AnalyzePacket(v *event.PacketView) *flow.Flow {
 	r.inferCapHit = false
 	total := 0
 	r.scratch = r.scratch[:0]
+	//refill:allow maprange — order-insensitive: nodes are insertion-sorted below
 	for n, evs := range v.PerNode {
 		total += len(evs)
 		r.scratch = append(r.scratch, n)

@@ -268,6 +268,7 @@ func (f *Flow) Retransmissions() map[[2]event.NodeID]int {
 		}
 	}
 	out := make(map[[2]event.NodeID]int)
+	//refill:allow maprange — map-to-map transform; no ordered output is produced
 	for hop, c := range counts {
 		if c > 1 {
 			out[hop] = c - 1

@@ -138,7 +138,9 @@ func TestFinalizeDeterministic(t *testing.T) {
 
 // TestIntraTieBreakDeterministic pins the deriveIntra tie-break: when two
 // same-labeled normal transitions enter the jump target over equally short
-// approach paths, the first-declared edge wins.
+// approach paths, the edge that comes first in the canonical (From, label)
+// order Finalize sorts transitions into wins — independent of declaration
+// order.
 func TestIntraTieBreakDeterministic(t *testing.T) {
 	b := NewBuilder("tiebreak")
 	start := b.State("Start", false)
@@ -146,10 +148,10 @@ func TestIntraTieBreakDeterministic(t *testing.T) {
 	c := b.State("B", false)
 	target := b.State("T", true)
 	b.Start(start)
-	b.Transition(start, a, On(event.Enqueue, SelfSender))  // approach 1 (declared first)
 	b.Transition(start, c, On(event.Dequeue, SelfSender))  // approach 2, same length
-	b.Transition(a, target, On(event.Trans, SelfSender))   // first trans edge into T
-	b.Transition(c, target, On(event.Trans, SelfSender))   // second trans edge into T
+	b.Transition(start, a, On(event.Enqueue, SelfSender))  // approach 1 (first in canonical order)
+	b.Transition(c, target, On(event.Trans, SelfSender))   // trans edge into T from B
+	b.Transition(a, target, On(event.Trans, SelfSender))   // trans edge into T from A, canonical first
 	g, err := b.Finalize()
 	if err != nil {
 		t.Fatal(err)

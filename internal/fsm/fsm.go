@@ -16,6 +16,7 @@
 package fsm
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 )
@@ -100,24 +101,33 @@ type transKey struct {
 	on   Label
 }
 
-// labelSlot maps a label to its column in the dense dispatch tables. Three
-// slots per event type: one per Role value plus an always-empty slot for the
-// zero Role, so malformed labels safely miss instead of aliasing a neighbor.
+// labelSlot maps a label to its column in the dense dispatch tables: three
+// slots per event type, one per Role value (zero Role included). Callers must
+// reject Role values outside [0,2] first — slot arithmetic on them would
+// alias a neighboring event type's columns.
 func labelSlot(l Label) int { return int(l.Type)*3 + int(l.Self) }
 
 // normalAt / intraAt are the dense lookups behind Next and friends. A slot
-// beyond labelWidth belongs to an event type the graph never mentions.
+// outside the table belongs to an event type the graph never mentions, and an
+// out-of-range Role must miss rather than alias (the coherence lint and
+// FuzzFinalize probe exactly these).
 func (g *Graph) normalAt(s StateID, l Label) int32 {
+	if l.Self < 0 || l.Self > 2 {
+		return -1
+	}
 	slot := labelSlot(l)
-	if slot >= g.labelWidth {
+	if slot < 0 || slot >= g.labelWidth {
 		return -1
 	}
 	return g.normalTab[int(s)*g.labelWidth+slot]
 }
 
 func (g *Graph) intraAt(s StateID, l Label) int32 {
+	if l.Self < 0 || l.Self > 2 {
+		return -1
+	}
 	slot := labelSlot(l)
-	if slot >= g.labelWidth {
+	if slot < 0 || slot >= g.labelWidth {
 		return -1
 	}
 	return g.intraTab[int(s)*g.labelWidth+slot]
@@ -258,17 +268,45 @@ func (g *Graph) pathToBFS(a, b StateID) ([]Transition, bool) {
 	return nil, false
 }
 
-// Labels returns the distinct transition labels of the graph in a
-// deterministic order.
+// Labels returns the distinct transition labels of the graph, sorted at
+// Finalize by (Type, Self).
 func (g *Graph) Labels() []Label { return g.labels }
 
-// NormalTransitions returns the declared transitions (shared slice; callers
-// must not mutate).
+// NormalTransitions returns the declared transitions, sorted at Finalize by
+// (From, label, To) so output derived from the slice is stable across runs
+// regardless of declaration order (shared slice; callers must not mutate).
 func (g *Graph) NormalTransitions() []Transition { return g.normal }
 
-// IntraTransitions returns the derived intra-node transitions (shared slice;
-// callers must not mutate).
+// IntraTransitions returns the derived intra-node transitions, ordered by
+// (From, label) — deriveIntra visits states in ID order and labels in sorted
+// order (shared slice; callers must not mutate).
 func (g *Graph) IntraTransitions() []Transition { return g.intra }
+
+// IndexedNormalNext is the construction-time map-index lookup for (s, l). It
+// is the reference the dense dispatch tables are verified against
+// (internal/lint, check "coherence"); the engine hot path never calls it.
+func (g *Graph) IndexedNormalNext(s StateID, l Label) (Transition, bool) {
+	if idx := g.normalIndex[transKey{s, l}]; len(idx) > 0 {
+		return g.normal[idx[0]], true
+	}
+	return Transition{}, false
+}
+
+// IndexedIntraNext is the map-index counterpart of IntraNext, kept as the
+// reference implementation for the lint coherence check.
+func (g *Graph) IndexedIntraNext(s StateID, l Label) (Transition, bool) {
+	if i, ok := g.intraIndex[transKey{s, l}]; ok {
+		return g.intra[i], true
+	}
+	return Transition{}, false
+}
+
+// PathToReference recomputes the shortest normal-transition path with the
+// allocating reference BFS the memoized table is built from. internal/lint
+// compares it exhaustively against PathTo; it is not for hot-path use.
+func (g *Graph) PathToReference(a, b StateID) ([]Transition, bool) {
+	return g.pathToBFS(a, b)
+}
 
 // Builder assembles a Graph. Typical use:
 //
@@ -319,29 +357,62 @@ func (b *Builder) Transition(from, to StateID, on Label) {
 }
 
 // Finalize validates the graph, computes reachability, and derives the
-// intra-node transitions per Section IV-B.
+// intra-node transitions per Section IV-B. Malformed graphs — duplicate or
+// unknown states, no start state, nondeterministic (state, label) pairs,
+// states unreachable from the start — yield a descriptive error (all problems
+// joined, never a panic). Normal transitions are sorted into canonical
+// (From, label, To) order first, so every derived artifact — label order,
+// intra transitions, memoized paths, dispatch tables — is independent of
+// declaration order.
 func (b *Builder) Finalize() (*Graph, error) {
 	g := b.g
 	if len(b.errs) > 0 {
-		return nil, b.errs[0]
-	}
-	if g.start == NoState {
-		return nil, fmt.Errorf("fsm: graph %q has no start state", g.name)
+		return nil, errors.Join(b.errs...)
 	}
 	if len(g.states) == 0 {
 		return nil, fmt.Errorf("fsm: graph %q has no states", g.name)
 	}
+	if g.start == NoState {
+		return nil, fmt.Errorf("fsm: graph %q has no start state", g.name)
+	}
+	sort.SliceStable(g.normal, func(i, j int) bool {
+		a, c := g.normal[i], g.normal[j]
+		if a.From != c.From {
+			return a.From < c.From
+		}
+		if a.On.Type != c.On.Type {
+			return a.On.Type < c.On.Type
+		}
+		if a.On.Self != c.On.Self {
+			return a.On.Self < c.On.Self
+		}
+		return a.To < c.To
+	})
 	// Index normal transitions; the engine is deterministic, so at most
 	// one normal transition per (state, label).
+	var errs []error
 	for i, tr := range g.normal {
 		k := transKey{tr.From, tr.On}
 		if len(g.normalIndex[k]) > 0 {
-			return nil, fmt.Errorf("fsm: graph %q nondeterministic at state %q on %v",
-				g.name, g.states[tr.From].Name, tr.On)
+			errs = append(errs, fmt.Errorf("fsm: graph %q nondeterministic at state %q on %v",
+				g.name, g.states[tr.From].Name, tr.On))
+			continue
 		}
 		g.normalIndex[k] = append(g.normalIndex[k], i)
 	}
+	if len(errs) > 0 {
+		return nil, errors.Join(errs...)
+	}
 	g.computeReachability()
+	for s := range g.states {
+		if StateID(s) != g.start && !g.reach[g.start][s] {
+			errs = append(errs, fmt.Errorf("fsm: graph %q state %q unreachable from start state %q",
+				g.name, g.states[s].Name, g.states[g.start].Name))
+		}
+	}
+	if len(errs) > 0 {
+		return nil, errors.Join(errs...)
+	}
 	g.collectLabels()
 	// Memoize all-pairs shortest inference paths before deriving intra
 	// transitions, so deriveIntra (and every later PathTo) is a table read.
@@ -488,18 +559,19 @@ func (g *Graph) deriveIntra() error {
 				continue // normal transition exists; no jump needed
 			}
 			// Distinct reachable targets of transitions labeled l.
-			targetSet := make(map[StateID]bool)
+			sjc := NoState
+			ambiguous := false
 			for _, tr := range g.normal {
-				if tr.On == l && g.Reachable(sx, tr.To) {
-					targetSet[tr.To] = true
+				if tr.On == l && g.Reachable(sx, tr.To) && tr.To != sjc {
+					if sjc != NoState {
+						ambiguous = true
+						break
+					}
+					sjc = tr.To
 				}
 			}
-			if len(targetSet) != 1 {
+			if sjc == NoState || ambiguous {
 				continue // none or ambiguous: no intra transition
-			}
-			var sjc StateID
-			for t := range targetSet {
-				sjc = t
 			}
 			// The inferred lost events are the normal path from s_x
 			// to the source of a transition (s_ic --l--> s_jc); pick

@@ -2,6 +2,7 @@ package fsm
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 
 	"repro/internal/event"
@@ -291,27 +292,33 @@ func TestUnreachableTargetYieldsNoIntra(t *testing.T) {
 
 func TestUniqueTargetAmongUnreachableOnes(t *testing.T) {
 	// Label appears on edges to two distinct states but only one target is
-	// reachable from the probe state: the unique reachable one wins.
+	// reachable from the probe state: the unique reachable one wins. The
+	// probe is a mid-chain state P; the second trans edge lives on a branch
+	// P cannot reach (all states stay reachable from Start, which Finalize
+	// now requires).
 	b := NewBuilder("partial")
 	s := b.State("S", false)
+	p := b.State("P", false)
 	a := b.State("A", false)
 	x := b.State("X", true)
 	o := b.State("Other", false)
 	y := b.State("Y", true)
 	b.Start(s)
-	b.Transition(s, a, On(event.Recv, SelfReceiver))
+	b.Transition(s, p, On(event.Recv, SelfReceiver))
+	b.Transition(p, a, On(event.Gen, SelfSender))
 	b.Transition(a, x, On(event.Trans, SelfSender))
-	b.Transition(o, y, On(event.Trans, SelfSender)) // o unreachable from s
+	b.Transition(s, o, On(event.Dup, SelfReceiver))
+	b.Transition(o, y, On(event.Trans, SelfSender)) // y not reachable from p
 	g, err := b.Finalize()
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr, ok := g.IntraNext(s, On(event.Trans, SelfSender))
+	tr, ok := g.IntraNext(p, On(event.Trans, SelfSender))
 	if !ok || tr.To != x {
-		t.Fatalf("want intra S --trans--> X, got ok=%v to=%v", ok, tr.To)
+		t.Fatalf("want intra P --trans--> X, got ok=%v to=%v", ok, tr.To)
 	}
-	if len(tr.InferPath) != 1 || tr.InferPath[0].On.Type != event.Recv {
-		t.Errorf("infer path should be [recv], got %+v", tr.InferPath)
+	if len(tr.InferPath) != 1 || tr.InferPath[0].On.Type != event.Gen {
+		t.Errorf("infer path should be [gen], got %+v", tr.InferPath)
 	}
 }
 
@@ -459,9 +466,35 @@ func TestReachabilityMatchesBFSProperty(t *testing.T) {
 			b.Transition(from, to, l)
 			edgeList = append(edgeList, edge{from, to})
 		}
+		// Independent BFS from the start: Finalize must accept the graph
+		// exactly when every state is reachable from it.
+		reachFromStart := make([]bool, n)
+		reachFromStart[0] = true
+		for changed := true; changed; {
+			changed = false
+			for _, e := range edgeList {
+				if reachFromStart[e.from] && !reachFromStart[e.to] {
+					reachFromStart[e.to] = true
+					changed = true
+				}
+			}
+		}
+		allReachable := true
+		for _, r := range reachFromStart {
+			allReachable = allReachable && r
+		}
 		g, err := b.Finalize()
 		if err != nil {
-			t.Fatalf("trial %d: %v", trial, err)
+			if allReachable {
+				t.Fatalf("trial %d: Finalize rejected a fully reachable graph: %v", trial, err)
+			}
+			if !strings.Contains(err.Error(), "unreachable") {
+				t.Fatalf("trial %d: want descriptive unreachable-state error, got %v", trial, err)
+			}
+			continue
+		}
+		if !allReachable {
+			t.Fatalf("trial %d: Finalize accepted a graph with unreachable states", trial)
 		}
 		// Independent BFS from each source.
 		for src := 0; src < n; src++ {
@@ -523,5 +556,82 @@ func TestIntraInferPathEndsAdjacentToTarget(t *testing.T) {
 					g.Name(), g.State(tr.From).Name, tr.On, g.State(tr.To).Name)
 			}
 		}
+	}
+}
+
+// TestFinalizeErrorsAreDescriptive is the malformed-graph table: every broken
+// builder yields an error (never a panic) whose message names the graph and
+// the problem, and independent problems are aggregated rather than masked.
+func TestFinalizeErrorsAreDescriptive(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *Builder
+		want  []string // substrings the joined error must contain
+	}{
+		{
+			name:  "empty",
+			build: func() *Builder { return NewBuilder("empty") },
+			want:  []string{"empty", "no states"},
+		},
+		{
+			name: "no-start",
+			build: func() *Builder {
+				b := NewBuilder("nostart")
+				b.State("X", true)
+				return b
+			},
+			want: []string{"nostart", "start"},
+		},
+		{
+			name: "duplicate-state",
+			build: func() *Builder {
+				b := NewBuilder("dupl")
+				b.Start(b.State("X", false))
+				b.State("X", true)
+				return b
+			},
+			want: []string{"dupl", "duplicate", `"X"`},
+		},
+		{
+			name: "unreachable-state",
+			build: func() *Builder {
+				b := NewBuilder("orphaned")
+				b.Start(b.State("Start", true))
+				b.State("Orphan", true)
+				return b
+			},
+			want: []string{"orphaned", "unreachable", `"Orphan"`},
+		},
+		{
+			name: "nondeterminism-aggregated",
+			build: func() *Builder {
+				b := NewBuilder("multi")
+				s := b.State("S", false)
+				a := b.State("A", true)
+				c := b.State("B", true)
+				b.Start(s)
+				// Two independent nondeterministic pairs: both must be
+				// reported in one joined error.
+				b.Transition(s, a, On(event.Recv, SelfReceiver))
+				b.Transition(s, c, On(event.Recv, SelfReceiver))
+				b.Transition(s, a, On(event.Dup, SelfReceiver))
+				b.Transition(s, c, On(event.Dup, SelfReceiver))
+				return b
+			},
+			want: []string{"multi", "recv", "dup"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g, err := tc.build().Finalize()
+			if err == nil {
+				t.Fatalf("Finalize accepted a malformed graph: %+v", g)
+			}
+			for _, want := range tc.want {
+				if !strings.Contains(err.Error(), want) {
+					t.Errorf("error %q does not mention %q", err, want)
+				}
+			}
+		})
 	}
 }

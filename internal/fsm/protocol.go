@@ -119,10 +119,18 @@ func NewProtocol(name string, graphs map[NodeRole]*Graph, prereqs map[event.Type
 	if len(graphs) == 0 {
 		return nil, fmt.Errorf("fsm: protocol %q has no graphs", name)
 	}
-	for t, pr := range prereqs {
+	// Ascending event-type order so the same malformed table always yields
+	// the same first error.
+	for ti := 0; ti < event.NumTypes; ti++ {
+		t := event.Type(ti)
+		pr, ok := prereqs[t]
+		if !ok {
+			continue
+		}
 		names := append([]string{pr.InferTo}, pr.AnyOf...)
 		for _, want := range names {
 			found := false
+			//refill:allow maprange — existential check; found is order-independent
 			for _, g := range graphs {
 				if g.StateByName(want) != NoState {
 					found = true

@@ -1,0 +1,222 @@
+package lint
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/event"
+	"repro/internal/fsm"
+)
+
+// checkPrereqs verifies the protocol's Definition 4.1 table against the role
+// graphs:
+//
+//   - every AnyOf/InferTo state name resolves in at least one role graph;
+//   - InferTo is consistent with AnyOf: in every graph where InferTo
+//     resolves, driving an engine to InferTo actually satisfies the
+//     prerequisite (some AnyOf state is passed), so inference cannot
+//     "satisfy" a prerequisite without satisfying it;
+//   - the event-type prerequisite graph is acyclic, which bounds the
+//     recursive inter-node inference in engine.go (drive -> emitInferred ->
+//     satisfyPrereq -> drive). A self-dependency is tolerated only when it
+//     shifts endpoint: the inferred event's prerequisite targets the opposite
+//     endpoint of the edge it rides, so each recursion moves one hop along
+//     the (finite) forwarding path instead of bouncing between two engines.
+func checkPrereqs(p *fsm.Protocol, graphs []*fsm.Graph) []Issue {
+	var issues []Issue
+	name := p.Name()
+	bad := func(detail string, args ...any) {
+		issues = append(issues, Issue{Check: CheckPrereq, Subject: name, Detail: fmt.Sprintf(detail, args...)})
+	}
+	type rule struct {
+		t    event.Type
+		pr   fsm.Prereq
+		self bool
+	}
+	var rules []rule
+	for t := 0; t < event.NumTypes; t++ {
+		if pr, ok := p.Prereq(event.Type(t)); ok {
+			rules = append(rules, rule{event.Type(t), pr, false})
+		}
+		if pr, ok := p.SelfPrereq(event.Type(t)); ok {
+			rules = append(rules, rule{event.Type(t), pr, true})
+		}
+	}
+	resolveAnywhere := func(state string) bool {
+		for _, g := range graphs {
+			if g.StateByName(state) != fsm.NoState {
+				return true
+			}
+		}
+		return false
+	}
+	for _, r := range rules {
+		kind := "prereq"
+		if r.self {
+			kind = "self-prereq"
+		}
+		if len(r.pr.AnyOf) == 0 {
+			bad("%s for %v has an empty AnyOf set; it can never be satisfied", kind, r.t)
+		}
+		for _, want := range append([]string{r.pr.InferTo}, r.pr.AnyOf...) {
+			if want == "" {
+				bad("%s for %v names an empty state", kind, r.t)
+				continue
+			}
+			if !resolveAnywhere(want) {
+				bad("%s for %v names state %q, which no role graph defines", kind, r.t, want)
+			}
+		}
+		if !r.self && !r.pr.Group && r.pr.PeerRole != fsm.SelfSender && r.pr.PeerRole != fsm.SelfReceiver {
+			bad("prereq for %v names no peer role and is not a group rule", r.t)
+		}
+		// InferTo consistency: in every graph where InferTo resolves,
+		// being at InferTo must count as having passed some AnyOf state.
+		for _, g := range graphs {
+			inferTo := g.StateByName(r.pr.InferTo)
+			if inferTo == fsm.NoState {
+				continue
+			}
+			satisfied := false
+			for _, want := range r.pr.AnyOf {
+				if s := g.StateByName(want); s != fsm.NoState && g.Passed(inferTo, s) {
+					satisfied = true
+				}
+			}
+			if !satisfied {
+				bad("%s for %v: inferring to %q in graph %q does not pass any AnyOf state %v",
+					kind, r.t, r.pr.InferTo, g.Name(), r.pr.AnyOf)
+			}
+		}
+	}
+	issues = append(issues, checkPrereqCycles(p, graphs, name)...)
+	return issues
+}
+
+// prereqEdges computes, for one inter-prerequisite rule, the set of event
+// types whose own prerequisites can be triggered while satisfying it: the
+// labels of every normal edge that lies on some path into the rule's InferTo
+// state in any role graph (the engine infers along PathTo(cur, inferTo) from
+// an arbitrary current state, so any edge that can reach — or is — the target
+// may be replayed as an inferred event).
+func prereqEdges(p *fsm.Protocol, graphs []*fsm.Graph, t event.Type, pr fsm.Prereq) map[event.Type][]fsm.Label {
+	out := make(map[event.Type][]fsm.Label)
+	for _, g := range graphs {
+		inferTo := g.StateByName(pr.InferTo)
+		if inferTo == fsm.NoState {
+			continue
+		}
+		for _, tr := range g.NormalTransitions() {
+			if tr.To != inferTo && !reachableRef(g, tr.To, inferTo) {
+				continue
+			}
+			_, hasInter := p.Prereq(tr.On.Type)
+			_, hasSelf := p.SelfPrereq(tr.On.Type)
+			if !hasInter && !hasSelf {
+				continue
+			}
+			dup := false
+			for _, l := range out[tr.On.Type] {
+				dup = dup || l == tr.On
+			}
+			if !dup {
+				out[tr.On.Type] = append(out[tr.On.Type], tr.On)
+			}
+		}
+	}
+	return out
+}
+
+// checkPrereqCycles builds the event-type prerequisite graph and rejects
+// cycles. A direct self-dependency is accepted only when every edge carrying
+// it is endpoint-shifting (see checkPrereqs); longer cycles are always
+// rejected, since the engine's per-node driving guard silently abandons the
+// inner inference when such a chain closes on itself — the prerequisite would
+// be recorded satisfied without being realized.
+func checkPrereqCycles(p *fsm.Protocol, graphs []*fsm.Graph, name string) []Issue {
+	var issues []Issue
+	bad := func(detail string, args ...any) {
+		issues = append(issues, Issue{Check: CheckPrereq, Subject: name, Detail: fmt.Sprintf(detail, args...)})
+	}
+	succ := make(map[event.Type][]event.Type)
+	var nodes []event.Type
+	for t := 0; t < event.NumTypes; t++ {
+		pr, ok := p.Prereq(event.Type(t))
+		if !ok {
+			continue
+		}
+		nodes = append(nodes, event.Type(t))
+		edges := prereqEdges(p, graphs, event.Type(t), pr)
+		for ut := 0; ut < event.NumTypes; ut++ {
+			u := event.Type(ut)
+			labels, any := edges[u]
+			if !any {
+				continue
+			}
+			if u == event.Type(t) {
+				// Self-dependency: inferring the rule's own event type
+				// while satisfying it. Safe only if the nested
+				// prerequisite targets the opposite endpoint, walking
+				// one hop along the forwarding path per recursion.
+				for _, l := range labels {
+					shifting := (l.Self == fsm.SelfReceiver && pr.PeerRole == fsm.SelfSender) ||
+						(l.Self == fsm.SelfSender && pr.PeerRole == fsm.SelfReceiver)
+					if pr.Group || !shifting {
+						bad("prereq for %v re-triggers itself via label %v without shifting endpoint; inter-node inference may not terminate", event.Type(t), l)
+					}
+				}
+				continue
+			}
+			succ[event.Type(t)] = append(succ[event.Type(t)], u)
+		}
+	}
+	// DFS cycle detection over the (small) type graph; successor lists are
+	// already in ascending type order, so reports are deterministic.
+	const (
+		unvisited = 0
+		onStack   = 1
+		done      = 2
+	)
+	state := make(map[event.Type]int)
+	var stack []event.Type
+	var walk func(t event.Type) bool
+	walk = func(t event.Type) bool {
+		state[t] = onStack
+		stack = append(stack, t)
+		for _, u := range succ[t] {
+			switch state[u] {
+			case onStack:
+				// Report the cycle slice for a precise diagnostic.
+				start := 0
+				for i, v := range stack {
+					if v == u {
+						start = i
+					}
+				}
+				var names []string
+				for _, v := range stack[start:] {
+					names = append(names, v.String())
+				}
+				names = append(names, u.String())
+				bad("prerequisite cycle %s: recursive inter-node inference is unbounded",
+					strings.Join(names, " -> "))
+				return true
+			case unvisited:
+				if walk(u) {
+					return true
+				}
+			}
+		}
+		stack = stack[:len(stack)-1]
+		state[t] = done
+		return false
+	}
+	for _, t := range nodes {
+		if state[t] == unvisited {
+			if walk(t) {
+				break
+			}
+		}
+	}
+	return issues
+}

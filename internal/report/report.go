@@ -65,6 +65,7 @@ func Daily(rep *diagnosis.Report, dayLen int64, days int) string {
 	b.WriteByte('\n')
 	for d, m := range comp {
 		total := 0
+		//refill:allow maprange — commutative sum; order cannot leak
 		for _, n := range m {
 			total += n
 		}
@@ -119,6 +120,7 @@ func Scatter(points []diagnosis.Point, bin int64, label string) string {
 		causesSeen[p.Cause] = true
 	}
 	var keys []int64
+	//refill:allow maprange — keys are collected then sorted before any output
 	for k := range bins {
 		keys = append(keys, k)
 	}
@@ -139,6 +141,7 @@ func Scatter(points []diagnosis.Point, bin int64, label string) string {
 	for _, k := range keys {
 		bs := bins[k]
 		total := 0
+		//refill:allow maprange — commutative sum; order cannot leak
 		for _, n := range bs.causes {
 			total += n
 		}
@@ -160,6 +163,7 @@ func Spatial(rep *diagnosis.Report, topo *topology.Topology, top int) string {
 		count int
 	}
 	var rows []row
+	//refill:allow maprange — rows are collected then sorted before any output
 	for n, c := range sites {
 		rows = append(rows, row{n, c})
 	}
@@ -212,6 +216,7 @@ func Confusion(m map[diagnosis.Cause]map[diagnosis.Cause]int) string {
 	for _, c := range diagnosis.Causes() {
 		if len(m[c]) > 0 {
 			rowsPresent = append(rowsPresent, c)
+			//refill:allow maprange — set insertion; column order comes from Causes()
 			for cc := range m[c] {
 				seenCol[cc] = true
 			}

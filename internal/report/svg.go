@@ -143,6 +143,7 @@ func ScatterSVG(points []diagnosis.Point, title string) string {
 	// Y axis: rank nodes by ID (the paper's "node ID" axis); the Server
 	// pseudo-node draws above everything.
 	var nodes []event.NodeID
+	//refill:allow maprange — nodes are collected then sorted before any output
 	for n := range nodesSeen {
 		nodes = append(nodes, n)
 	}
@@ -193,6 +194,7 @@ func DailySVG(daily []map[diagnosis.Cause]int, title string) string {
 	causesSeen := map[diagnosis.Cause]bool{}
 	for _, m := range daily {
 		total := 0
+		//refill:allow maprange — commutative sum and set insertion; order cannot leak
 		for c, n := range m {
 			total += n
 			causesSeen[c] = true
@@ -268,6 +270,7 @@ func SpatialSVG(rep *diagnosis.Report, topo *topology.Topology, title string) st
 
 	losses := rep.LossesBySite(diagnosis.ReceivedLoss)
 	maxLoss := 1
+	//refill:allow maprange — commutative max; order cannot leak
 	for _, n := range losses {
 		if n > maxLoss {
 			maxLoss = n
