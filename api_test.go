@@ -189,3 +189,117 @@ func TestPublicCausesComplete(t *testing.T) {
 		}
 	}
 }
+
+// reportFingerprint renders an output to a comparable string: flows in order
+// plus the full breakdown table.
+func reportFingerprint(out *Output) string {
+	var sb strings.Builder
+	for _, f := range out.Result.Flows {
+		sb.WriteString(f.Packet.String())
+		sb.WriteByte('\t')
+		sb.WriteString(f.String())
+		sb.WriteByte('\n')
+	}
+	sb.WriteString(RenderBreakdown(out.Report))
+	return sb.String()
+}
+
+func TestPublicFunctionalOptions(t *testing.T) {
+	pkt := PacketID{Origin: 1, Seq: 1}
+	logs := NewCollection()
+	logs.Add(mkEvent(Trans, 1, 2, pkt))
+	logs.Add(mkEvent(Recv, 2, 3, pkt))
+	// WithProtocol must act like setting Protocol in the struct.
+	an, err := NewAnalyzer(AnalyzerOptions{Sink: 100}, WithProtocol(TableIIProtocol()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := an.Analyze(logs)
+	want := "1-2 trans, [1-2 recv], [2-3 trans], 2-3 recv"
+	if got := out.Result.Flows[0].String(); got != want {
+		t.Errorf("WithProtocol flow = %s", got)
+	}
+	// WithEngineOptions imports the same configuration from an engine
+	// options value; zero Sink must not clobber the struct's.
+	an2, err := NewAnalyzer(AnalyzerOptions{Sink: 100},
+		WithEngineOptions(EngineOptions{Protocol: TableIIProtocol()}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := an2.Analyze(logs).Result.Flows[0].String(); got != want {
+		t.Errorf("WithEngineOptions flow = %s", got)
+	}
+	// Options apply in order: the last protocol wins.
+	an3, err := NewAnalyzer(AnalyzerOptions{Sink: 100},
+		WithProtocol(DefaultCTP()), WithProtocol(TableIIProtocol()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := an3.Analyze(logs).Result.Flows[0].String(); got != want {
+		t.Errorf("ordered options flow = %s", got)
+	}
+	// The zero Sink is still rejected, options or not.
+	if _, err := NewAnalyzer(AnalyzerOptions{}, WithProtocol(DefaultCTP())); err == nil {
+		t.Error("NewAnalyzer accepted the zero Sink")
+	}
+}
+
+func TestPublicParallelismAndStreamIdentical(t *testing.T) {
+	camp, err := RunCampaign(TinyCampaign(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := NewAnalyzer(AnalyzerOptions{Sink: camp.Sink, End: int64(camp.Duration)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := reportFingerprint(base.Analyze(camp.Logs))
+	for _, workers := range []int{-1, 1, 4} {
+		an, err := NewAnalyzer(AnalyzerOptions{Sink: camp.Sink, End: int64(camp.Duration)},
+			WithParallelism(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := reportFingerprint(an.Analyze(camp.Logs)); got != want {
+			t.Fatalf("Parallelism=%d diverged from serial", workers)
+		}
+		if got := reportFingerprint(AnalyzeStream(an, camp.Logs)); got != want {
+			t.Fatalf("AnalyzeStream with Parallelism=%d diverged from serial", workers)
+		}
+	}
+	if got := reportFingerprint(AnalyzeStream(base, camp.Logs)); got != want {
+		t.Fatal("AnalyzeStream with default options diverged from serial")
+	}
+}
+
+func TestPublicRecoverClocksWith(t *testing.T) {
+	camp, err := RunCampaign(TinyCampaign(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := NewAnalyzer(AnalyzerOptions{Sink: camp.Sink, End: int64(camp.Duration)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := an.Analyze(camp.Logs)
+	def := RecoverClocks(out.Result.Flows, Server)
+	same := RecoverClocksWith(out.Result.Flows, Server, RecoverClocksOpts{})
+	if len(def.Nodes) != len(same.Nodes) || def.Pairs != same.Pairs {
+		t.Fatal("zero options diverged from RecoverClocks")
+	}
+	for n, p := range def.Nodes {
+		if same.Nodes[n] != p {
+			t.Fatalf("node %v params diverged under zero options", n)
+		}
+	}
+	// An absurd threshold drops every non-anchor node into Unanchored.
+	strict := RecoverClocksWith(out.Result.Flows, Server, RecoverClocksOpts{MinPairings: 1 << 30})
+	if len(strict.Unanchored) == 0 {
+		t.Error("MinPairings threshold dropped nothing")
+	}
+	for _, n := range strict.Unanchored {
+		if _, ok := strict.Nodes[n]; ok {
+			t.Errorf("dropped node %v still has an estimate", n)
+		}
+	}
+}

@@ -50,13 +50,13 @@ func tableIIView() *event.PacketView {
 		}
 		return event.Event{Node: n, Type: t, Sender: s, Receiver: r, Packet: pkt}
 	}
-	return &event.PacketView{Packet: pkt, PerNode: map[event.NodeID][]event.Event{
+	return event.NewPacketView(pkt, map[event.NodeID][]event.Event{
 		1: {mk(event.Trans, 1, 2), mk(event.AckRecvd, 1, 2), mk(event.Recv, 3, 1),
 			mk(event.Trans, 1, 2), mk(event.AckRecvd, 1, 2)},
 		2: {mk(event.Recv, 1, 2), mk(event.Trans, 2, 3), mk(event.AckRecvd, 2, 3),
 			mk(event.Trans, 2, 3)},
 		3: {mk(event.Recv, 2, 3), mk(event.Trans, 3, 1), mk(event.AckRecvd, 3, 1)},
-	}}
+	})
 }
 
 // BenchmarkTableII measures reconstructing the paper's Table II Case 4
@@ -88,9 +88,9 @@ func BenchmarkAnalyzePacket(b *testing.B) {
 	for i := range path {
 		path[i] = event.NodeID(i + 1)
 	}
-	view := &event.PacketView{Packet: pkt, PerNode: map[event.NodeID][]event.Event{}}
+	perNode := map[event.NodeID][]event.Event{}
 	add := func(e event.Event) {
-		view.PerNode[e.Node] = append(view.PerNode[e.Node], e)
+		perNode[e.Node] = append(perNode[e.Node], e)
 	}
 	add(event.Event{Node: 1, Type: event.Gen, Sender: 1, Packet: pkt})
 	for i := 0; i+1 < len(path); i++ {
@@ -103,6 +103,7 @@ func BenchmarkAnalyzePacket(b *testing.B) {
 			add(event.Event{Node: s, Type: event.AckRecvd, Sender: s, Receiver: r, Packet: pkt})
 		}
 	}
+	view := event.NewPacketView(pkt, perNode)
 	eng, err := engine.New(engine.Options{Sink: path[len(path)-1]})
 	if err != nil {
 		b.Fatal(err)
@@ -303,12 +304,12 @@ func BenchmarkEngineChain(b *testing.B) {
 			for i := range path {
 				path[i] = event.NodeID(i + 1)
 			}
-			view := &event.PacketView{Packet: pkt, PerNode: map[event.NodeID][]event.Event{}}
+			perNode := map[event.NodeID][]event.Event{}
 			tick := int64(0)
 			add := func(e event.Event) {
 				tick += 10
 				e.Time = tick
-				view.PerNode[e.Node] = append(view.PerNode[e.Node], e)
+				perNode[e.Node] = append(perNode[e.Node], e)
 			}
 			add(event.Event{Node: 1, Type: event.Gen, Sender: 1, Packet: pkt})
 			for i := 0; i+1 < len(path); i++ {
@@ -317,6 +318,7 @@ func BenchmarkEngineChain(b *testing.B) {
 				add(event.Event{Node: r, Type: event.Recv, Sender: s, Receiver: r, Packet: pkt})
 				add(event.Event{Node: s, Type: event.AckRecvd, Sender: s, Receiver: r, Packet: pkt})
 			}
+			view := event.NewPacketView(pkt, perNode)
 			eng, err := engine.New(engine.Options{Sink: path[len(path)-1]})
 			if err != nil {
 				b.Fatal(err)

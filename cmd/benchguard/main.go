@@ -1,0 +1,154 @@
+// Command benchguard compares a `go test -bench -benchmem` run against a
+// checked-in baseline and fails when allocations regress.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem . | benchguard -baseline bench_baseline.txt
+//
+// Only allocs/op is guarded: unlike ns/op it is deterministic for a given
+// code path — independent of the machine, CPU contention, and frequency
+// scaling — so a CI runner can enforce a tight threshold without flaking.
+// A benchmark regresses when its allocs/op exceeds the baseline by more
+// than -tolerance (default 10%). Benchmarks absent from the baseline are
+// reported but don't fail the run (add them to the baseline when they
+// stabilize); baseline entries missing from the input fail it, so the
+// guard can't rot silently when a benchmark is renamed.
+//
+// To refresh the baseline after an intentional change:
+//
+//	go test -run '^$' -bench 'BenchmarkAnalyzeCampaign$' -benchmem -benchtime 3x . > bench_baseline.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// benchLine matches the testing package's benchmark result format:
+//
+//	BenchmarkName-8   3   342105525 ns/op   84874053 B/op   190633 allocs/op
+//
+// The -8 GOMAXPROCS suffix is stripped so baselines recorded on one
+// machine compare against runs on another.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+.*?\s(\d+) allocs/op`)
+
+// parse extracts benchmark name -> allocs/op from -benchmem output.
+// Sub-benchmark runs of the same name (e.g. -count=N) keep the last value.
+func parse(r io.Reader) (map[string]int64, error) {
+	out := make(map[string]int64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		n, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad allocs/op in %q: %w", sc.Text(), err)
+		}
+		out[m[1]] = n
+	}
+	return out, sc.Err()
+}
+
+// check compares current allocs against the baseline and returns human
+// verdict lines plus whether the run passed. tolerance is fractional
+// (0.10 = 10%).
+func check(baseline, current map[string]int64, tolerance float64) ([]string, bool) {
+	var lines []string
+	ok := true
+	names := make([]string, 0, len(baseline))
+	for n := range baseline {
+		names = append(names, n)
+	}
+	// Stable report order regardless of map iteration.
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			if names[j] < names[i] {
+				names[i], names[j] = names[j], names[i]
+			}
+		}
+	}
+	for _, name := range names {
+		base := baseline[name]
+		cur, found := current[name]
+		if !found {
+			lines = append(lines, fmt.Sprintf("FAIL %s: in baseline but missing from input", name))
+			ok = false
+			continue
+		}
+		limit := float64(base) * (1 + tolerance)
+		delta := 0.0
+		if base > 0 {
+			delta = 100 * (float64(cur)/float64(base) - 1)
+		}
+		if float64(cur) > limit {
+			lines = append(lines, fmt.Sprintf("FAIL %s: %d allocs/op, baseline %d (%+.1f%% > %.0f%% tolerance)",
+				name, cur, base, delta, tolerance*100))
+			ok = false
+		} else {
+			lines = append(lines, fmt.Sprintf("ok   %s: %d allocs/op, baseline %d (%+.1f%%)",
+				name, cur, base, delta))
+		}
+	}
+	for name, cur := range current {
+		if _, known := baseline[name]; !known {
+			lines = append(lines, fmt.Sprintf("note %s: %d allocs/op, not in baseline", name, cur))
+		}
+	}
+	return lines, ok
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "bench_baseline.txt", "baseline benchmark output to compare against")
+	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional allocs/op regression")
+	flag.Parse()
+
+	bf, err := os.Open(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	baseline, err := parse(bf)
+	bf.Close()
+	if err != nil {
+		fatal(err)
+	}
+	if len(baseline) == 0 {
+		fatal(fmt.Errorf("no benchmark lines in baseline %s", *baselinePath))
+	}
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	current, err := parse(in)
+	if err != nil {
+		fatal(err)
+	}
+	if len(current) == 0 {
+		fatal(fmt.Errorf("no benchmark lines in input (run with -bench and -benchmem)"))
+	}
+
+	lines, ok := check(baseline, current, *tolerance)
+	fmt.Println(strings.Join(lines, "\n"))
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchguard:", err)
+	os.Exit(1)
+}

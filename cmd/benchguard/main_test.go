@@ -1,0 +1,77 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: some CPU
+BenchmarkAnalyzeCampaign-8   	       3	 342105525 ns/op	84874053 B/op	  190633 allocs/op
+BenchmarkEngineChain/hops=4-8 	   10000	      1042 ns/op	     512 B/op	       9 allocs/op
+PASS
+ok  	repro	2.5s
+`
+
+func TestParseStripsCPUSuffix(t *testing.T) {
+	got, err := parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["BenchmarkAnalyzeCampaign"] != 190633 {
+		t.Errorf("campaign allocs = %d", got["BenchmarkAnalyzeCampaign"])
+	}
+	if got["BenchmarkEngineChain/hops=4"] != 9 {
+		t.Errorf("sub-benchmark allocs = %d (map %v)", got["BenchmarkEngineChain/hops=4"], got)
+	}
+	if len(got) != 2 {
+		t.Errorf("parsed %d entries, want 2: %v", len(got), got)
+	}
+}
+
+func TestCheckWithinTolerancePasses(t *testing.T) {
+	base := map[string]int64{"BenchmarkX": 1000}
+	_, ok := check(base, map[string]int64{"BenchmarkX": 1099}, 0.10)
+	if !ok {
+		t.Error("9.9% regression failed under a 10% tolerance")
+	}
+	_, ok = check(base, map[string]int64{"BenchmarkX": 900}, 0.10)
+	if !ok {
+		t.Error("an improvement failed the guard")
+	}
+}
+
+func TestCheckRegressionFails(t *testing.T) {
+	base := map[string]int64{"BenchmarkX": 1000}
+	lines, ok := check(base, map[string]int64{"BenchmarkX": 1101}, 0.10)
+	if ok {
+		t.Errorf("10.1%% regression passed: %v", lines)
+	}
+}
+
+func TestCheckMissingBenchmarkFails(t *testing.T) {
+	base := map[string]int64{"BenchmarkX": 1000, "BenchmarkY": 5}
+	lines, ok := check(base, map[string]int64{"BenchmarkX": 1000}, 0.10)
+	if ok {
+		t.Errorf("missing baseline benchmark passed: %v", lines)
+	}
+}
+
+func TestCheckUnknownBenchmarkIsNoted(t *testing.T) {
+	base := map[string]int64{"BenchmarkX": 1000}
+	lines, ok := check(base, map[string]int64{"BenchmarkX": 1000, "BenchmarkNew": 7}, 0.10)
+	if !ok {
+		t.Errorf("benchmark absent from baseline failed the run: %v", lines)
+	}
+	found := false
+	for _, l := range lines {
+		if strings.Contains(l, "BenchmarkNew") && strings.HasPrefix(l, "note") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("new benchmark not noted: %v", lines)
+	}
+}

@@ -32,6 +32,8 @@ func main() {
 		days      = flag.Int("days", 30, "campaign length in days (bounds open outage windows)")
 		binFormat = flag.Bool("binary", false, "input is the compact binary log format")
 		clocks    = flag.Bool("clocks", false, "recover per-node clock offsets from the flows")
+		workers   = flag.Int("workers", 0, "reconstruction workers (0 serial, -1 all cores)")
+		stream    = flag.Bool("stream", false, "overlap partitioning with reconstruction (implies parallel workers)")
 		prof      profiling.Flags
 	)
 	prof.Register(flag.CommandLine)
@@ -62,11 +64,16 @@ func main() {
 	an, err := refill.NewAnalyzer(refill.AnalyzerOptions{
 		Sink: refill.NodeID(*sinkID),
 		End:  int64(*days) * int64(sim.Day),
-	})
+	}, refill.WithParallelism(*workers))
 	if err != nil {
 		fatal(err)
 	}
-	out := an.Analyze(logs)
+	var out *refill.Output
+	if *stream {
+		out = refill.AnalyzeStream(an, logs)
+	} else {
+		out = an.Analyze(logs)
+	}
 
 	fmt.Printf("analyzed %d events across %d node logs -> %d packet flows\n",
 		logs.TotalEvents(), len(logs.Logs), len(out.Result.Flows))

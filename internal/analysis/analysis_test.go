@@ -29,9 +29,9 @@ func TestFixtureDiagnostics(t *testing.T) {
 		line     int
 	}
 	want := []finding{
-		{"wallclock", 7},   // import "math/rand"
-		{"maprange", 17},   // for k := range m
-		{"wallclock", 35},  // time.Now()
+		{"wallclock", 7},    // import "math/rand"
+		{"maprange", 17},    // for k := range m
+		{"wallclock", 35},   // time.Now()
 		{"poolhygiene", 42}, // return x after pool.Put(x)
 	}
 	var got []finding

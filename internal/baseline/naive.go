@@ -30,7 +30,9 @@ func Naive(c *event.Collection) map[event.PacketID]Verdict {
 	delivered := make(map[event.PacketID]bool)
 	anyNode := make(map[event.PacketID]event.NodeID)
 	for _, n := range c.Nodes() {
-		for _, e := range c.Logs[n].Events {
+		b := c.Logs[n].Batch()
+		for i := 0; i < b.Len(); i++ {
+			e := b.At(i)
 			if !e.Type.PacketScoped() {
 				continue
 			}
@@ -103,10 +105,9 @@ func ClockMerge(c *event.Collection) map[event.PacketID]Verdict {
 	views, _ := event.Partition(c)
 	out := make(map[event.PacketID]Verdict, len(views))
 	for _, view := range views {
-		var all []event.Event
-		for _, n := range view.Nodes() {
-			all = append(all, view.PerNode[n]...)
-		}
+		// Span order is ascending node, per-node log order within — the
+		// same sequence the pre-SoA code built from the sorted node list.
+		all := view.Events()
 		sort.SliceStable(all, func(i, j int) bool {
 			if all[i].Time != all[j].Time {
 				return all[i].Time < all[j].Time

@@ -43,12 +43,14 @@ func SinkView(c *event.Collection, period int64) []LostPacket {
 		t   int64
 	}
 	perOrigin := make(map[event.NodeID][]seqTime)
-	for _, e := range srv.Events {
-		if e.Type != event.ServerRecv {
+	b := srv.Batch()
+	for i := 0; i < b.Len(); i++ {
+		if b.Type(i) != event.ServerRecv {
 			continue
 		}
-		perOrigin[e.Packet.Origin] = append(perOrigin[e.Packet.Origin],
-			seqTime{seq: e.Packet.Seq, t: e.Time})
+		pkt := b.Packet(i)
+		perOrigin[pkt.Origin] = append(perOrigin[pkt.Origin],
+			seqTime{seq: pkt.Seq, t: b.Time(i)})
 	}
 	origins := make([]event.NodeID, 0, len(perOrigin))
 	for o := range perOrigin {

@@ -29,14 +29,15 @@ func TimeCorr(c *event.Collection, lost []LostPacket, bin int64) map[event.Packe
 		m[cause]++
 	}
 	for _, n := range c.Nodes() {
-		for _, e := range c.Logs[n].Events {
-			switch e.Type {
+		b := c.Logs[n].Batch()
+		for i := 0; i < b.Len(); i++ {
+			switch b.Type(i) {
 			case event.Timeout:
-				bump(e.Time, diagnosis.TimeoutLoss)
+				bump(b.Time(i), diagnosis.TimeoutLoss)
 			case event.Dup:
-				bump(e.Time, diagnosis.DupLoss)
+				bump(b.Time(i), diagnosis.DupLoss)
 			case event.Overflow:
-				bump(e.Time, diagnosis.OverflowLoss)
+				bump(b.Time(i), diagnosis.OverflowLoss)
 			}
 		}
 	}
@@ -87,19 +88,19 @@ func WitMergeability(c *event.Collection) WitStats {
 	var s WitStats
 	for _, v := range views {
 		s.Packets++
-		if len(v.PerNode) < 2 {
+		if v.NodeCount() < 2 {
 			continue
 		}
 		s.MultiNode++
 		keyNodes := make(map[event.Key]event.NodeID)
 		mergeable := false
-		for n, evs := range v.PerNode {
-			for _, e := range evs {
-				k := e.Key()
-				if prev, ok := keyNodes[k]; ok && prev != n {
+		for _, sp := range v.Spans() {
+			for i := sp.Start; i < sp.End; i++ {
+				k := v.EventAt(int(i)).Key()
+				if prev, ok := keyNodes[k]; ok && prev != sp.Node {
 					mergeable = true
 				} else {
-					keyNodes[k] = n
+					keyNodes[k] = sp.Node
 				}
 			}
 		}

@@ -80,13 +80,83 @@ type hopTimes struct {
 	hasT, hasR, hasA bool
 }
 
+// Opts tunes Estimate. The zero value reproduces the default behavior
+// exactly.
+type Opts struct {
+	// Sweeps is the number of Gauss–Seidel iterations (10 is plenty;
+	// <= 0 uses 10).
+	Sweeps int
+	// MinPairings drops nodes observed in fewer than this many cross-node
+	// constraints before solving: a node paired once or twice gets an
+	// estimate dominated by MAC-delay noise, and Gauss–Seidel propagates
+	// that noise into its neighbors. Dropped nodes are reported in
+	// Result.Unanchored. 0 (the zero value) keeps every node.
+	MinPairings int
+}
+
 // Estimate solves the clock map from reconstructed flows, anchoring at
 // anchor (normally event.Server whose clock is NTP-disciplined). sweeps
 // controls the Gauss–Seidel iterations (10 is plenty; <=0 uses 10).
+// EstimateOpts exposes the remaining knobs.
 func Estimate(flows []*flow.Flow, anchor event.NodeID, sweeps int) *Result {
+	return EstimateOpts(flows, anchor, Opts{Sweeps: sweeps})
+}
+
+// EstimateOpts is Estimate with the full option set.
+func EstimateOpts(flows []*flow.Flow, anchor event.NodeID, o Opts) *Result {
+	sweeps := o.Sweeps
 	if sweeps <= 0 {
 		sweeps = 10
 	}
+	cons := collect(flows)
+	var dropped []event.NodeID
+	if o.MinPairings > 0 {
+		cons, dropped = filterSparse(cons, anchor, o.MinPairings)
+	}
+	res := solve(cons, anchor, sweeps)
+	if len(dropped) > 0 {
+		res.Unanchored = append(res.Unanchored, dropped...)
+		sort.Slice(res.Unanchored, func(i, j int) bool {
+			return res.Unanchored[i] < res.Unanchored[j]
+		})
+	}
+	return res
+}
+
+// filterSparse removes constraints touching nodes with fewer than min
+// pairings (the anchor is exempt) and returns the dropped nodes, sorted.
+// A single counting pass: nodes made sparse by a neighbor's removal are
+// kept — the threshold is a noise gate, not a connectivity analysis.
+func filterSparse(cons []constraint, anchor event.NodeID, min int) ([]constraint, []event.NodeID) {
+	count := make(map[event.NodeID]int)
+	for _, c := range cons {
+		count[c.From]++
+		count[c.To]++
+	}
+	var dropped []event.NodeID
+	sparse := make(map[event.NodeID]bool)
+	for n, k := range count {
+		if n != anchor && k < min {
+			sparse[n] = true
+			dropped = append(dropped, n)
+		}
+	}
+	if len(sparse) == 0 {
+		return cons, nil
+	}
+	sort.Slice(dropped, func(i, j int) bool { return dropped[i] < dropped[j] })
+	kept := cons[:0]
+	for _, c := range cons {
+		if sparse[c.From] || sparse[c.To] {
+			continue
+		}
+		kept = append(kept, c)
+	}
+	return kept, dropped
+}
+
+// collect extracts the cross-node clock constraints from the flows.
+func collect(flows []*flow.Flow) []constraint {
 	var cons []constraint
 	for _, f := range flows {
 		perHop := make(map[[2]event.NodeID]*hopTimes)
@@ -129,7 +199,22 @@ func Estimate(flows []*flow.Flow, anchor event.NodeID, sweeps int) *Result {
 				}
 			}
 		}
-		for k, h := range perHop {
+		// Iterate hops in sorted order: constraint order feeds straight
+		// into the least-squares accumulation, and floating-point sums are
+		// order-sensitive — map order would make repeated estimates differ
+		// in the last bits.
+		keys := make([][2]event.NodeID, 0, len(perHop))
+		for k := range perHop {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i][0] != keys[j][0] {
+				return keys[i][0] < keys[j][0]
+			}
+			return keys[i][1] < keys[j][1]
+		})
+		for _, k := range keys {
+			h := perHop[k]
 			a, b := k[0], k[1]
 			if b == event.Server {
 				// h.recv is the server's (true) receive time; the
@@ -153,12 +238,14 @@ func Estimate(flows []*flow.Flow, anchor event.NodeID, sweeps int) *Result {
 		}
 		// Sink-to-server pairs: the sink's recv of a packet vs the
 		// server's store of the same packet.
-		for k, h := range perHop {
+		for _, k := range keys {
+			h := perHop[k]
 			if k[1] != event.Server || !h.hasR {
 				continue
 			}
 			sink := k[0]
-			for k2, h2 := range perHop {
+			for _, k2 := range keys {
+				h2 := perHop[k2]
 				if k2[1] == sink && h2.hasR {
 					cons = append(cons, constraint{From: sink, To: event.Server,
 						T: float64(h2.recv), Delta: float64(h.recv - h2.recv)})
@@ -167,7 +254,7 @@ func Estimate(flows []*flow.Flow, anchor event.NodeID, sweeps int) *Result {
 			}
 		}
 	}
-	return solve(cons, anchor, sweeps)
+	return cons
 }
 
 // solve runs anchored Gauss–Seidel least squares over the constraint graph.

@@ -151,3 +151,84 @@ func TestEstimateOnSimulatedCampaign(t *testing.T) {
 	}
 	t.Logf("clock recovery MAE: %.2fs (naive %.2fs) from %d pairs", mae/1e6, naive/1e6, est.Pairs)
 }
+
+func TestEstimateDeterministicAcrossCalls(t *testing.T) {
+	clocks := map[event.NodeID]Params{
+		1: {Offset: 90_000_000, Drift: 2e-5},
+		2: {Offset: -40_000_000},
+		3: {Offset: 10_000_000, Drift: -1e-5},
+	}
+	var flows []*flow.Flow
+	for i := 0; i < 30; i++ {
+		pkt := event.PacketID{Origin: 1, Seq: uint32(i + 1)}
+		flows = append(flows,
+			syntheticFlow(pkt, clocks, []event.NodeID{1, 2, 3}, int64(i)*10_000_000))
+	}
+	// Constraint extraction iterates hop maps; the results must still be
+	// bit-identical call to call (the accumulation order is fixed).
+	a := Estimate(flows, event.Server, 0)
+	b := Estimate(flows, event.Server, 0)
+	if a.Pairs != b.Pairs || len(a.Nodes) != len(b.Nodes) {
+		t.Fatalf("shape differs: %d/%d pairs, %d/%d nodes",
+			a.Pairs, b.Pairs, len(a.Nodes), len(b.Nodes))
+	}
+	for n, pa := range a.Nodes {
+		if pb := b.Nodes[n]; pa != pb {
+			t.Errorf("node %v params differ across identical calls: %+v vs %+v", n, pa, pb)
+		}
+	}
+}
+
+func TestEstimateOptsMinPairings(t *testing.T) {
+	clocks := map[event.NodeID]Params{
+		1: {Offset: 90_000_000},
+		2: {Offset: -40_000_000},
+		5: {Offset: 55_000_000}, // appears in exactly one flow
+	}
+	var flows []*flow.Flow
+	for i := 0; i < 20; i++ {
+		pkt := event.PacketID{Origin: 1, Seq: uint32(i + 1)}
+		flows = append(flows,
+			syntheticFlow(pkt, clocks, []event.NodeID{1, 2, event.Server}, int64(i)*10_000_000))
+	}
+	flows = append(flows, syntheticFlow(event.PacketID{Origin: 5, Seq: 1}, clocks,
+		[]event.NodeID{5, 2, event.Server}, 0))
+
+	// Zero options: everything estimated, nothing dropped.
+	full := EstimateOpts(flows, event.Server, Opts{})
+	if _, ok := full.Offset(5); !ok {
+		t.Fatal("node 5 missing without a threshold")
+	}
+	if len(full.Unanchored) != 0 {
+		t.Fatalf("unexpected unanchored nodes: %v", full.Unanchored)
+	}
+
+	// A threshold above node 5's pairing count gates it out into
+	// Unanchored while the well-connected nodes keep their estimates.
+	gated := EstimateOpts(flows, event.Server, Opts{MinPairings: 5})
+	if _, ok := gated.Offset(5); ok {
+		t.Error("sparse node 5 still estimated")
+	}
+	found := false
+	for _, n := range gated.Unanchored {
+		if n == 5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("node 5 not reported unanchored: %v", gated.Unanchored)
+	}
+	for _, n := range []event.NodeID{1, 2} {
+		got, ok := gated.Offset(n)
+		if !ok {
+			t.Fatalf("well-connected node %v dropped", n)
+		}
+		err := got.Offset - clocks[n].Offset
+		if err < 0 {
+			err = -err
+		}
+		if err > 2_000_000 {
+			t.Errorf("node %v offset = %.0f, want %.0f", n, got.Offset, clocks[n].Offset)
+		}
+	}
+}

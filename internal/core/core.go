@@ -16,6 +16,12 @@ import (
 )
 
 // Options configures an Analyzer.
+//
+// Zero-value footguns: the zero Sink is event.NoNode and NewAnalyzer rejects
+// it — there is no default sink; the zero End leaves a trailing server outage
+// open-ended in the report (set it to the campaign end when outages matter);
+// the zero Parallelism means strictly serial analysis, NOT "pick a core
+// count" — ask for -1 to use every core.
 type Options struct {
 	// Sink is the collection-tree root (required).
 	Sink event.NodeID
@@ -26,6 +32,52 @@ type Options struct {
 	End int64
 	// DisableIntra / DisableInter are the ablation switches.
 	DisableIntra, DisableInter bool
+	// Parallelism selects how many workers Analyze fans per-packet
+	// reconstruction out over: 0 runs serially (the historical behavior),
+	// n > 0 uses n workers, n < 0 uses GOMAXPROCS. Output is byte-identical
+	// across all settings — flows stay in packet-ID order.
+	Parallelism int
+	// MaxInferred caps inferred events per packet; 0 means the engine
+	// default (4096).
+	MaxInferred int
+	// MaxDepth caps prerequisite recursion; 0 means the engine default
+	// (256).
+	MaxDepth int
+	// Group is the node roster for group-prerequisite protocols
+	// (e.g. dissemination).
+	Group []event.NodeID
+}
+
+// Option is a functional override applied on top of an Options struct by
+// NewAnalyzer, so call sites can keep a simple base config and vary the rest.
+type Option func(*Options)
+
+// WithProtocol overrides the FSM protocol templates.
+func WithProtocol(p *fsm.Protocol) Option {
+	return func(o *Options) { o.Protocol = p }
+}
+
+// WithParallelism sets the worker fan-out (see Options.Parallelism:
+// 0 serial, n>0 exactly n, n<0 GOMAXPROCS).
+func WithParallelism(workers int) Option {
+	return func(o *Options) { o.Parallelism = workers }
+}
+
+// WithEngineOptions imports engine-level configuration wholesale — the
+// escape hatch for callers that previously built an engine.Options by hand.
+// A zero eo.Sink leaves the analyzer's sink unchanged.
+func WithEngineOptions(eo engine.Options) Option {
+	return func(o *Options) {
+		o.Protocol = eo.Protocol
+		o.DisableIntra = eo.DisableIntra
+		o.DisableInter = eo.DisableInter
+		o.MaxInferred = eo.MaxInferred
+		o.MaxDepth = eo.MaxDepth
+		o.Group = eo.Group
+		if eo.Sink != event.NoNode {
+			o.Sink = eo.Sink
+		}
+	}
 }
 
 // Analyzer is the ready-to-run REFILL pipeline.
@@ -33,20 +85,28 @@ type Analyzer struct {
 	eng  *engine.Engine
 	sink event.NodeID
 	end  int64
+	par  int
 }
 
-// NewAnalyzer validates options and builds the pipeline.
-func NewAnalyzer(opts Options) (*Analyzer, error) {
+// NewAnalyzer validates options and builds the pipeline. Functional options
+// are applied to opts in order before validation.
+func NewAnalyzer(opts Options, extra ...Option) (*Analyzer, error) {
+	for _, fn := range extra {
+		fn(&opts)
+	}
 	eng, err := engine.New(engine.Options{
 		Protocol:     opts.Protocol,
 		Sink:         opts.Sink,
 		DisableIntra: opts.DisableIntra,
 		DisableInter: opts.DisableInter,
+		MaxInferred:  opts.MaxInferred,
+		MaxDepth:     opts.MaxDepth,
+		Group:        opts.Group,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	return &Analyzer{eng: eng, sink: opts.Sink, end: opts.End}, nil
+	return &Analyzer{eng: eng, sink: opts.Sink, end: opts.End, par: opts.Parallelism}, nil
 }
 
 // Output bundles everything one analysis produces.
@@ -67,9 +127,36 @@ func (o *Output) Flow(id event.PacketID) *flow.Flow {
 	return nil
 }
 
-// Analyze runs the full pipeline over a collection of per-node logs.
+// Analyze runs the full pipeline over a collection of per-node logs, fanning
+// per-packet reconstruction out over Options.Parallelism workers (0 = serial).
+// Output is identical regardless of the worker count.
 func (a *Analyzer) Analyze(c *event.Collection) *Output {
-	res := a.eng.Analyze(c)
+	var res *engine.Result
+	switch {
+	case a.par == 0:
+		res = a.eng.Analyze(c)
+	case a.par < 0:
+		res = a.eng.AnalyzeParallel(c, 0) // engine: <=0 selects GOMAXPROCS
+	default:
+		res = a.eng.AnalyzeParallel(c, a.par)
+	}
+	return a.output(res)
+}
+
+// AnalyzeStream runs the full pipeline with partitioning overlapped with
+// reconstruction (engine.AnalyzeStream): packet views are handed to workers
+// the moment the partitioning scan completes them. Output is identical to
+// Analyze's. Worker count follows Options.Parallelism, except that 0 selects
+// GOMAXPROCS — a serial stream would only add channel overhead.
+func (a *Analyzer) AnalyzeStream(c *event.Collection) *Output {
+	workers := a.par
+	if workers < 0 {
+		workers = 0
+	}
+	return a.output(a.eng.AnalyzeStream(c, workers))
+}
+
+func (a *Analyzer) output(res *engine.Result) *Output {
 	rep := diagnosis.Build(res.Flows, res.Operational, a.sink, a.end)
 	return &Output{Result: res, Report: rep}
 }

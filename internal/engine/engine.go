@@ -173,39 +173,33 @@ func (e *Engine) AnalyzePacket(v *event.PacketView) *flow.Flow {
 	r := e.runPool.Get().(*run)
 	r.e = e
 	r.pkt = v.Packet
+	r.view = v
 	r.infers = 0
 	r.inferCapHit = false
-	total := 0
-	r.scratch = r.scratch[:0]
-	//refill:allow maprange — order-insensitive: nodes are insertion-sorted below
-	for n, evs := range v.PerNode {
-		total += len(evs)
-		r.scratch = append(r.scratch, n)
-	}
-	// Insertion sort: per-packet node sets are tiny, and this avoids the
-	// sort.Slice closure allocation on every packet.
-	for i := 1; i < len(r.scratch); i++ {
-		for j := i; j > 0 && r.scratch[j] < r.scratch[j-1]; j-- {
-			r.scratch[j], r.scratch[j-1] = r.scratch[j-1], r.scratch[j]
-		}
-	}
-	r.f = &flow.Flow{Packet: v.Packet, Items: make([]flow.Item, 0, total+4)}
+	r.f = &flow.Flow{Packet: v.Packet, Items: make([]flow.Item, 0, v.TotalEvents()+4)}
 	// Deterministic node order: the packet's origin first (the paper's
 	// algorithm starts from a given node; custody starts at the origin),
-	// then ascending node IDs. The Server pseudo-node has the largest ID
-	// and therefore naturally comes last.
+	// then ascending node IDs. The view's spans are already ascending (one
+	// span per node — the partitioners' invariant), so no sorting is
+	// needed, and the Server pseudo-node has the largest ID and therefore
+	// naturally comes last.
 	r.order = r.order[:0]
-	if evs, hasOrigin := v.PerNode[v.Packet.Origin]; hasOrigin {
-		ni := r.addNode(v.Packet.Origin)
-		r.queues[ni] = evs
-		r.order = append(r.order, int32(ni))
-	}
-	for _, n := range r.scratch {
-		if n == v.Packet.Origin {
+	spans := v.Spans()
+	for _, sp := range spans {
+		if sp.Node != v.Packet.Origin {
 			continue
 		}
-		ni := r.addNode(n)
-		r.queues[ni] = v.PerNode[n]
+		ni := r.addNode(sp.Node)
+		r.queues[ni] = queueSpan{cur: sp.Start, end: sp.End}
+		r.order = append(r.order, int32(ni))
+		break
+	}
+	for _, sp := range spans {
+		if sp.Node == v.Packet.Origin {
+			continue
+		}
+		ni := r.addNode(sp.Node)
+		r.queues[ni] = queueSpan{cur: sp.Start, end: sp.End}
 		r.order = append(r.order, int32(ni))
 	}
 	r.exec()
@@ -227,29 +221,45 @@ type visit struct {
 	started bool
 }
 
+// queueSpan is a node's unconsumed remainder of its view span: batch rows
+// [cur, end) of the run's view. Events materialize from the columns at pop
+// time, so queued events occupy no per-run storage at all.
+type queueSpan struct{ cur, end int32 }
+
+func (q queueSpan) empty() bool { return q.cur >= q.end }
+
 // run is the per-packet execution state of the transition algorithm. All
 // per-node bookkeeping is slice-backed, indexed by a dense per-packet node
 // index (nodes), so the per-event hot path performs no map operations; the
 // whole struct — including retired visit structs — is recycled through the
-// engine's run pool.
+// engine's run pool. The unconsumed input lives in the view's columnar batch,
+// addressed by queueSpan row ranges.
 type run struct {
-	e   *Engine
-	pkt event.PacketID
-	f   *flow.Flow
+	e    *Engine
+	pkt  event.PacketID
+	view *event.PacketView
+	f    *flow.Flow
 	// nodes maps the dense node index to the NodeID; the parallel slices
 	// below are addressed by that index.
-	nodes      []event.NodeID
-	queues     [][]event.Event
-	current    []*visit
-	byNode     [][]*visit // every visit of the node, creation order
-	driving    []bool
-	processing []int // in-flight process() frames per node (see process)
-	all        []*visit
-	order      []int32 // node indices in deterministic processing order
-	scratch    []event.NodeID
-	spare      []*visit // retired visit structs for reuse
-	infers     int
+	nodes       []event.NodeID
+	queues      []queueSpan
+	current     []*visit
+	byNode      [][]*visit // every visit of the node, creation order
+	driving     []bool
+	processing  []int // in-flight process() frames per node (see process)
+	all         []*visit
+	order       []int32  // node indices in deterministic processing order
+	spare       []*visit // retired visit structs for reuse
+	infers      int
 	inferCapHit bool
+}
+
+// pop materializes and consumes the next queued event of node index ni.
+// The caller must have checked the queue is non-empty.
+func (r *run) pop(ni int) event.Event {
+	ev := r.view.EventAt(int(r.queues[ni].cur))
+	r.queues[ni].cur++
+	return ev
 }
 
 // release returns the run to the engine pool, recycling visit structs and
@@ -258,9 +268,9 @@ func (r *run) release() {
 	r.spare = append(r.spare, r.all...)
 	r.all = r.all[:0]
 	for i := range r.nodes {
-		r.queues[i] = nil
 		r.current[i] = nil
 	}
+	r.view = nil
 	r.nodes = r.nodes[:0]
 	r.queues = r.queues[:0]
 	r.current = r.current[:0]
@@ -275,7 +285,7 @@ func (r *run) release() {
 func (r *run) addNode(n event.NodeID) int {
 	i := len(r.nodes)
 	r.nodes = append(r.nodes, n)
-	r.queues = append(r.queues, nil)
+	r.queues = append(r.queues, queueSpan{})
 	r.current = append(r.current, nil)
 	r.driving = append(r.driving, false)
 	r.processing = append(r.processing, 0)
@@ -402,10 +412,8 @@ func (r *run) exec() {
 	for pass := 0; pass < 2; pass++ {
 		progress := false
 		for _, ni := range r.order {
-			for len(r.queues[ni]) > 0 {
-				ev := r.queues[ni][0]
-				r.queues[ni] = r.queues[ni][1:]
-				r.process(int(ni), ev, 0)
+			for !r.queues[ni].empty() {
+				r.process(int(ni), r.pop(int(ni)), 0)
 				progress = true
 			}
 		}
@@ -783,15 +791,13 @@ func (r *run) drive(p event.NodeID, ev event.Event, depth int) {
 	// First consume p's own logged events — they are better evidence than
 	// inference (and the paper's step 1 does exactly this: "recursively
 	// process events on the node i until reaching state s_x").
-	for len(r.queues[pi]) > 0 {
+	for !r.queues[pi].empty() {
 		v = r.current[pi]
 		if passedAny(v, r.resolved(v, t, false).states) {
 			r.checkPeerBinding(v, t, wantPeer)
 			return
 		}
-		next := r.queues[pi][0]
-		r.queues[pi] = r.queues[pi][1:]
-		r.process(pi, next, depth+1)
+		r.process(pi, r.pop(pi), depth+1)
 	}
 	v = r.current[pi]
 	if passedAny(v, r.resolved(v, t, false).states) {

@@ -65,11 +65,11 @@ func chainEvents(pkt event.PacketID, path []event.NodeID, delivered bool) []even
 
 // viewOf groups events into a PacketView preserving order.
 func viewOf(pkt event.PacketID, evs []event.Event) *event.PacketView {
-	v := &event.PacketView{Packet: pkt, PerNode: make(map[event.NodeID][]event.Event)}
+	perNode := make(map[event.NodeID][]event.Event)
 	for _, e := range evs {
-		v.PerNode[e.Node] = append(v.PerNode[e.Node], e)
+		perNode[e.Node] = append(perNode[e.Node], e)
 	}
-	return v
+	return event.NewPacketView(pkt, perNode)
 }
 
 // dropEvents removes the events at the given indexes.

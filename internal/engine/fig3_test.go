@@ -60,11 +60,11 @@ func TestFig3CompleteRound(t *testing.T) {
 }
 
 func viewFrom(evs ...event.Event) *event.PacketView {
-	v := &event.PacketView{Packet: dissPkt, PerNode: map[event.NodeID][]event.Event{}}
+	perNode := map[event.NodeID][]event.Event{}
 	for _, ev := range evs {
-		v.PerNode[ev.Node] = append(v.PerNode[ev.Node], ev)
+		perNode[ev.Node] = append(perNode[ev.Node], ev)
 	}
-	return v
+	return event.NewPacketView(dissPkt, perNode)
 }
 
 // TestFig3aSingleEventCascade reproduces Figure 3(a)'s headline claim ported

@@ -50,10 +50,11 @@ func randomSoup(rng *rand.Rand, pkt event.PacketID, nodes int, count int) []even
 
 func fuzzOne(t *testing.T, eng *Engine, evs []event.Event, pkt event.PacketID, trial int) {
 	t.Helper()
-	view := &event.PacketView{Packet: pkt, PerNode: map[event.NodeID][]event.Event{}}
+	perNode := map[event.NodeID][]event.Event{}
 	for _, e := range evs {
-		view.PerNode[e.Node] = append(view.PerNode[e.Node], e)
+		perNode[e.Node] = append(perNode[e.Node], e)
 	}
+	view := event.NewPacketView(pkt, perNode)
 	f := eng.AnalyzePacket(view)
 	// Invariants: every logged event either appears in the flow or is an
 	// anomaly; totals add up; no event duplicated beyond its input count.
@@ -75,8 +76,8 @@ func fuzzOne(t *testing.T, eng *Engine, evs []event.Event, pkt event.PacketID, t
 		}
 		n := it.Event.Node
 		found := false
-		for i := perNodePos[n]; i < len(view.PerNode[n]); i++ {
-			if view.PerNode[n][i].Equal(it.Event) {
+		for i := perNodePos[n]; i < len(perNode[n]); i++ {
+			if perNode[n][i].Equal(it.Event) {
 				perNodePos[n] = i + 1
 				found = true
 				break
@@ -152,22 +153,22 @@ func TestEngineExtendedQueueFlow(t *testing.T) {
 		{Node: 2, Type: event.Recv, Sender: 1, Receiver: 2, Packet: pkt},
 		{Node: 1, Type: event.AckRecvd, Sender: 1, Receiver: 2, Packet: pkt},
 	}
-	view := &event.PacketView{Packet: pkt, PerNode: map[event.NodeID][]event.Event{}}
+	fullPer := map[event.NodeID][]event.Event{}
 	for _, e := range full {
-		view.PerNode[e.Node] = append(view.PerNode[e.Node], e)
+		fullPer[e.Node] = append(fullPer[e.Node], e)
 	}
-	f := eng.AnalyzePacket(view)
+	f := eng.AnalyzePacket(event.NewPacketView(pkt, fullPer))
 	if f.InferredCount() != 0 || len(f.Anomalies) != 0 {
 		t.Fatalf("lossless extended flow inferred %d / anomalies %v: %s",
 			f.InferredCount(), f.Anomalies, f)
 	}
 	// Drop the queue records: the engine must infer [enq], [deq].
 	lossy := []event.Event{full[0], full[3], full[4], full[5]}
-	view2 := &event.PacketView{Packet: pkt, PerNode: map[event.NodeID][]event.Event{}}
+	lossyPer := map[event.NodeID][]event.Event{}
 	for _, e := range lossy {
-		view2.PerNode[e.Node] = append(view2.PerNode[e.Node], e)
+		lossyPer[e.Node] = append(lossyPer[e.Node], e)
 	}
-	f2 := eng.AnalyzePacket(view2)
+	f2 := eng.AnalyzePacket(event.NewPacketView(pkt, lossyPer))
 	tru := true
 	if !f2.Contains(event.Key{Type: event.Enqueue, Sender: 1, Packet: pkt}, &tru) ||
 		!f2.Contains(event.Key{Type: event.Dequeue, Sender: 1, Packet: pkt}, &tru) {

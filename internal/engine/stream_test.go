@@ -109,7 +109,7 @@ func TestStreamPartitionMatchesPartition(t *testing.T) {
 		if got == nil {
 			t.Fatalf("packet %v missing from stream", want.Packet)
 		}
-		if !reflect.DeepEqual(want.PerNode, got.PerNode) {
+		if !reflect.DeepEqual(want.PerNodeEvents(), got.PerNodeEvents()) {
 			t.Fatalf("packet %v: per-node views diverged", want.Packet)
 		}
 	}

@@ -42,8 +42,7 @@ func tableEngine(t *testing.T) *Engine {
 // analyze runs the engine over the given per-node logs.
 func analyze(t *testing.T, e *Engine, logs map[event.NodeID][]event.Event) *flow.Flow {
 	t.Helper()
-	v := &event.PacketView{Packet: tablePkt, PerNode: logs}
-	return e.AnalyzePacket(v)
+	return e.AnalyzePacket(event.NewPacketView(tablePkt, logs))
 }
 
 // wantFlow asserts the exact reconstructed sequence, using the paper's

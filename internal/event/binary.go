@@ -47,40 +47,42 @@ func WriteCollectionBinary(w io.Writer, c *Collection) error {
 		return err
 	}
 	for _, n := range c.Nodes() {
-		log := c.Logs[n]
+		b := c.Logs[n].Batch()
 		if err := u32(uint32(n)); err != nil {
 			return err
 		}
-		if err := u32(uint32(len(log.Events))); err != nil {
+		if err := u32(uint32(b.Len())); err != nil {
 			return err
 		}
-		for _, e := range log.Events {
-			if len(e.Info) > 0xFFFF {
-				return fmt.Errorf("event: info too long (%d bytes)", len(e.Info))
+		for i := 0; i < b.Len(); i++ {
+			info := b.Info(i)
+			if len(info) > 0xFFFF {
+				return fmt.Errorf("event: info too long (%d bytes)", len(info))
 			}
-			if err := bw.WriteByte(byte(e.Type)); err != nil {
+			if err := bw.WriteByte(byte(b.Type(i))); err != nil {
 				return err
 			}
-			if err := u32(uint32(e.Sender)); err != nil {
+			if err := u32(uint32(b.Sender(i))); err != nil {
 				return err
 			}
-			if err := u32(uint32(e.Receiver)); err != nil {
+			if err := u32(uint32(b.Receiver(i))); err != nil {
 				return err
 			}
-			if err := u32(uint32(e.Packet.Origin)); err != nil {
+			pkt := b.Packet(i)
+			if err := u32(uint32(pkt.Origin)); err != nil {
 				return err
 			}
-			if err := u32(e.Packet.Seq); err != nil {
+			if err := u32(pkt.Seq); err != nil {
 				return err
 			}
-			if err := i64(e.Time); err != nil {
+			if err := i64(b.Time(i)); err != nil {
 				return err
 			}
-			binary.LittleEndian.PutUint16(scratch[:2], uint16(len(e.Info)))
+			binary.LittleEndian.PutUint16(scratch[:2], uint16(len(info)))
 			if _, err := bw.Write(scratch[:2]); err != nil {
 				return err
 			}
-			if _, err := bw.WriteString(e.Info); err != nil {
+			if _, err := bw.WriteString(info); err != nil {
 				return err
 			}
 		}
@@ -123,6 +125,7 @@ func ReadCollectionBinary(r io.Reader) (*Collection, error) {
 		}
 		node := NodeID(nodeRaw)
 		log := c.Log(node)
+		log.Batch().Grow(int(count))
 		for i := uint32(0); i < count; i++ {
 			tb, err := br.ReadByte()
 			if err != nil {
@@ -160,7 +163,7 @@ func ReadCollectionBinary(r io.Reader) (*Collection, error) {
 				}
 				e.Info = string(buf)
 			}
-			log.Events = append(log.Events, e)
+			log.Append(e)
 		}
 	}
 }

@@ -30,7 +30,7 @@ func TestBinaryRoundTrip(t *testing.T) {
 		t.Fatalf("count %d vs %d", got.TotalEvents(), c.TotalEvents())
 	}
 	for _, n := range c.Nodes() {
-		if !reflect.DeepEqual(c.Logs[n].Events, got.Logs[n].Events) {
+		if !reflect.DeepEqual(c.Logs[n].Events(), got.Logs[n].Events()) {
 			t.Fatalf("node %v logs differ", n)
 		}
 	}

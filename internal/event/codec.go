@@ -86,8 +86,9 @@ func WriteCollection(w io.Writer, c *Collection) error {
 		if _, err := fmt.Fprintf(bw, "# node %v (%d events)\n", n, c.Logs[n].Len()); err != nil {
 			return err
 		}
-		for _, e := range c.Logs[n].Events {
-			if _, err := bw.WriteString(FormatEvent(e)); err != nil {
+		b := c.Logs[n].Batch()
+		for i := 0; i < b.Len(); i++ {
+			if _, err := bw.WriteString(FormatEvent(b.At(i))); err != nil {
 				return err
 			}
 			if err := bw.WriteByte('\n'); err != nil {

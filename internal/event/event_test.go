@@ -189,8 +189,8 @@ func TestEventEqualIgnoresTimeAndInfo(t *testing.T) {
 func TestLogAppendStampsNode(t *testing.T) {
 	l := &Log{Node: 7}
 	l.Append(Event{Type: Trans, Sender: 7, Receiver: 8, Packet: PacketID{Origin: 7, Seq: 1}})
-	if l.Events[0].Node != 7 {
-		t.Errorf("Append did not stamp node: %v", l.Events[0].Node)
+	if l.At(0).Node != 7 {
+		t.Errorf("Append did not stamp node: %v", l.At(0).Node)
 	}
 	if l.Len() != 1 {
 		t.Errorf("Len = %d, want 1", l.Len())
@@ -198,7 +198,9 @@ func TestLogAppendStampsNode(t *testing.T) {
 }
 
 func TestLogValidateCatchesForeignEvents(t *testing.T) {
-	l := &Log{Node: 7, Events: []Event{{Node: 8, Type: Trans, Sender: 8, Receiver: 9, Packet: PacketID{Origin: 8, Seq: 1}}}}
+	l := &Log{Node: 7}
+	// Bypass Append's stamping to plant a foreign event.
+	l.Batch().Append(Event{Node: 8, Type: Trans, Sender: 8, Receiver: 9, Packet: PacketID{Origin: 8, Seq: 1}})
 	if err := l.Validate(); err == nil {
 		t.Error("expected error for foreign event in log")
 	}
@@ -235,8 +237,11 @@ func TestCollectionCloneIsDeep(t *testing.T) {
 	pkt := PacketID{Origin: 1, Seq: 1}
 	c.Add(Event{Node: 1, Type: Trans, Sender: 1, Receiver: 2, Packet: pkt})
 	cl := c.Clone()
-	cl.Logs[1].Events[0].Receiver = 9
-	if c.Logs[1].Events[0].Receiver == 9 {
+	b := cl.Logs[1].Batch()
+	e := b.At(0)
+	e.Receiver = 9
+	b.Set(0, e)
+	if c.Logs[1].At(0).Receiver == 9 {
 		t.Error("Clone shares event storage with original")
 	}
 }
@@ -259,7 +264,7 @@ func TestPartitionGroupsByPacketPreservingOrder(t *testing.T) {
 	if views[0].Packet != p1 || views[1].Packet != p2 {
 		t.Fatalf("views out of order: %v, %v", views[0].Packet, views[1].Packet)
 	}
-	v1 := views[0].PerNode[1]
+	v1 := views[0].NodeEvents(1)
 	if len(v1) != 2 || v1[0].Type != Trans || v1[1].Type != AckRecvd {
 		t.Errorf("per-node order not preserved: %v", v1)
 	}
@@ -286,10 +291,10 @@ func TestPartitionOrdersViewsByOriginThenSeq(t *testing.T) {
 }
 
 func TestPacketViewHelpers(t *testing.T) {
-	v := &PacketView{Packet: PacketID{1, 1}, PerNode: map[NodeID][]Event{
+	v := NewPacketView(PacketID{1, 1}, map[NodeID][]Event{
 		3: {{Node: 3}},
 		1: {{Node: 1}, {Node: 1}},
-	}}
+	})
 	if got := v.Nodes(); !reflect.DeepEqual(got, []NodeID{1, 3}) {
 		t.Errorf("Nodes() = %v", got)
 	}
@@ -412,7 +417,7 @@ func TestWriteReadCollectionRoundTrip(t *testing.T) {
 		t.Fatalf("event count: got %d want %d", got.TotalEvents(), c.TotalEvents())
 	}
 	for _, n := range c.Nodes() {
-		a, b := c.Logs[n].Events, got.Logs[n].Events
+		a, b := c.Logs[n].Events(), got.Logs[n].Events()
 		if !reflect.DeepEqual(a, b) {
 			t.Fatalf("node %v logs differ", n)
 		}

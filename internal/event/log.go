@@ -8,29 +8,43 @@ import (
 // Log is the ordered sequence of events recorded at one node. The order is
 // the order the node logged them in — the only ordering information REFILL
 // assumes (local logs are append-only, so per-node order is trustworthy even
-// when clocks are not).
+// when clocks are not). Storage is a structure-of-arrays Batch: the hot
+// fixed-size fields live in flat pointer-free columns, Info strings in a cold
+// side table, so campaign-scale logs cost the GC almost nothing to scan.
 type Log struct {
-	Node   NodeID
-	Events []Event
+	Node  NodeID
+	batch Batch
 }
 
 // Append adds an event to the log, stamping its Node field.
 func (l *Log) Append(e Event) {
 	e.Node = l.Node
-	l.Events = append(l.Events, e)
+	l.batch.Append(e)
 }
 
 // Len returns the number of events in the log.
-func (l *Log) Len() int { return len(l.Events) }
+func (l *Log) Len() int { return l.batch.Len() }
+
+// At materializes the i'th event of the log.
+func (l *Log) At(i int) Event { return l.batch.At(i) }
+
+// Batch exposes the log's columnar storage for callers that stream columns
+// (partitioners, codecs) or need to bypass the Node stamping of Append.
+func (l *Log) Batch() *Batch { return &l.batch }
+
+// Events materializes the whole log as a fresh []Event (a copy — mutating it
+// does not affect the log). Analysis paths iterate At/Batch instead.
+func (l *Log) Events() []Event { return l.batch.Events() }
 
 // Clone returns a deep copy of the log.
 func (l *Log) Clone() Log {
-	return Log{Node: l.Node, Events: append([]Event(nil), l.Events...)}
+	return Log{Node: l.Node, batch: l.batch.Clone()}
 }
 
 // Validate checks that every event belongs to this node and is well formed.
 func (l *Log) Validate() error {
-	for i, e := range l.Events {
+	for i := 0; i < l.batch.Len(); i++ {
+		e := l.batch.At(i)
 		if e.Node != l.Node {
 			return fmt.Errorf("event: log for node %v contains event for node %v at index %d", l.Node, e.Node, i)
 		}
@@ -84,7 +98,7 @@ func (c *Collection) Nodes() []NodeID {
 func (c *Collection) TotalEvents() int {
 	total := 0
 	for _, l := range c.Logs {
-		total += len(l.Events)
+		total += l.Len()
 	}
 	return total
 }
@@ -109,92 +123,251 @@ func (c *Collection) Clone() *Collection {
 	return out
 }
 
+// ViewSpan is one node's contiguous run of rows inside a PacketView's batch:
+// the node's events about the packet, in log order, at rows [Start, End).
+type ViewSpan struct {
+	Node       NodeID
+	Start, End int32
+}
+
 // PacketView is the per-packet slice of a collection: for one packet, the
 // ordered sub-logs of every node that recorded (or should have recorded)
 // events about it. The inference engine runs on one PacketView at a time.
+//
+// Storage is columnar: the view's events live in a (possibly shared) Batch,
+// and Spans lists each node's contiguous row range, exactly one span per
+// node, ascending by node ID. The partitioners carve all views of a
+// collection out of ONE shared batch arena, so partitioning a million-event
+// campaign performs a handful of allocations instead of several per packet.
 type PacketView struct {
 	Packet PacketID
-	// PerNode maps node -> that node's events about Packet, in log order.
-	PerNode map[NodeID][]Event
+	batch  *Batch
+	spans  []ViewSpan
 
-	// buf is the contiguous backing storage the partitioners carve the
-	// PerNode slices out of: one exact-sized allocation per view instead
-	// of one growing slice per (packet, node) pair. segStart/segOpen track
-	// the in-progress segment for the node currently being scanned;
-	// expect is the event count measured by the sizing pre-pass.
-	buf      []Event
-	segStart int
-	expect   int32
-	segOpen  bool
+	// cur is the partitioners' fill cursor: the next arena row this view
+	// writes. segOpen tracks whether the current scan node has an open
+	// span. Both are meaningless once the view is handed to a consumer.
+	cur     int32
+	segOpen bool
 }
+
+// NewPacketView builds a self-contained view from per-node event slices,
+// preserving each node's order — the construction path for tests and for
+// callers that assemble views by hand. Nodes are laid out in ascending order,
+// matching the partitioners' invariant.
+func NewPacketView(pkt PacketID, perNode map[NodeID][]Event) *PacketView {
+	nodes := make([]NodeID, 0, len(perNode))
+	total := 0
+	for n, evs := range perNode {
+		nodes = append(nodes, n)
+		total += len(evs)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	v := &PacketView{Packet: pkt, batch: &Batch{}, spans: make([]ViewSpan, 0, len(nodes))}
+	v.batch.Grow(total)
+	for _, n := range nodes {
+		evs := perNode[n]
+		if len(evs) == 0 {
+			continue
+		}
+		start := int32(v.batch.Len())
+		for _, e := range evs {
+			v.batch.Append(e)
+		}
+		v.spans = append(v.spans, ViewSpan{Node: n, Start: start, End: int32(v.batch.Len())})
+	}
+	return v
+}
+
+// Spans returns the view's per-node row ranges, ascending by node ID.
+// The slice is the view's own storage — callers must not mutate it.
+func (v *PacketView) Spans() []ViewSpan { return v.spans }
+
+// EventAt materializes the event at batch row i (an index taken from a span).
+func (v *PacketView) EventAt(i int) Event { return v.batch.At(i) }
+
+// Batch exposes the view's columnar storage. Rows outside the view's spans
+// belong to other packets (the batch is a shared arena).
+func (v *PacketView) Batch() *Batch { return v.batch }
+
+// NodeCount returns the number of nodes with events in the view.
+func (v *PacketView) NodeCount() int { return len(v.spans) }
 
 // Nodes returns the nodes with events in the view, ascending.
 func (v *PacketView) Nodes() []NodeID {
-	nodes := make([]NodeID, 0, len(v.PerNode))
-	for n := range v.PerNode {
-		nodes = append(nodes, n)
+	nodes := make([]NodeID, len(v.spans))
+	for i, sp := range v.spans {
+		nodes[i] = sp.Node
 	}
-	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
 	return nodes
+}
+
+// NodeEvents materializes node n's events about the packet, in log order
+// (nil if the node logged none).
+func (v *PacketView) NodeEvents(n NodeID) []Event {
+	for _, sp := range v.spans {
+		if sp.Node != n {
+			continue
+		}
+		out := make([]Event, 0, sp.End-sp.Start)
+		for i := sp.Start; i < sp.End; i++ {
+			out = append(out, v.batch.At(int(i)))
+		}
+		return out
+	}
+	return nil
+}
+
+// PerNodeEvents materializes the whole view as a node -> events map — the
+// adjacency the pre-SoA PacketView stored directly. Tests and baselines use
+// it; the engine reads spans.
+func (v *PacketView) PerNodeEvents() map[NodeID][]Event {
+	out := make(map[NodeID][]Event, len(v.spans))
+	for _, sp := range v.spans {
+		out[sp.Node] = v.NodeEvents(sp.Node)
+	}
+	return out
+}
+
+// Events materializes every event in the view in span order (per-node log
+// order within each span).
+func (v *PacketView) Events() []Event {
+	out := make([]Event, 0, v.TotalEvents())
+	for _, sp := range v.spans {
+		for i := sp.Start; i < sp.End; i++ {
+			out = append(out, v.batch.At(int(i)))
+		}
+	}
+	return out
 }
 
 // TotalEvents returns the number of events in the view.
 func (v *PacketView) TotalEvents() int {
 	total := 0
-	for _, evs := range v.PerNode {
-		total += len(evs)
+	for _, sp := range v.spans {
+		total += int(sp.End - sp.Start)
 	}
 	return total
+}
+
+// viewLayout is the partitioners' shared sizing machinery: one counting scan
+// assigns every packet a dense view index and measures, per view, the event
+// count and the number of (packet, node) segments; alloc then carves every
+// view's rows and span storage out of single arenas.
+type viewLayout struct {
+	byPacket map[PacketID]int32 // packet -> dense view index
+	counts   []int32            // events per view
+	segs     []int32            // spans per view
+	lastNode []int32            // last node index that touched the view (sizing scan)
+	total    int                // packet-scoped events overall
+	packets  []PacketID
+}
+
+func newViewLayout(hint int) *viewLayout {
+	return &viewLayout{byPacket: make(map[PacketID]int32, hint)}
+}
+
+// touch accounts one packet-scoped event seen at node index ni, creating the
+// view on first sight, and returns the view index.
+func (ly *viewLayout) touch(pkt PacketID, ni int) int32 {
+	vi, ok := ly.byPacket[pkt]
+	if !ok {
+		vi = int32(len(ly.counts))
+		ly.byPacket[pkt] = vi
+		ly.counts = append(ly.counts, 0)
+		ly.segs = append(ly.segs, 0)
+		ly.lastNode = append(ly.lastNode, -1)
+		ly.packets = append(ly.packets, pkt)
+	}
+	ly.counts[vi]++
+	ly.total++
+	if ly.lastNode[vi] != int32(ni) {
+		ly.lastNode[vi] = int32(ni)
+		ly.segs[vi]++
+	}
+	return vi
+}
+
+// alloc builds the arena batch, the span arena and the view structs, wiring
+// each view's fill cursor to its region. The returned views are in
+// first-appearance (scan) order.
+func (ly *viewLayout) alloc() (arena *Batch, views []*PacketView) {
+	arena = &Batch{}
+	arena.Resize(ly.total)
+	totalSegs := 0
+	for _, s := range ly.segs {
+		totalSegs += int(s)
+	}
+	spanArena := make([]ViewSpan, totalSegs)
+	structs := make([]PacketView, len(ly.counts))
+	views = make([]*PacketView, len(ly.counts))
+	rowOff, segOff := int32(0), 0
+	for i := range structs {
+		vw := &structs[i]
+		vw.Packet = ly.packets[i]
+		vw.batch = arena
+		vw.cur = rowOff
+		vw.spans = spanArena[segOff : segOff : segOff+int(ly.segs[i])]
+		rowOff += ly.counts[i]
+		segOff += int(ly.segs[i])
+		views[i] = vw
+	}
+	return arena, views
+}
+
+// fill moves one source row into the view, opening a span for node n if none
+// is open; touched collects views needing their span closed at node end.
+func (v *PacketView) fill(arena, src *Batch, si int, n NodeID, touched []*PacketView) []*PacketView {
+	if !v.segOpen {
+		v.segOpen = true
+		v.spans = append(v.spans, ViewSpan{Node: n, Start: v.cur})
+		touched = append(touched, v)
+	}
+	arena.setFrom(src, si, int(v.cur))
+	v.cur++
+	return touched
+}
+
+// closeSpan commits the open span's end row.
+func (v *PacketView) closeSpan() {
+	v.spans[len(v.spans)-1].End = v.cur
+	v.segOpen = false
 }
 
 // Partition splits a collection into per-packet views, preserving per-node
 // event order within each view. Non-packet-scoped events (server up/down) are
 // returned separately. Views are ordered by packet ID (origin, then seq) for
 // deterministic processing.
+//
+// All views share one columnar batch arena sized by a counting pre-pass, so
+// the whole partition performs O(nodes + views) small allocations plus a
+// fixed handful of arena allocations — not several per packet.
 func Partition(c *Collection) (views []*PacketView, operational []Event) {
 	nodes := c.Nodes()
-	// Sizing pass: create the views and count each packet's events, so the
-	// fill pass below allocates every view's buffer exactly once.
-	byPacket := make(map[PacketID]*PacketView, c.TotalEvents()/8+1)
-	for _, n := range nodes {
-		for _, e := range c.Logs[n].Events {
-			if !e.Type.PacketScoped() {
-				continue
+	ly := newViewLayout(c.TotalEvents()/8 + 1)
+	for ni, n := range nodes {
+		b := &c.Logs[n].batch
+		for i := 0; i < len(b.typ); i++ {
+			if b.typ[i].PacketScoped() {
+				ly.touch(b.Packet(i), ni)
 			}
-			v, ok := byPacket[e.Packet]
-			if !ok {
-				v = &PacketView{Packet: e.Packet, PerNode: make(map[NodeID][]Event, 4)}
-				byPacket[e.Packet] = v
-				views = append(views, v)
-			}
-			v.expect++
 		}
 	}
+	arena, views := ly.alloc()
 	var touched []*PacketView
 	for _, n := range nodes {
 		touched = touched[:0]
-		for _, e := range c.Logs[n].Events {
-			if !e.Type.PacketScoped() {
-				operational = append(operational, e)
+		b := &c.Logs[n].batch
+		for i := 0; i < len(b.typ); i++ {
+			if !b.typ[i].PacketScoped() {
+				operational = append(operational, b.At(i))
 				continue
 			}
-			v := byPacket[e.Packet]
-			if v.buf == nil {
-				v.buf = make([]Event, 0, v.expect)
-			}
-			// Within one node's log the view's events land contiguously
-			// in v.buf; the segment is committed to PerNode once per
-			// (packet, node) pair instead of one map assign per event.
-			if !v.segOpen {
-				v.segOpen = true
-				v.segStart = len(v.buf)
-				touched = append(touched, v)
-			}
-			v.buf = append(v.buf, e)
+			v := views[ly.byPacket[b.Packet(i)]]
+			touched = v.fill(arena, b, i, n, touched)
 		}
 		for _, v := range touched {
-			v.PerNode[n] = v.buf[v.segStart:len(v.buf):len(v.buf)]
-			v.segOpen = false
+			v.closeSpan()
 		}
 	}
 	sort.Slice(views, func(i, j int) bool {
@@ -210,70 +383,60 @@ func Partition(c *Collection) (views []*PacketView, operational []Event) {
 
 // StreamPartition partitions like Partition but hands each PacketView to emit
 // the moment its last event has been scanned, so packet analysis can overlap
-// with the remainder of the partitioning scan. A cheap counting pre-pass
-// records every packet's last-touch position; the main pass emits a view at
-// exactly that position. Views are emitted in completion order (deterministic
-// for a given collection, but NOT packet-ID order — callers that need the
-// Partition order must reorder). Operational events are returned once the
-// scan finishes, sorted by time.
+// with the remainder of the partitioning scan. The counting pre-pass
+// additionally records every packet's last-touch position; the main pass
+// emits a view at exactly that position. Views are emitted in completion
+// order (deterministic for a given collection, but NOT packet-ID order —
+// callers that need the Partition order must reorder). Operational events are
+// returned once the scan finishes, sorted by time.
+//
+// Emitted views reference the shared batch arena; their rows are never
+// written after emit, so emit may safely hand the view to a worker.
 func StreamPartition(c *Collection, emit func(*PacketView)) (operational []Event) {
-	type packetMeta struct {
-		last  int // global scan position of the packet's final event
-		count int32
-	}
 	nodes := c.Nodes()
-	meta := make(map[PacketID]packetMeta, c.TotalEvents()/8+1)
-	pos := 0
-	for _, n := range nodes {
-		for _, e := range c.Logs[n].Events {
-			if e.Type.PacketScoped() {
-				m := meta[e.Packet]
-				m.last = pos
-				m.count++
-				meta[e.Packet] = m
+	ly := newViewLayout(c.TotalEvents()/8 + 1)
+	var last []int32 // per view: global scan position of the final event
+	pos := int32(0)
+	for ni, n := range nodes {
+		b := &c.Logs[n].batch
+		for i := 0; i < len(b.typ); i++ {
+			if b.typ[i].PacketScoped() {
+				vi := ly.touch(b.Packet(i), ni)
+				if int(vi) == len(last) {
+					last = append(last, 0)
+				}
+				last[vi] = pos
 				pos++
 			}
 		}
 	}
-	byPacket := make(map[PacketID]*PacketView, len(meta))
+	arena, views := ly.alloc()
 	var touched []*PacketView
 	pos = 0
 	for _, n := range nodes {
 		touched = touched[:0]
-		for _, e := range c.Logs[n].Events {
-			if !e.Type.PacketScoped() {
-				operational = append(operational, e)
+		b := &c.Logs[n].batch
+		for i := 0; i < len(b.typ); i++ {
+			if !b.typ[i].PacketScoped() {
+				operational = append(operational, b.At(i))
 				continue
 			}
-			m := meta[e.Packet]
-			v, ok := byPacket[e.Packet]
-			if !ok {
-				v = &PacketView{Packet: e.Packet, PerNode: make(map[NodeID][]Event, 4)}
-				v.buf = make([]Event, 0, m.count)
-				byPacket[e.Packet] = v
-			}
-			if !v.segOpen {
-				v.segOpen = true
-				v.segStart = len(v.buf)
-				touched = append(touched, v)
-			}
-			v.buf = append(v.buf, e)
-			if pos == m.last {
-				// The view is complete: commit the open segment and
+			vi := ly.byPacket[b.Packet(i)]
+			v := views[vi]
+			touched = v.fill(arena, b, i, n, touched)
+			if pos == last[vi] {
+				// The view is complete: commit the open span and
 				// hand it off. The node-end flush below skips it
 				// (segOpen is false), so the view is never written
-				// after emit — emit may safely pass it to a worker.
-				v.PerNode[n] = v.buf[v.segStart:len(v.buf):len(v.buf)]
-				v.segOpen = false
-				delete(byPacket, e.Packet)
+				// after emit.
+				v.closeSpan()
 				emit(v)
 			}
 			pos++
 		}
 		for _, v := range touched {
 			if v.segOpen {
-				v.PerNode[n] = v.buf[v.segStart:len(v.buf):len(v.buf)]
-				v.segOpen = false
+				v.closeSpan()
 			}
 		}
 	}
@@ -292,8 +455,9 @@ func MergeByTime(c *Collection) []Event {
 	}
 	var all []indexed
 	for _, n := range c.Nodes() {
-		for i, e := range c.Logs[n].Events {
-			all = append(all, indexed{e, i})
+		l := c.Logs[n]
+		for i := 0; i < l.Len(); i++ {
+			all = append(all, indexed{l.At(i), i})
 		}
 	}
 	sort.SliceStable(all, func(i, j int) bool {

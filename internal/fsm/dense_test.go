@@ -148,10 +148,10 @@ func TestIntraTieBreakDeterministic(t *testing.T) {
 	c := b.State("B", false)
 	target := b.State("T", true)
 	b.Start(start)
-	b.Transition(start, c, On(event.Dequeue, SelfSender))  // approach 2, same length
-	b.Transition(start, a, On(event.Enqueue, SelfSender))  // approach 1 (first in canonical order)
-	b.Transition(c, target, On(event.Trans, SelfSender))   // trans edge into T from B
-	b.Transition(a, target, On(event.Trans, SelfSender))   // trans edge into T from A, canonical first
+	b.Transition(start, c, On(event.Dequeue, SelfSender)) // approach 2, same length
+	b.Transition(start, a, On(event.Enqueue, SelfSender)) // approach 1 (first in canonical order)
+	b.Transition(c, target, On(event.Trans, SelfSender))  // trans edge into T from B
+	b.Transition(a, target, On(event.Trans, SelfSender))  // trans edge into T from A, canonical first
 	g, err := b.Finalize()
 	if err != nil {
 		t.Fatal(err)

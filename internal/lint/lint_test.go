@@ -131,7 +131,7 @@ func TestPrereqCycleDiagnosticNamesTheCycle(t *testing.T) {
 // attributed to the right check.
 func TestCorruptionsAreCaughtIndividually(t *testing.T) {
 	cases := []struct {
-		kind string
+		kind  string
 		check string
 	}{
 		{"nondeterminism", CheckDeterminism},

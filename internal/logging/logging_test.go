@@ -59,7 +59,7 @@ func TestPerNodeOrderPreserved(t *testing.T) {
 	for i := 0; i < 2000; i++ {
 		c.Record(mkEvent(7, uint32(i), sim.Time(i)*sim.Second))
 	}
-	evs := c.Collection().Logs[7].Events
+	evs := c.Collection().Logs[7].Events()
 	for i := 1; i < len(evs); i++ {
 		if evs[i].Packet.Seq <= evs[i-1].Packet.Seq {
 			t.Fatal("collection reordered a node's log")
@@ -71,7 +71,7 @@ func TestClockSkewApplied(t *testing.T) {
 	cfg := Config{Seed: 3, MaxOffset: sim.Minute, MaxDrift: 1e-4}
 	c := NewCollector(cfg)
 	c.Record(mkEvent(9, 1, sim.Hour))
-	got := c.Collection().Logs[9].Events[0].Time
+	got := c.Collection().Logs[9].At(0).Time
 	want := c.Clock(9).Local(sim.Hour)
 	if got != want {
 		t.Errorf("stamped %d, want %d", got, want)
@@ -145,7 +145,7 @@ func TestFailWindowsBlackOutNode(t *testing.T) {
 		c.Record(mkEvent(4, uint32(i), i))
 		c.Record(mkEvent(5, uint32(i), i))
 	}
-	for _, e := range c.Collection().Logs[4].Events {
+	for _, e := range c.Collection().Logs[4].Events() {
 		if e.Time >= 100 && e.Time < 200 {
 			t.Errorf("event inside blackout survived: %+v", e)
 		}

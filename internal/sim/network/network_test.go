@@ -111,7 +111,7 @@ func TestEventsAreWellFormed(t *testing.T) {
 	// Per-node times are nondecreasing (true clock stamping).
 	for _, n := range coll.Nodes() {
 		last := int64(-1)
-		for _, e := range coll.Logs[n].Events {
+		for _, e := range coll.Logs[n].Events() {
 			if e.Time < last {
 				t.Fatalf("node %v times regress: %d after %d", n, e.Time, last)
 			}
@@ -191,7 +191,7 @@ func TestOutagesProduceOutageFatesAndEvents(t *testing.T) {
 		t.Fatal("no server log")
 	}
 	downs, ups := 0, 0
-	for _, e := range srv.Events {
+	for _, e := range srv.Events() {
 		switch e.Type {
 		case event.ServerDown:
 			downs++
@@ -251,7 +251,7 @@ func TestOverflowUnderCongestion(t *testing.T) {
 	}
 	overflowEvents := 0
 	for _, n := range coll.Nodes() {
-		for _, e := range coll.Logs[n].Events {
+		for _, e := range coll.Logs[n].Events() {
 			if e.Type == event.Overflow {
 				overflowEvents++
 			}

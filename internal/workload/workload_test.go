@@ -103,7 +103,7 @@ func TestOutageWindowsGenerateServerEvents(t *testing.T) {
 		t.Fatal("no server log")
 	}
 	downs := 0
-	for _, e := range srv.Events {
+	for _, e := range srv.Events() {
 		if e.Type == event.ServerDown {
 			downs++
 		}

@@ -29,6 +29,20 @@
 //		fmt.Println(refill.BuildTrace(f))      // per-packet trace
 //	}
 //	fmt.Println(refill.RenderBreakdown(out.Report))
+//
+// Functional options layer on top of the AnalyzerOptions struct, and
+// AnalyzeStream overlaps log partitioning with reconstruction. Every
+// configuration returns byte-identical output — flows stay in packet-ID
+// order regardless of worker count or streaming:
+//
+//	an, _ := refill.NewAnalyzer(
+//		refill.AnalyzerOptions{Sink: 1},
+//		refill.WithParallelism(-1), // all cores; 0 (the default) is serial
+//	)
+//	out := refill.AnalyzeStream(an, logs)
+//
+// Event storage is columnar (structure-of-arrays) internally; the facade
+// deals in plain Event values and the log formats are unchanged.
 package refill
 
 import (
@@ -146,8 +160,14 @@ func Causes() []Cause { return diagnosis.Causes() }
 
 // Analyzer pipeline.
 type (
-	// AnalyzerOptions configures the pipeline; Sink is required.
+	// AnalyzerOptions configures the pipeline. Zero-value footguns: Sink
+	// has no default (the zero Sink is NoNode and NewAnalyzer rejects it);
+	// a zero End leaves a trailing server outage open-ended in the report;
+	// a zero Parallelism means strictly serial — use -1 for "all cores".
 	AnalyzerOptions = core.Options
+	// AnalyzerOption is a functional override applied on top of
+	// AnalyzerOptions by NewAnalyzer (WithProtocol, WithParallelism, …).
+	AnalyzerOption = core.Option
 	// Analyzer is the ready-to-run REFILL pipeline.
 	Analyzer = core.Analyzer
 	// Output bundles reconstructed flows and the diagnosis report.
@@ -158,8 +178,36 @@ type (
 	Judgment = core.Judgment
 )
 
-// NewAnalyzer builds the REFILL pipeline.
-func NewAnalyzer(opts AnalyzerOptions) (*Analyzer, error) { return core.NewAnalyzer(opts) }
+// NewAnalyzer builds the REFILL pipeline. Functional options are applied on
+// top of opts in order:
+//
+//	an, _ := refill.NewAnalyzer(refill.AnalyzerOptions{Sink: 1},
+//		refill.WithProtocol(refill.ExtendedCTP()),
+//		refill.WithParallelism(-1))
+func NewAnalyzer(opts AnalyzerOptions, extra ...AnalyzerOption) (*Analyzer, error) {
+	return core.NewAnalyzer(opts, extra...)
+}
+
+// WithProtocol overrides the FSM protocol templates.
+func WithProtocol(p *Protocol) AnalyzerOption { return core.WithProtocol(p) }
+
+// WithParallelism sets the per-packet reconstruction fan-out: 0 serial,
+// n > 0 exactly n workers, n < 0 GOMAXPROCS. Output is byte-identical
+// across all settings.
+func WithParallelism(workers int) AnalyzerOption { return core.WithParallelism(workers) }
+
+// WithEngineOptions imports engine-level configuration (ablations, inference
+// caps, group roster) wholesale — for callers that previously built an
+// engine.Options by hand and imported internal packages to do it.
+func WithEngineOptions(eo EngineOptions) AnalyzerOption { return core.WithEngineOptions(eo) }
+
+// AnalyzeStream runs the pipeline with partitioning overlapped with
+// reconstruction: packet views are handed to workers the moment the
+// partitioning scan completes them, hiding most of the partition cost behind
+// engine work on campaign-scale collections. The Output is identical to
+// an.Analyze(logs). Worker count follows the analyzer's Parallelism option
+// (0 selects all cores here — a serial stream would only add overhead).
+func AnalyzeStream(an *Analyzer, logs *Collection) *Output { return an.AnalyzeStream(logs) }
 
 // Protocol templates.
 type Protocol = fsm.Protocol
@@ -313,9 +361,22 @@ type (
 	ClockParams = clocksync.Params
 )
 
-// RecoverClocks estimates the network's clocks from reconstructed flows.
+// RecoverClocksOpts tunes RecoverClocksWith. The zero value reproduces
+// RecoverClocks' behavior: 10 Gauss–Seidel sweeps, every paired node kept.
+type RecoverClocksOpts = clocksync.Opts
+
+// RecoverClocks estimates the network's clocks from reconstructed flows with
+// default options.
 func RecoverClocks(flows []*Flow, anchor NodeID) *ClockMap {
-	return clocksync.Estimate(flows, anchor, 0)
+	return RecoverClocksWith(flows, anchor, RecoverClocksOpts{})
+}
+
+// RecoverClocksWith estimates the network's clocks with explicit options:
+// Sweeps bounds the Gauss–Seidel iterations, and MinPairings drops nodes
+// with too few cross-node pairings to estimate reliably (they are reported
+// in ClockMap.Unanchored).
+func RecoverClocksWith(flows []*Flow, anchor NodeID, opts RecoverClocksOpts) *ClockMap {
+	return clocksync.EstimateOpts(flows, anchor, opts)
 }
 
 // Per-packet performance measurement (Section II: "per-packet delay, packet
