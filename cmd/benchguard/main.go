@@ -14,9 +14,15 @@
 // stabilize); baseline entries missing from the input fail it, so the
 // guard can't rot silently when a benchmark is renamed.
 //
-// To refresh the baseline after an intentional change:
+// To refresh the baseline after an intentional change, run EXACTLY the
+// invocation the CI bench-regression job uses (.github/workflows/ci.yml) —
+// allocs/op varies with -benchtime (per-run setup amortizes over more
+// iterations), so a baseline recorded at a different iteration count would
+// mismatch CI:
 //
-//	go test -run '^$' -bench 'BenchmarkAnalyzeCampaign$' -benchmem -benchtime 3x . > bench_baseline.txt
+//	go test -run '^$' \
+//	    -bench '^(BenchmarkAnalyzeCampaign|BenchmarkAnalyzePacket|BenchmarkEngineChain|BenchmarkBinaryCodec|BenchmarkTableII)$' \
+//	    -benchmem -benchtime 1x . > bench_baseline.txt
 package main
 
 import (

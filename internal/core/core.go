@@ -63,19 +63,32 @@ func WithParallelism(workers int) Option {
 	return func(o *Options) { o.Parallelism = workers }
 }
 
-// WithEngineOptions imports engine-level configuration wholesale — the
-// escape hatch for callers that previously built an engine.Options by hand.
-// A zero eo.Sink leaves the analyzer's sink unchanged.
+// WithEngineOptions imports engine-level configuration — the escape hatch for
+// callers that previously built an engine.Options by hand. It MERGES rather
+// than replaces: a field left at its zero value in eo (nil Protocol, NoNode
+// Sink, 0 caps, nil Group, false ablation switch) preserves whatever the base
+// Options or an earlier functional option set, so
+// WithEngineOptions(engine.Options{MaxDepth: 512}) does not silently reset
+// the protocol or the sink. The flip side: this option can only set the
+// ablation switches, never clear them — clear them on the base Options.
 func WithEngineOptions(eo engine.Options) Option {
 	return func(o *Options) {
-		o.Protocol = eo.Protocol
-		o.DisableIntra = eo.DisableIntra
-		o.DisableInter = eo.DisableInter
-		o.MaxInferred = eo.MaxInferred
-		o.MaxDepth = eo.MaxDepth
-		o.Group = eo.Group
+		if eo.Protocol != nil {
+			o.Protocol = eo.Protocol
+		}
 		if eo.Sink != event.NoNode {
 			o.Sink = eo.Sink
+		}
+		o.DisableIntra = o.DisableIntra || eo.DisableIntra
+		o.DisableInter = o.DisableInter || eo.DisableInter
+		if eo.MaxInferred != 0 {
+			o.MaxInferred = eo.MaxInferred
+		}
+		if eo.MaxDepth != 0 {
+			o.MaxDepth = eo.MaxDepth
+		}
+		if eo.Group != nil {
+			o.Group = eo.Group
 		}
 	}
 }

@@ -22,6 +22,13 @@ type Batch struct {
 	// until the first non-empty Info is stored, which on simulator-driven
 	// campaigns is never — the hot path allocates no map.
 	info map[int32]string
+	// infoCol is the dense alternative to the info map, used for shared
+	// partition arenas that are filled while already-emitted rows are read
+	// concurrently: writing one slice element never touches another, so
+	// distinct-index fills race with nothing, whereas any map insert does.
+	// Allocated only by viewLayout.alloc when the counting pre-pass saw a
+	// non-empty Info; when non-nil it supersedes the map entirely.
+	infoCol []string
 }
 
 // Len returns the number of rows.
@@ -63,23 +70,20 @@ func (b *Batch) Grow(n int) {
 		copy(typ, b.typ)
 		b.typ = typ
 	}
+	if b.infoCol != nil && cap(b.infoCol) < want {
+		info := make([]string, len(b.infoCol), want)
+		copy(info, b.infoCol)
+		b.infoCol = info
+	}
 }
 
 // Resize sets the row count to n, zero-filling new rows. Existing rows are
 // preserved up to min(Len, n). The partitioners use it to allocate an arena
 // once and fill rows by index.
 func (b *Batch) Resize(n int) {
-	if n <= len(b.typ) {
-		b.node = b.node[:n]
-		b.typ = b.typ[:n]
-		b.sender = b.sender[:n]
-		b.receiver = b.receiver[:n]
-		b.origin = b.origin[:n]
-		b.seq = b.seq[:n]
-		b.time = b.time[:n]
-		return
+	if n > len(b.typ) {
+		b.Grow(n - len(b.typ))
 	}
-	b.Grow(n - len(b.typ))
 	b.node = b.node[:n]
 	b.typ = b.typ[:n]
 	b.sender = b.sender[:n]
@@ -87,6 +91,9 @@ func (b *Batch) Resize(n int) {
 	b.origin = b.origin[:n]
 	b.seq = b.seq[:n]
 	b.time = b.time[:n]
+	if b.infoCol != nil {
+		b.infoCol = b.infoCol[:n]
+	}
 }
 
 // Append adds one event as a new row.
@@ -98,6 +105,10 @@ func (b *Batch) Append(e Event) {
 	b.origin = append(b.origin, e.Packet.Origin)
 	b.seq = append(b.seq, e.Packet.Seq)
 	b.time = append(b.time, e.Time)
+	if b.infoCol != nil {
+		b.infoCol = append(b.infoCol, e.Info)
+		return
+	}
 	if e.Info != "" {
 		if b.info == nil {
 			b.info = make(map[int32]string)
@@ -115,6 +126,10 @@ func (b *Batch) Set(i int, e Event) {
 	b.origin[i] = e.Packet.Origin
 	b.seq[i] = e.Packet.Seq
 	b.time[i] = e.Time
+	if b.infoCol != nil {
+		b.infoCol[i] = e.Info
+		return
+	}
 	if e.Info != "" {
 		if b.info == nil {
 			b.info = make(map[int32]string)
@@ -135,13 +150,17 @@ func (b *Batch) setFrom(src *Batch, si, i int) {
 	b.origin[i] = src.origin[si]
 	b.seq[i] = src.seq[si]
 	b.time[i] = src.time[si]
-	if src.info != nil {
-		if s, ok := src.info[int32(si)]; ok {
-			if b.info == nil {
-				b.info = make(map[int32]string)
-			}
-			b.info[int32(i)] = s
+	if b.infoCol != nil {
+		// Dense destination (a shared arena): a distinct-index slice
+		// write, safe against concurrent readers of other rows.
+		b.infoCol[i] = src.Info(si)
+		return
+	}
+	if s := src.Info(si); s != "" {
+		if b.info == nil {
+			b.info = make(map[int32]string)
 		}
+		b.info[int32(i)] = s
 	}
 }
 
@@ -155,7 +174,9 @@ func (b *Batch) At(i int) Event {
 		Packet:   PacketID{Origin: b.origin[i], Seq: b.seq[i]},
 		Time:     b.time[i],
 	}
-	if b.info != nil {
+	if b.infoCol != nil {
+		e.Info = b.infoCol[i]
+	} else if b.info != nil {
 		e.Info = b.info[int32(i)]
 	}
 	return e
@@ -183,6 +204,9 @@ func (b *Batch) Time(i int) int64 { return b.time[i] }
 
 // Info returns row i's free-form info ("" for the vast majority of rows).
 func (b *Batch) Info(i int) string {
+	if b.infoCol != nil {
+		return b.infoCol[i]
+	}
 	if b.info == nil {
 		return ""
 	}
@@ -193,6 +217,7 @@ func (b *Batch) Info(i int) string {
 func (b *Batch) Reset() {
 	b.Resize(0)
 	b.info = nil
+	b.infoCol = nil
 }
 
 // Clone returns a deep copy.
@@ -206,7 +231,9 @@ func (b *Batch) Clone() Batch {
 		seq:      append([]uint32(nil), b.seq...),
 		time:     append([]int64(nil), b.time...),
 	}
-	if len(b.info) > 0 {
+	if b.infoCol != nil {
+		out.infoCol = append([]string(nil), b.infoCol...)
+	} else if len(b.info) > 0 {
 		out.info = make(map[int32]string, len(b.info))
 		//refill:allow maprange — map-to-map copy; no ordered output is produced
 		for k, v := range b.info {

@@ -1,6 +1,7 @@
 package event
 
 import (
+	"fmt"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -272,5 +273,97 @@ func TestPartitionAllocsScaleWithNodesNotPackets(t *testing.T) {
 	// view proves the arena is doing its job.
 	if perView > 1.0 {
 		t.Errorf("Partition allocates %.2f allocs/view; arena should amortize below 1", perView)
+	}
+}
+
+// buildInfoCollection is buildRandomCollection with Info strings sprinkled on
+// a fraction of the packet-scoped events — the shape the text/binary log
+// formats permit and the partition arenas must carry race-free.
+func buildInfoCollection(seed int64, n int) *Collection {
+	rng := rand.New(rand.NewSource(seed))
+	c := NewCollection()
+	for i := 0; i < n; i++ {
+		e := randomEvent(rng)
+		if i%7 == 0 {
+			e.Info = FormatEvent(e) // arbitrary distinct-ish payload
+		}
+		c.Add(e)
+	}
+	return c
+}
+
+func TestPartitionPreservesInfo(t *testing.T) {
+	c := buildInfoCollection(21, 2000)
+	want, _ := referencePartition(c)
+	views, _ := Partition(c)
+	for _, v := range views {
+		if !reflect.DeepEqual(v.PerNodeEvents(), want[v.Packet]) {
+			t.Fatalf("view %v lost or mangled Info", v.Packet)
+		}
+	}
+	got := make(map[PacketID]map[NodeID][]Event, len(views))
+	StreamPartition(c, func(v *PacketView) { got[v.Packet] = v.PerNodeEvents() })
+	for pkt, m := range want {
+		if !reflect.DeepEqual(got[pkt], m) {
+			t.Fatalf("streamed view %v lost or mangled Info", pkt)
+		}
+	}
+}
+
+// TestPartitionArenaInfoRepresentation pins the storage choice the streaming
+// race fix depends on: an info-free collection keeps the arena's info storage
+// entirely unallocated (the hot path), while any packet-scoped Info switches
+// the arena to the dense column — never the lazy map, whose inserts during
+// the fill pass would race with concurrent readers of emitted views.
+func TestPartitionArenaInfoRepresentation(t *testing.T) {
+	views, _ := Partition(buildRandomCollection(5, 1000))
+	arena := views[0].Batch()
+	if arena.infoCol != nil || arena.info != nil {
+		t.Error("info-free partition allocated arena info storage")
+	}
+	views, _ = Partition(buildInfoCollection(5, 1000))
+	arena = views[0].Batch()
+	if arena.infoCol == nil {
+		t.Error("info-bearing partition did not allocate the dense info column")
+	}
+	if arena.info != nil {
+		t.Error("info-bearing partition populated the lazy map on the shared arena")
+	}
+}
+
+// TestStreamPartitionConcurrentInfoReads is the -race regression test for the
+// shared-arena info storage: emitted views are read (including Info) by
+// worker goroutines while the partitioning scan is still filling later views.
+// With the lazy map on the arena this was a concurrent map read/write; the
+// dense info column makes it race-free.
+func TestStreamPartitionConcurrentInfoReads(t *testing.T) {
+	c := buildInfoCollection(31, 4000)
+	want, _ := referencePartition(c)
+	const workers = 4
+	views := make(chan *PacketView, 64)
+	errs := make(chan error, workers)
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for v := range views {
+				if !reflect.DeepEqual(v.PerNodeEvents(), want[v.Packet]) {
+					select {
+					case errs <- fmt.Errorf("view %v read mid-stream differs from reference", v.Packet):
+					default:
+					}
+				}
+			}
+		}()
+	}
+	StreamPartition(c, func(v *PacketView) { views <- v })
+	close(views)
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
 	}
 }

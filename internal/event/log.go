@@ -261,6 +261,12 @@ type viewLayout struct {
 	lastNode []int32            // last node index that touched the view (sizing scan)
 	total    int                // packet-scoped events overall
 	packets  []PacketID
+	// hasInfo records whether the sizing scan saw any packet-scoped event
+	// carrying a non-empty Info. If so, alloc gives the arena a dense info
+	// column instead of the lazy map: map inserts during the fill pass
+	// would race with concurrent readers of already-emitted views
+	// (StreamPartition), whereas distinct-index slice writes cannot.
+	hasInfo bool
 }
 
 func newViewLayout(hint int) *viewLayout {
@@ -293,6 +299,9 @@ func (ly *viewLayout) touch(pkt PacketID, ni int) int32 {
 // first-appearance (scan) order.
 func (ly *viewLayout) alloc() (arena *Batch, views []*PacketView) {
 	arena = &Batch{}
+	if ly.hasInfo {
+		arena.infoCol = make([]string, ly.total)
+	}
 	arena.Resize(ly.total)
 	totalSegs := 0
 	for _, s := range ly.segs {
@@ -350,6 +359,9 @@ func Partition(c *Collection) (views []*PacketView, operational []Event) {
 		for i := 0; i < len(b.typ); i++ {
 			if b.typ[i].PacketScoped() {
 				ly.touch(b.Packet(i), ni)
+				if !ly.hasInfo && b.Info(i) != "" {
+					ly.hasInfo = true
+				}
 			}
 		}
 	}
@@ -391,7 +403,11 @@ func Partition(c *Collection) (views []*PacketView, operational []Event) {
 // returned once the scan finishes, sorted by time.
 //
 // Emitted views reference the shared batch arena; their rows are never
-// written after emit, so emit may safely hand the view to a worker.
+// written after emit, so emit may safely hand the view to a worker. That
+// includes Info: when the pre-pass sees any packet-scoped event carrying a
+// non-empty Info, the arena stores info in a dense per-row column rather than
+// the lazy map, so filling later views never touches memory an emitted view
+// reads.
 func StreamPartition(c *Collection, emit func(*PacketView)) (operational []Event) {
 	nodes := c.Nodes()
 	ly := newViewLayout(c.TotalEvents()/8 + 1)
@@ -402,6 +418,9 @@ func StreamPartition(c *Collection, emit func(*PacketView)) (operational []Event
 		for i := 0; i < len(b.typ); i++ {
 			if b.typ[i].PacketScoped() {
 				vi := ly.touch(b.Packet(i), ni)
+				if !ly.hasInfo && b.Info(i) != "" {
+					ly.hasInfo = true
+				}
 				if int(vi) == len(last) {
 					last = append(last, 0)
 				}

@@ -197,8 +197,10 @@ func WithProtocol(p *Protocol) AnalyzerOption { return core.WithProtocol(p) }
 func WithParallelism(workers int) AnalyzerOption { return core.WithParallelism(workers) }
 
 // WithEngineOptions imports engine-level configuration (ablations, inference
-// caps, group roster) wholesale — for callers that previously built an
-// engine.Options by hand and imported internal packages to do it.
+// caps, group roster) — for callers that previously built an engine.Options
+// by hand and imported internal packages to do it. Fields left at their zero
+// value in eo (nil protocol, zero sink, 0 caps, false ablation switches)
+// preserve the analyzer's existing settings rather than resetting them.
 func WithEngineOptions(eo EngineOptions) AnalyzerOption { return core.WithEngineOptions(eo) }
 
 // AnalyzeStream runs the pipeline with partitioning overlapped with
