@@ -401,6 +401,44 @@ func BenchmarkAnalyzeCampaignStream(b *testing.B) {
 	b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
 }
 
+// BenchmarkFlowOutput isolates flow construction and storage cost from
+// partitioning: the same pre-built views are reconstructed through the
+// standalone heap path (one exact-sized allocation set per flow) and through
+// the shared flow arena (AnalyzeViews: spans carved out of chunked columns).
+// Both run serially, so allocs/op is deterministic and benchguard can pin it.
+func BenchmarkFlowOutput(b *testing.B) {
+	c := benchCampaign(b)
+	eng, err := engine.New(engine.Options{Sink: c.Res.Sink})
+	if err != nil {
+		b.Fatal(err)
+	}
+	views, _ := event.Partition(c.Res.Logs)
+	if len(views) == 0 {
+		b.Fatal("no views")
+	}
+	b.Run("heap", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, v := range views {
+				if f := eng.AnalyzePacket(v); len(f.Items) == 0 {
+					b.Fatal("empty flow")
+				}
+			}
+		}
+		b.ReportMetric(float64(len(views)), "flows")
+	})
+	b.Run("arena", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			flows := eng.AnalyzeViews(views)
+			if len(flows) != len(views) {
+				b.Fatal("flow count mismatch")
+			}
+		}
+		b.ReportMetric(float64(len(views)), "flows")
+	})
+}
+
 // BenchmarkClockRecovery measures post-hoc clock estimation (E-A6) over the
 // shared campaign's reconstructed flows; the metric is the mean absolute
 // local-time error in seconds.

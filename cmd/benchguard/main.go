@@ -14,6 +14,10 @@
 // stabilize); baseline entries missing from the input fail it, so the
 // guard can't rot silently when a benchmark is renamed.
 //
+// With -json the verdict is emitted as one JSON object instead of text:
+// ns/op and B/op ride along for trend tracking (see BENCH_*.json at the
+// repo root), but the pass/fail decision still rests on allocs/op alone.
+//
 // To refresh the baseline after an intentional change, run EXACTLY the
 // invocation the CI bench-regression job uses (.github/workflows/ci.yml) —
 // allocs/op varies with -benchtime (per-run setup amortizes over more
@@ -21,33 +25,62 @@
 // mismatch CI:
 //
 //	go test -run '^$' \
-//	    -bench '^(BenchmarkAnalyzeCampaign|BenchmarkAnalyzePacket|BenchmarkEngineChain|BenchmarkBinaryCodec|BenchmarkTableII)$' \
+//	    -bench '^(BenchmarkAnalyzeCampaign|BenchmarkAnalyzePacket|BenchmarkEngineChain|BenchmarkBinaryCodec|BenchmarkTableII|BenchmarkFlowOutput)$' \
 //	    -benchmem -benchtime 1x . > bench_baseline.txt
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
+
+// Result holds one benchmark's measurements from -benchmem output.
+type Result struct {
+	Name     string  `json:"name"`
+	NsOp     float64 `json:"ns_op"`
+	BytesOp  int64   `json:"bytes_op"`
+	AllocsOp int64   `json:"allocs_op"`
+}
+
+// Entry is one line of the verdict: a current Result joined with its
+// baseline. Status is "ok", "fail" (regressed or missing from input), or
+// "note" (not in the baseline yet).
+type Entry struct {
+	Result
+	BaselineAllocs int64   `json:"baseline_allocs_op,omitempty"`
+	DeltaPct       float64 `json:"delta_pct"`
+	Status         string  `json:"status"`
+	Detail         string  `json:"detail,omitempty"`
+}
+
+// report is the top-level -json document.
+type report struct {
+	Tolerance  float64 `json:"tolerance"`
+	Pass       bool    `json:"pass"`
+	Benchmarks []Entry `json:"benchmarks"`
+}
 
 // benchLine matches the testing package's benchmark result format:
 //
 //	BenchmarkName-8   3   342105525 ns/op   84874053 B/op   190633 allocs/op
 //
 // The -8 GOMAXPROCS suffix is stripped so baselines recorded on one
-// machine compare against runs on another.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+.*?\s(\d+) allocs/op`)
+// machine compare against runs on another. Custom metrics between ns/op
+// and B/op (ReportMetric) are skipped by the lazy middle match.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op.*?\s(\d+) B/op\s+(\d+) allocs/op`)
 
-// parse extracts benchmark name -> allocs/op from -benchmem output.
-// Sub-benchmark runs of the same name (e.g. -count=N) keep the last value.
-func parse(r io.Reader) (map[string]int64, error) {
-	out := make(map[string]int64)
+// parse extracts benchmark results from -benchmem output. Repeated runs of
+// the same name (e.g. -count=N) keep the last value.
+func parse(r io.Reader) (map[string]Result, error) {
+	out := make(map[string]Result)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -55,66 +88,94 @@ func parse(r io.Reader) (map[string]int64, error) {
 		if m == nil {
 			continue
 		}
-		n, err := strconv.ParseInt(m[2], 10, 64)
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q: %w", sc.Text(), err)
+		}
+		bytes, err := strconv.ParseInt(m[3], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad B/op in %q: %w", sc.Text(), err)
+		}
+		allocs, err := strconv.ParseInt(m[4], 10, 64)
 		if err != nil {
 			return nil, fmt.Errorf("bad allocs/op in %q: %w", sc.Text(), err)
 		}
-		out[m[1]] = n
+		out[m[1]] = Result{Name: m[1], NsOp: ns, BytesOp: bytes, AllocsOp: allocs}
 	}
 	return out, sc.Err()
 }
 
-// check compares current allocs against the baseline and returns human
-// verdict lines plus whether the run passed. tolerance is fractional
-// (0.10 = 10%).
-func check(baseline, current map[string]int64, tolerance float64) ([]string, bool) {
-	var lines []string
+// check compares current allocs against the baseline. tolerance is
+// fractional (0.10 = 10%). Entries come back in deterministic order:
+// baseline benchmarks sorted by name, then not-in-baseline notes.
+func check(baseline, current map[string]Result, tolerance float64) ([]Entry, bool) {
+	var entries []Entry
 	ok := true
 	names := make([]string, 0, len(baseline))
 	for n := range baseline {
 		names = append(names, n)
 	}
-	// Stable report order regardless of map iteration.
-	for i := 0; i < len(names); i++ {
-		for j := i + 1; j < len(names); j++ {
-			if names[j] < names[i] {
-				names[i], names[j] = names[j], names[i]
-			}
-		}
-	}
+	sort.Strings(names)
 	for _, name := range names {
-		base := baseline[name]
+		base := baseline[name].AllocsOp
 		cur, found := current[name]
 		if !found {
-			lines = append(lines, fmt.Sprintf("FAIL %s: in baseline but missing from input", name))
+			entries = append(entries, Entry{
+				Result: Result{Name: name}, BaselineAllocs: base,
+				Status: "fail", Detail: "in baseline but missing from input",
+			})
 			ok = false
 			continue
 		}
-		limit := float64(base) * (1 + tolerance)
 		delta := 0.0
 		if base > 0 {
-			delta = 100 * (float64(cur)/float64(base) - 1)
+			delta = 100 * (float64(cur.AllocsOp)/float64(base) - 1)
 		}
-		if float64(cur) > limit {
-			lines = append(lines, fmt.Sprintf("FAIL %s: %d allocs/op, baseline %d (%+.1f%% > %.0f%% tolerance)",
-				name, cur, base, delta, tolerance*100))
+		e := Entry{Result: cur, BaselineAllocs: base, DeltaPct: delta, Status: "ok"}
+		if float64(cur.AllocsOp) > float64(base)*(1+tolerance) {
+			e.Status = "fail"
+			e.Detail = fmt.Sprintf("%+.1f%% > %.0f%% tolerance", delta, tolerance*100)
 			ok = false
-		} else {
-			lines = append(lines, fmt.Sprintf("ok   %s: %d allocs/op, baseline %d (%+.1f%%)",
-				name, cur, base, delta))
 		}
+		entries = append(entries, e)
 	}
-	for name, cur := range current {
+	extras := make([]string, 0, len(current))
+	for name := range current {
 		if _, known := baseline[name]; !known {
-			lines = append(lines, fmt.Sprintf("note %s: %d allocs/op, not in baseline", name, cur))
+			extras = append(extras, name)
 		}
 	}
-	return lines, ok
+	sort.Strings(extras)
+	for _, name := range extras {
+		entries = append(entries, Entry{Result: current[name], Status: "note"})
+	}
+	return entries, ok
+}
+
+// render turns entries into the human verdict lines.
+func render(entries []Entry, tolerance float64) []string {
+	lines := make([]string, 0, len(entries))
+	for _, e := range entries {
+		switch {
+		case e.Status == "fail" && e.Detail == "in baseline but missing from input":
+			lines = append(lines, fmt.Sprintf("FAIL %s: %s", e.Name, e.Detail))
+		case e.Status == "fail":
+			lines = append(lines, fmt.Sprintf("FAIL %s: %d allocs/op, baseline %d (%s)",
+				e.Name, e.AllocsOp, e.BaselineAllocs, e.Detail))
+		case e.Status == "note":
+			lines = append(lines, fmt.Sprintf("note %s: %d allocs/op, not in baseline", e.Name, e.AllocsOp))
+		default:
+			lines = append(lines, fmt.Sprintf("ok   %s: %d allocs/op, baseline %d (%+.1f%%)",
+				e.Name, e.AllocsOp, e.BaselineAllocs, e.DeltaPct))
+		}
+	}
+	return lines
 }
 
 func main() {
 	baselinePath := flag.String("baseline", "bench_baseline.txt", "baseline benchmark output to compare against")
 	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional allocs/op regression")
+	jsonOut := flag.Bool("json", false, "emit the verdict as one JSON object (ns/op and B/op included)")
 	flag.Parse()
 
 	bf, err := os.Open(*baselinePath)
@@ -147,8 +208,16 @@ func main() {
 		fatal(fmt.Errorf("no benchmark lines in input (run with -bench and -benchmem)"))
 	}
 
-	lines, ok := check(baseline, current, *tolerance)
-	fmt.Println(strings.Join(lines, "\n"))
+	entries, ok := check(baseline, current, *tolerance)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report{Tolerance: *tolerance, Pass: ok, Benchmarks: entries}); err != nil {
+			fatal(err)
+		}
+	} else {
+		fmt.Println(strings.Join(render(entries, *tolerance), "\n"))
+	}
 	if !ok {
 		os.Exit(1)
 	}

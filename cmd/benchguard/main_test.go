@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -9,22 +10,35 @@ const sampleOutput = `goos: linux
 goarch: amd64
 pkg: repro
 cpu: some CPU
-BenchmarkAnalyzeCampaign-8   	       3	 342105525 ns/op	84874053 B/op	  190633 allocs/op
+BenchmarkAnalyzeCampaign-8   	       3	 342105525 ns/op	        28296 flows	84874053 B/op	  190633 allocs/op
 BenchmarkEngineChain/hops=4-8 	   10000	      1042 ns/op	     512 B/op	       9 allocs/op
 PASS
 ok  	repro	2.5s
 `
+
+func mkResults(allocs map[string]int64) map[string]Result {
+	out := make(map[string]Result, len(allocs))
+	for n, a := range allocs {
+		out[n] = Result{Name: n, AllocsOp: a}
+	}
+	return out
+}
 
 func TestParseStripsCPUSuffix(t *testing.T) {
 	got, err := parse(strings.NewReader(sampleOutput))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got["BenchmarkAnalyzeCampaign"] != 190633 {
-		t.Errorf("campaign allocs = %d", got["BenchmarkAnalyzeCampaign"])
+	camp := got["BenchmarkAnalyzeCampaign"]
+	if camp.AllocsOp != 190633 {
+		t.Errorf("campaign allocs = %d", camp.AllocsOp)
 	}
-	if got["BenchmarkEngineChain/hops=4"] != 9 {
-		t.Errorf("sub-benchmark allocs = %d (map %v)", got["BenchmarkEngineChain/hops=4"], got)
+	if camp.NsOp != 342105525 || camp.BytesOp != 84874053 {
+		t.Errorf("campaign ns/B = %v/%d, want 342105525/84874053 (custom metric must be skipped)", camp.NsOp, camp.BytesOp)
+	}
+	sub := got["BenchmarkEngineChain/hops=4"]
+	if sub.AllocsOp != 9 || sub.NsOp != 1042 || sub.BytesOp != 512 {
+		t.Errorf("sub-benchmark = %+v", sub)
 	}
 	if len(got) != 2 {
 		t.Errorf("parsed %d entries, want 2: %v", len(got), got)
@@ -32,46 +46,106 @@ func TestParseStripsCPUSuffix(t *testing.T) {
 }
 
 func TestCheckWithinTolerancePasses(t *testing.T) {
-	base := map[string]int64{"BenchmarkX": 1000}
-	_, ok := check(base, map[string]int64{"BenchmarkX": 1099}, 0.10)
+	base := mkResults(map[string]int64{"BenchmarkX": 1000})
+	_, ok := check(base, mkResults(map[string]int64{"BenchmarkX": 1099}), 0.10)
 	if !ok {
 		t.Error("9.9% regression failed under a 10% tolerance")
 	}
-	_, ok = check(base, map[string]int64{"BenchmarkX": 900}, 0.10)
+	_, ok = check(base, mkResults(map[string]int64{"BenchmarkX": 900}), 0.10)
 	if !ok {
 		t.Error("an improvement failed the guard")
 	}
 }
 
 func TestCheckRegressionFails(t *testing.T) {
-	base := map[string]int64{"BenchmarkX": 1000}
-	lines, ok := check(base, map[string]int64{"BenchmarkX": 1101}, 0.10)
+	base := mkResults(map[string]int64{"BenchmarkX": 1000})
+	entries, ok := check(base, mkResults(map[string]int64{"BenchmarkX": 1101}), 0.10)
 	if ok {
-		t.Errorf("10.1%% regression passed: %v", lines)
+		t.Errorf("10.1%% regression passed: %v", render(entries, 0.10))
 	}
 }
 
 func TestCheckMissingBenchmarkFails(t *testing.T) {
-	base := map[string]int64{"BenchmarkX": 1000, "BenchmarkY": 5}
-	lines, ok := check(base, map[string]int64{"BenchmarkX": 1000}, 0.10)
+	base := mkResults(map[string]int64{"BenchmarkX": 1000, "BenchmarkY": 5})
+	entries, ok := check(base, mkResults(map[string]int64{"BenchmarkX": 1000}), 0.10)
 	if ok {
-		t.Errorf("missing baseline benchmark passed: %v", lines)
+		t.Errorf("missing baseline benchmark passed: %v", render(entries, 0.10))
 	}
 }
 
 func TestCheckUnknownBenchmarkIsNoted(t *testing.T) {
-	base := map[string]int64{"BenchmarkX": 1000}
-	lines, ok := check(base, map[string]int64{"BenchmarkX": 1000, "BenchmarkNew": 7}, 0.10)
+	base := mkResults(map[string]int64{"BenchmarkX": 1000})
+	entries, ok := check(base, mkResults(map[string]int64{"BenchmarkX": 1000, "BenchmarkNew": 7}), 0.10)
 	if !ok {
-		t.Errorf("benchmark absent from baseline failed the run: %v", lines)
+		t.Errorf("benchmark absent from baseline failed the run: %v", render(entries, 0.10))
 	}
 	found := false
-	for _, l := range lines {
+	for _, l := range render(entries, 0.10) {
 		if strings.Contains(l, "BenchmarkNew") && strings.HasPrefix(l, "note") {
 			found = true
 		}
 	}
 	if !found {
-		t.Errorf("new benchmark not noted: %v", lines)
+		t.Errorf("new benchmark not noted: %v", render(entries, 0.10))
+	}
+}
+
+// TestCheckEntriesRoundTripJSON pins the -json document shape: every entry
+// carries the measurements and a status, and the report marshals cleanly.
+func TestCheckEntriesRoundTripJSON(t *testing.T) {
+	base := mkResults(map[string]int64{"BenchmarkX": 1000, "BenchmarkGone": 3})
+	cur := map[string]Result{
+		"BenchmarkX":   {Name: "BenchmarkX", NsOp: 1.5e6, BytesOp: 4096, AllocsOp: 950},
+		"BenchmarkNew": {Name: "BenchmarkNew", NsOp: 10, BytesOp: 0, AllocsOp: 0},
+	}
+	entries, ok := check(base, cur, 0.10)
+	if ok {
+		t.Fatal("missing BenchmarkGone must fail the run")
+	}
+	raw, err := json.Marshal(report{Tolerance: 0.10, Pass: ok, Benchmarks: entries})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back report
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Pass || back.Tolerance != 0.10 || len(back.Benchmarks) != 3 {
+		t.Fatalf("round-tripped report = %+v", back)
+	}
+	byName := map[string]Entry{}
+	for _, e := range back.Benchmarks {
+		byName[e.Name] = e
+	}
+	if e := byName["BenchmarkX"]; e.Status != "ok" || e.BaselineAllocs != 1000 || e.AllocsOp != 950 || e.NsOp != 1.5e6 {
+		t.Errorf("BenchmarkX entry = %+v", e)
+	}
+	if e := byName["BenchmarkGone"]; e.Status != "fail" || e.Detail == "" {
+		t.Errorf("BenchmarkGone entry = %+v", e)
+	}
+	if e := byName["BenchmarkNew"]; e.Status != "note" {
+		t.Errorf("BenchmarkNew entry = %+v", e)
+	}
+}
+
+// TestRenderFormatsUnchanged keeps the human verdict lines in the shape CI
+// logs have always shown.
+func TestRenderFormatsUnchanged(t *testing.T) {
+	base := mkResults(map[string]int64{"BenchmarkA": 100, "BenchmarkB": 10})
+	cur := mkResults(map[string]int64{"BenchmarkA": 200, "BenchmarkC": 1})
+	entries, _ := check(base, cur, 0.10)
+	lines := render(entries, 0.10)
+	want := []string{
+		"FAIL BenchmarkA: 200 allocs/op, baseline 100 (+100.0% > 10% tolerance)",
+		"FAIL BenchmarkB: in baseline but missing from input",
+		"note BenchmarkC: 1 allocs/op, not in baseline",
+	}
+	if len(lines) != len(want) {
+		t.Fatalf("lines = %q", lines)
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Errorf("line %d = %q, want %q", i, lines[i], want[i])
+		}
 	}
 }

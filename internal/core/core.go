@@ -142,7 +142,8 @@ func (o *Output) Flow(id event.PacketID) *flow.Flow {
 
 // Analyze runs the full pipeline over a collection of per-node logs, fanning
 // per-packet reconstruction out over Options.Parallelism workers (0 = serial).
-// Output is identical regardless of the worker count.
+// Workers are sharded by packet origin, each owning its flow arena and run
+// state. Output is identical regardless of the worker count.
 func (a *Analyzer) Analyze(c *event.Collection) *Output {
 	var res *engine.Result
 	switch {

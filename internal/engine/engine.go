@@ -158,25 +158,90 @@ type Result struct {
 }
 
 // Analyze partitions the collection by packet and reconstructs every flow.
+// All flows share one output arena (see flow.Arena).
 func (e *Engine) Analyze(c *event.Collection) *Result {
 	views, ops := event.Partition(c)
-	res := &Result{Operational: ops, Flows: make([]*flow.Flow, len(views))}
-	for i, v := range views {
-		res.Flows[i] = e.AnalyzePacket(v)
+	return &Result{Operational: ops, Flows: e.AnalyzeViews(views)}
+}
+
+// AnalyzeViews reconstructs each view's flow, in view order, committing all
+// of them into one shared output arena sized by the views' row counts.
+func (e *Engine) AnalyzeViews(views []*event.PacketView) []*flow.Flow {
+	flows := make([]*flow.Flow, len(views))
+	if len(views) == 0 {
+		return flows
 	}
-	return res
+	a := flow.NewArena(e.flowSizing(views))
+	r := e.runPool.Get().(*run)
+	for i, v := range views {
+		flows[i] = r.analyze(e, v, a)
+	}
+	e.runPool.Put(r)
+	return flows
 }
 
 // AnalyzePacket reconstructs the event flow for a single packet from its
-// per-node log slices.
+// per-node log slices. The flow is standalone (exact-sized heap slices, no
+// arena); batch callers should prefer AnalyzeViews or AnalyzePacketInto so
+// many flows share chunked storage.
 func (e *Engine) AnalyzePacket(v *event.PacketView) *flow.Flow {
+	return e.AnalyzePacketInto(v, nil)
+}
+
+// AnalyzePacketInto reconstructs one packet's flow and commits it into a —
+// the building block for callers that drive their own fan-out and want
+// arena-backed output. A nil arena degrades to standalone allocation. The
+// arena is not synchronized: concurrent callers need one arena each.
+func (e *Engine) AnalyzePacketInto(v *event.PacketView, a *flow.Arena) *flow.Flow {
 	r := e.runPool.Get().(*run)
+	f := r.analyze(e, v, a)
+	e.runPool.Put(r)
+	return f
+}
+
+// flowSizing estimates the output arena geometry from partition statistics:
+// the logged item volume is the views' exact row count; the inferred volume
+// is unknowable ahead of time, so it is estimated as a quarter of the logged
+// rows plus one cascade seed per view — generous for healthy logs, low for
+// very lossy ones, and either way corrected by the arena's chunked growth.
+// Ablations that disable inference drop the estimate to zero.
+func (e *Engine) flowSizing(views []*event.PacketView) flow.Sizing {
+	logged, segs := 0, 0
+	for _, v := range views {
+		logged += v.TotalEvents()
+		segs += v.NodeCount()
+	}
+	inferred := 0
+	if !e.opts.DisableIntra || !e.opts.DisableInter {
+		inferred = logged/4 + len(views)
+		if lim := e.opts.MaxInferred * len(views); inferred > lim {
+			inferred = lim
+		}
+	}
+	return flow.Sizing{
+		Flows: len(views),
+		Items: logged + inferred,
+		// One visit per (node, packet) span, plus slack for rotations
+		// and prerequisite-driven nodes that logged nothing.
+		Visits:    segs + segs/8 + 4,
+		Anomalies: len(views)/32 + 4,
+	}
+}
+
+// analyze runs the transition algorithm for one view and commits the flow
+// into a (nil = standalone allocation). The run must be idle; it is left
+// reset and reusable for the next packet, so a worker can own one run for
+// its whole shard instead of bouncing runs through a shared pool.
+func (r *run) analyze(e *Engine, v *event.PacketView, a *flow.Arena) *flow.Flow {
 	r.e = e
 	r.pkt = v.Packet
 	r.view = v
 	r.infers = 0
 	r.inferCapHit = false
-	r.f = &flow.Flow{Packet: v.Packet, Items: make([]flow.Item, 0, v.TotalEvents()+4)}
+	r.items = r.items[:0]
+	r.itemsInferred = 0
+	r.visitsOut = r.visitsOut[:0]
+	r.anoms = r.anoms[:0]
 	// Deterministic node order: the packet's origin first (the paper's
 	// algorithm starts from a given node; custody starts at the origin),
 	// then ascending node IDs. The view's spans are already ascending (one
@@ -203,8 +268,8 @@ func (e *Engine) AnalyzePacket(v *event.PacketView) *flow.Flow {
 		r.order = append(r.order, int32(ni))
 	}
 	r.exec()
-	f := r.f
-	r.release()
+	f := a.Build(r.pkt, r.items, r.visitsOut, r.anoms, r.itemsInferred)
+	r.reset()
 	return f
 }
 
@@ -231,14 +296,26 @@ func (q queueSpan) empty() bool { return q.cur >= q.end }
 // run is the per-packet execution state of the transition algorithm. All
 // per-node bookkeeping is slice-backed, indexed by a dense per-packet node
 // index (nodes), so the per-event hot path performs no map operations; the
-// whole struct — including retired visit structs — is recycled through the
-// engine's run pool. The unconsumed input lives in the view's columnar batch,
-// addressed by queueSpan row ranges.
+// whole struct — including retired visit structs and the reusable output
+// scratch — is recycled, either through the engine's run pool (standalone
+// AnalyzePacket calls) or by a sharded worker owning one run outright. The
+// unconsumed input lives in the view's columnar batch, addressed by
+// queueSpan row ranges.
+//
+// The flow under construction accumulates in the items/visitsOut/anoms
+// scratch slices, which keep their capacity across packets; analyze commits
+// them as exact-sized arena spans at the end, so steady-state reconstruction
+// allocates nothing per flow beyond the amortized arena chunks.
 type run struct {
 	e    *Engine
 	pkt  event.PacketID
 	view *event.PacketView
-	f    *flow.Flow
+	// items is the flow output scratch; itemsInferred counts its inferred
+	// entries for the O(1) Flow.InferredCount counter.
+	items         []flow.Item
+	itemsInferred int
+	visitsOut     []flow.Visit
+	anoms         []flow.Anomaly
 	// nodes maps the dense node index to the NodeID; the parallel slices
 	// below are addressed by that index.
 	nodes       []event.NodeID
@@ -254,6 +331,16 @@ type run struct {
 	inferCapHit bool
 }
 
+// appendItem adds one item to the flow under construction and returns its
+// position.
+func (r *run) appendItem(it flow.Item) int {
+	r.items = append(r.items, it)
+	if it.Inferred {
+		r.itemsInferred++
+	}
+	return len(r.items) - 1
+}
+
 // pop materializes and consumes the next queued event of node index ni.
 // The caller must have checked the queue is non-empty.
 func (r *run) pop(ni int) event.Event {
@@ -262,9 +349,11 @@ func (r *run) pop(ni int) event.Event {
 	return ev
 }
 
-// release returns the run to the engine pool, recycling visit structs and
-// dropping references that would pin the caller's collection or flow.
-func (r *run) release() {
+// reset clears the per-packet state, recycling visit structs and dropping
+// references that would pin the caller's collection, while keeping every
+// slice's capacity for the next packet. (The output scratch is truncated at
+// the start of analyze instead, so its contents stay readable during Build.)
+func (r *run) reset() {
 	r.spare = append(r.spare, r.all...)
 	r.all = r.all[:0]
 	for i := range r.nodes {
@@ -277,8 +366,6 @@ func (r *run) release() {
 	r.driving = r.driving[:0]
 	r.processing = r.processing[:0]
 	r.byNode = r.byNode[:0] // inner slices keep their capacity (see addNode)
-	r.f = nil
-	r.e.runPool.Put(r)
 }
 
 // addNode registers a node under the next dense index.
@@ -421,21 +508,11 @@ func (r *run) exec() {
 			break
 		}
 	}
-	started := 0
-	for _, v := range r.all {
-		if v.started {
-			started++
-		}
-	}
-	if started == 0 {
-		return
-	}
-	r.f.Visits = make([]flow.Visit, 0, started)
 	for _, v := range r.all {
 		if !v.started {
 			continue
 		}
-		r.f.Visits = append(r.f.Visits, flow.Visit{
+		r.visitsOut = append(r.visitsOut, flow.Visit{
 			Node:         v.node,
 			Index:        v.index,
 			State:        v.graph.State(v.cur).Name,
@@ -555,7 +632,7 @@ func (r *run) startCan(g *fsm.Graph, l fsm.Label) bool {
 // apply commits a transition: appends the item to the flow and updates the
 // visit's state, custody metadata and peer binding.
 func (r *run) apply(v *visit, tr fsm.Transition, ev event.Event, inferred bool) {
-	pos := r.f.Append(flow.Item{Event: ev, Inferred: inferred})
+	pos := r.appendItem(flow.Item{Event: ev, Inferred: inferred})
 	v.cur = tr.To
 	v.lastPos = pos
 	v.started = true
@@ -571,7 +648,7 @@ func (r *run) apply(v *visit, tr fsm.Transition, ev event.Event, inferred bool) 
 
 // anomaly records a discarded event.
 func (r *run) anomaly(ev event.Event, reason string) {
-	r.f.Anomalies = append(r.f.Anomalies, flow.Anomaly{Event: ev, Reason: reason})
+	r.anoms = append(r.anoms, flow.Anomaly{Event: ev, Reason: reason})
 }
 
 // hintsFromEvent derives the upstream/downstream peer hints an inference can

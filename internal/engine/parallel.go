@@ -9,11 +9,63 @@ import (
 	"repro/internal/flow"
 )
 
+// Parallel work distribution is sharded by origin node: Partition orders
+// views by (origin, seq), so cutting the view slice only at origin
+// boundaries hands each chunk whole origins. Every worker owns one run (no
+// shared run pool to migrate state through), one output arena (its flows
+// stay on memory it touched), and the result slots it fills — the merge is
+// the indexed writes themselves, trivially preserving packet-ID order.
+
+// originChunks cuts views (sorted by origin) into at most want contiguous
+// chunks of roughly equal event volume, never splitting an origin across
+// chunks. A single hot origin simply becomes one big chunk.
+func originChunks(views []*event.PacketView, want int) [][2]int {
+	if want < 1 {
+		want = 1
+	}
+	total := 0
+	rows := make([]int, len(views))
+	for i, v := range views {
+		rows[i] = v.TotalEvents()
+		total += rows[i]
+	}
+	target := total/want + 1
+	chunks := make([][2]int, 0, want)
+	lo, acc := 0, 0
+	for i := range views {
+		acc += rows[i]
+		boundary := i+1 == len(views) || views[i+1].Packet.Origin != views[i].Packet.Origin
+		if boundary && acc >= target {
+			chunks = append(chunks, [2]int{lo, i + 1})
+			lo, acc = i+1, 0
+		}
+	}
+	if lo < len(views) {
+		chunks = append(chunks, [2]int{lo, len(views)})
+	}
+	return chunks
+}
+
+// perWorker scales an arena sizing down to one worker's expected share.
+func perWorker(s flow.Sizing, workers int) flow.Sizing {
+	if workers < 1 {
+		workers = 1
+	}
+	return flow.Sizing{
+		Flows:     s.Flows/workers + 1,
+		Items:     s.Items/workers + 1,
+		Visits:    s.Visits/workers + 1,
+		Anomalies: s.Anomalies/workers + 1,
+	}
+}
+
 // AnalyzeParallel reconstructs every packet flow like Analyze, fanning the
 // per-packet work out over a pool of workers. Packet flows are mutually
 // independent (the engine state is per packet), so the reconstruction
 // parallelizes embarrassingly; results are returned in the same deterministic
-// packet order Analyze uses. workers <= 0 selects GOMAXPROCS.
+// packet order Analyze uses. Work is sharded by origin node (see the package
+// comment above), so each worker's run state, arena and flows never cross
+// workers. workers <= 0 selects GOMAXPROCS.
 func (e *Engine) AnalyzeParallel(c *event.Collection, workers int) *Result {
 	views, ops := event.Partition(c)
 	if workers <= 0 {
@@ -27,42 +79,42 @@ func (e *Engine) AnalyzeParallel(c *event.Collection, workers int) *Result {
 		return res
 	}
 	if workers <= 1 {
-		for i, v := range views {
-			res.Flows[i] = e.AnalyzePacket(v)
-		}
+		res.Flows = e.AnalyzeViews(views)
 		return res
 	}
-	// Chunked work distribution: handing out index ranges amortizes the
-	// channel synchronization over many packets (a campaign has thousands
-	// of sub-millisecond packet analyses). Each worker writes only its own
+	// Handing out origin-bounded index ranges amortizes the channel
+	// synchronization over many packets (a campaign has thousands of
+	// sub-millisecond packet analyses). Each worker writes only its own
 	// result slots, so no further synchronization is needed.
-	chunk := len(views) / (workers * 8)
-	if chunk < 1 {
-		chunk = 1
+	chunks := originChunks(views, workers*4)
+	work := make(chan [2]int, len(chunks))
+	for _, ch := range chunks {
+		work <- ch
 	}
-	spans := make(chan [2]int, workers)
+	close(work)
+	sizing := perWorker(e.flowSizing(views), workers)
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for s := range spans {
+			r := new(run) // worker-owned: never returned to a shared pool
+			a := flow.NewArena(sizing)
+			for s := range work {
 				for i := s[0]; i < s[1]; i++ {
-					res.Flows[i] = e.AnalyzePacket(views[i])
+					res.Flows[i] = r.analyze(e, views[i], a)
 				}
 			}
 		}()
 	}
-	for lo := 0; lo < len(views); lo += chunk {
-		hi := lo + chunk
-		if hi > len(views) {
-			hi = len(views)
-		}
-		spans <- [2]int{lo, hi}
-	}
-	close(spans)
 	wg.Wait()
 	return res
+}
+
+// shardOf maps an origin node to one of workers shards (Fibonacci hashing,
+// so dense origin IDs spread instead of striping).
+func shardOf(origin event.NodeID, workers int) int {
+	return int((uint64(origin) * 0x9E3779B97F4A7C15 >> 32) % uint64(workers))
 }
 
 // AnalyzeStream reconstructs every packet flow like AnalyzeParallel but
@@ -70,8 +122,13 @@ func (e *Engine) AnalyzeParallel(c *event.Collection, workers int) *Result {
 // packet's view to a worker the moment the partitioning scan has passed the
 // packet's last event, instead of materializing every view before the first
 // analysis starts. For campaign-scale collections this hides most of the
-// partitioning cost behind the engine work. The Result is identical to
-// Analyze's (flows ordered by packet ID). workers <= 0 selects GOMAXPROCS.
+// partitioning cost behind the engine work.
+//
+// Views are routed to workers by origin: all of an origin's packets land on
+// the same worker, which owns its run state, its output arena and its slice
+// of flows. The deterministic merge — concatenate the shards, sort by packet
+// ID — restores Partition's order, so the Result is identical to Analyze's.
+// workers <= 0 selects GOMAXPROCS.
 func (e *Engine) AnalyzeStream(c *event.Collection, workers int) *Result {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -79,22 +136,30 @@ func (e *Engine) AnalyzeStream(c *event.Collection, workers int) *Result {
 	if workers < 1 {
 		workers = 1
 	}
-	views := make(chan *event.PacketView, workers*8)
+	sizing := perWorker(e.streamSizing(c), workers)
+	shards := make([]chan *event.PacketView, workers)
 	parts := make([][]*flow.Flow, workers)
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
+		shards[w] = make(chan *event.PacketView, 64)
 		go func(w int) {
 			defer wg.Done()
+			r := new(run)
+			a := flow.NewArena(sizing)
 			var out []*flow.Flow
-			for v := range views {
-				out = append(out, e.AnalyzePacket(v))
+			for v := range shards[w] {
+				out = append(out, r.analyze(e, v, a))
 			}
 			parts[w] = out
 		}(w)
 	}
-	ops := event.StreamPartition(c, func(v *event.PacketView) { views <- v })
-	close(views)
+	ops := event.StreamPartition(c, func(v *event.PacketView) {
+		shards[shardOf(v.Packet.Origin, workers)] <- v
+	})
+	for _, ch := range shards {
+		close(ch)
+	}
 	wg.Wait()
 	total := 0
 	for _, p := range parts {
@@ -104,8 +169,9 @@ func (e *Engine) AnalyzeStream(c *event.Collection, workers int) *Result {
 	for _, p := range parts {
 		res.Flows = append(res.Flows, p...)
 	}
-	// Workers finish in nondeterministic order; restore Partition's
-	// packet-ID order so the Result matches Analyze bit for bit.
+	// Shards complete in nondeterministic relative order; restore
+	// Partition's packet-ID order so the Result matches Analyze bit for
+	// bit.
 	sort.Slice(res.Flows, func(i, j int) bool {
 		a, b := res.Flows[i].Packet, res.Flows[j].Packet
 		if a.Origin != b.Origin {
@@ -114,4 +180,24 @@ func (e *Engine) AnalyzeStream(c *event.Collection, workers int) *Result {
 		return a.Seq < b.Seq
 	})
 	return res
+}
+
+// streamSizing estimates arena geometry before any views exist: the
+// collection's total event count bounds the logged volume, and the inferred
+// share uses the same quarter-of-logged heuristic as flowSizing. View and
+// span counts are unknown mid-stream, so the flow/visit hints borrow the
+// partitioners' events/8 packet-count guess.
+func (e *Engine) streamSizing(c *event.Collection) flow.Sizing {
+	logged := c.TotalEvents()
+	inferred := 0
+	if !e.opts.DisableIntra || !e.opts.DisableInter {
+		inferred = logged/4 + 1
+	}
+	pkts := logged/8 + 1
+	return flow.Sizing{
+		Flows:     pkts,
+		Items:     logged + inferred,
+		Visits:    pkts * 2,
+		Anomalies: pkts/32 + 4,
+	}
 }

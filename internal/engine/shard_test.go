@@ -1,0 +1,112 @@
+package engine
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/event"
+)
+
+// buildManyOriginCampaign synthesizes a campaign whose packets spread over
+// many origins with very uneven per-origin volume (origin o emits ~o
+// packets), so the origin-sharded distribution exercises both the chunk
+// balancing of AnalyzeParallel and the hashed routing of AnalyzeStream,
+// including single hot origins that dwarf the chunk target.
+func buildManyOriginCampaign(origins int) *event.Collection {
+	rng := rand.New(rand.NewSource(7))
+	c := event.NewCollection()
+	sink := event.NodeID(900)
+	seq := uint32(0)
+	for o := 1; o <= origins; o++ {
+		origin := event.NodeID(o)
+		for p := 0; p < o; p++ {
+			seq++
+			pkt := event.PacketID{Origin: origin, Seq: seq}
+			t0 := int64(seq) * 50
+			emit := func(ev event.Event) {
+				if rng.Float64() > 0.25 {
+					c.Add(ev)
+				}
+			}
+			emit(event.Event{Node: origin, Type: event.Gen, Sender: origin, Packet: pkt, Time: t0})
+			emit(event.Event{Node: origin, Type: event.Trans, Sender: origin, Receiver: sink, Packet: pkt, Time: t0 + 1})
+			emit(event.Event{Node: origin, Type: event.AckRecvd, Sender: origin, Receiver: sink, Packet: pkt, Time: t0 + 2})
+			emit(event.Event{Node: sink, Type: event.Recv, Sender: origin, Receiver: sink, Packet: pkt, Time: t0 + 3})
+		}
+	}
+	return c
+}
+
+// TestShardedMergeDeterministic runs the origin-sharded parallel and stream
+// paths concurrently with themselves and pins every result to the serial
+// reconstruction — the -race regression test for the sharded merge: worker
+// arenas, worker-owned run state and the result merge must never share
+// memory across shards.
+func TestShardedMergeDeterministic(t *testing.T) {
+	eng, err := New(Options{Sink: 900})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := buildManyOriginCampaign(40)
+	serial := eng.Analyze(c)
+	if len(serial.Flows) == 0 {
+		t.Fatal("degenerate campaign")
+	}
+	// Origins must appear in ascending packet-ID order after the merge.
+	for i := 1; i < len(serial.Flows); i++ {
+		a, b := serial.Flows[i-1].Packet, serial.Flows[i].Packet
+		if a.Origin > b.Origin || (a.Origin == b.Origin && a.Seq >= b.Seq) {
+			t.Fatalf("serial flows out of packet-ID order at %d", i)
+		}
+	}
+	var wg sync.WaitGroup
+	for _, workers := range []int{2, 3, 7, 16} {
+		for rep := 0; rep < 3; rep++ {
+			wg.Add(2)
+			go func(w int) {
+				defer wg.Done()
+				got := eng.AnalyzeParallel(c, w)
+				if !reflect.DeepEqual(serial, got) {
+					t.Errorf("AnalyzeParallel(workers=%d) diverged from serial", w)
+				}
+			}(workers)
+			go func(w int) {
+				defer wg.Done()
+				got := eng.AnalyzeStream(c, w)
+				if !reflect.DeepEqual(serial, got) {
+					t.Errorf("AnalyzeStream(workers=%d) diverged from serial", w)
+				}
+			}(workers)
+		}
+	}
+	wg.Wait()
+}
+
+// TestOriginChunksNeverSplitOrigins pins the sharding invariant the parallel
+// path relies on: a chunk boundary always coincides with an origin boundary,
+// chunks tile the view slice exactly, and every view lands in some chunk.
+func TestOriginChunksNeverSplitOrigins(t *testing.T) {
+	c := buildManyOriginCampaign(25)
+	views, _ := event.Partition(c)
+	for _, want := range []int{1, 2, 5, 13, 64, 10_000} {
+		chunks := originChunks(views, want)
+		if len(chunks) == 0 {
+			t.Fatalf("want=%d: no chunks", want)
+		}
+		next := 0
+		for _, ch := range chunks {
+			if ch[0] != next || ch[1] <= ch[0] {
+				t.Fatalf("want=%d: chunk %v does not tile (next=%d)", want, ch, next)
+			}
+			if ch[0] > 0 && views[ch[0]-1].Packet.Origin == views[ch[0]].Packet.Origin {
+				t.Fatalf("want=%d: chunk %v splits origin %v", want, ch, views[ch[0]].Packet.Origin)
+			}
+			next = ch[1]
+		}
+		if next != len(views) {
+			t.Fatalf("want=%d: chunks cover %d of %d views", want, next, len(views))
+		}
+	}
+}

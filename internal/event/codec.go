@@ -23,25 +23,44 @@ import (
 // cmd/citysee emits and cmd/refill consumes, standing in for the NesC event
 // system's binary records.
 
+// appendNodeID appends n's text form (NodeID.String) without allocating.
+func appendNodeID(dst []byte, n NodeID) []byte {
+	switch n {
+	case NoNode:
+		return append(dst, '-')
+	case Server:
+		return append(dst, "server"...)
+	}
+	return strconv.AppendUint(dst, uint64(n), 10)
+}
+
+// AppendEvent appends one event in the text log format to dst and returns
+// the extended buffer — the allocation-free form of FormatEvent, for writers
+// that reuse one buffer across millions of events.
+func AppendEvent(dst []byte, e Event) []byte {
+	dst = appendNodeID(dst, e.Node)
+	dst = append(dst, ' ')
+	dst = append(dst, e.Type.String()...)
+	dst = append(dst, ' ')
+	dst = appendNodeID(dst, e.Sender)
+	dst = append(dst, ' ')
+	dst = appendNodeID(dst, e.Receiver)
+	dst = append(dst, ' ')
+	dst = appendNodeID(dst, e.Packet.Origin)
+	dst = append(dst, ':')
+	dst = strconv.AppendUint(dst, uint64(e.Packet.Seq), 10)
+	dst = append(dst, ' ')
+	dst = strconv.AppendInt(dst, e.Time, 10)
+	if e.Info != "" {
+		dst = append(dst, ' ')
+		dst = append(dst, e.Info...)
+	}
+	return dst
+}
+
 // FormatEvent renders one event in the text log format.
 func FormatEvent(e Event) string {
-	var b strings.Builder
-	b.WriteString(e.Node.String())
-	b.WriteByte(' ')
-	b.WriteString(e.Type.String())
-	b.WriteByte(' ')
-	b.WriteString(e.Sender.String())
-	b.WriteByte(' ')
-	b.WriteString(e.Receiver.String())
-	b.WriteByte(' ')
-	b.WriteString(e.Packet.String())
-	b.WriteByte(' ')
-	b.WriteString(strconv.FormatInt(e.Time, 10))
-	if e.Info != "" {
-		b.WriteByte(' ')
-		b.WriteString(e.Info)
-	}
-	return b.String()
+	return string(AppendEvent(nil, e))
 }
 
 // ParseEvent parses one line of the text log format.
@@ -79,19 +98,26 @@ func ParseEvent(line string) (Event, error) {
 }
 
 // WriteCollection writes all logs in the collection to w, node by node in
-// ascending node order, preserving per-node event order.
+// ascending node order, preserving per-node event order. One line buffer is
+// reused for every event (AppendEvent), so the write path allocates per
+// node, not per event.
 func WriteCollection(w io.Writer, c *Collection) error {
 	bw := bufio.NewWriter(w)
+	line := make([]byte, 0, 128)
 	for _, n := range c.Nodes() {
-		if _, err := fmt.Fprintf(bw, "# node %v (%d events)\n", n, c.Logs[n].Len()); err != nil {
+		line = append(line[:0], "# node "...)
+		line = appendNodeID(line, n)
+		line = append(line, " ("...)
+		line = strconv.AppendInt(line, int64(c.Logs[n].Len()), 10)
+		line = append(line, " events)\n"...)
+		if _, err := bw.Write(line); err != nil {
 			return err
 		}
 		b := c.Logs[n].Batch()
 		for i := 0; i < b.Len(); i++ {
-			if _, err := bw.WriteString(FormatEvent(b.At(i))); err != nil {
-				return err
-			}
-			if err := bw.WriteByte('\n'); err != nil {
+			line = AppendEvent(line[:0], b.At(i))
+			line = append(line, '\n')
+			if _, err := bw.Write(line); err != nil {
 				return err
 			}
 		}

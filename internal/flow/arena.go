@@ -1,0 +1,141 @@
+package flow
+
+import "repro/internal/event"
+
+// Arena backs the output of many flows — the Flow structs themselves and
+// their Items, Visits and Anomalies slices — in shared chunked columns,
+// mirroring the shared batch arena the partitioner uses on the input side.
+// Each committed flow is an exactly-sized span carved out of the current
+// chunk, so reconstructing a campaign performs a handful of chunk
+// allocations instead of several per packet, and the flow output occupies
+// long contiguous runs that the GC scans as a few objects.
+//
+// An Arena is NOT safe for concurrent use: the sharded analysis paths give
+// every worker its own arena, which also keeps each worker's output on
+// memory that worker touched (the NUMA posture ROADMAP asks for).
+//
+// All methods tolerate a nil receiver, which degrades to plain exact-sized
+// heap allocation — the engine funnels both its arena-backed and its
+// standalone (AnalyzePacket) paths through the same Build call.
+type Arena struct {
+	flows  column[Flow]
+	items  column[Item]
+	visits column[Visit]
+	anoms  column[Anomaly]
+}
+
+// Sizing seeds an Arena's first chunk per column. The hints come from
+// partition statistics: logged items are known exactly ahead of time,
+// inferred items are an estimate (see engine's sizing heuristic), and any
+// under-estimate is corrected by chunking — later chunks grow geometrically,
+// so a bad hint costs a few extra allocations, never correctness.
+type Sizing struct {
+	// Flows is the expected number of flows (the partition's view count).
+	Flows int
+	// Items is the expected total item count: known logged rows plus the
+	// estimated inferred volume.
+	Items int
+	// Visits is the expected total visit count (≈ per-view span count plus
+	// slack for rotation and prerequisite-driven silent nodes).
+	Visits int
+	// Anomalies is the expected total anomaly count (rare).
+	Anomalies int
+}
+
+// NewArena returns an arena whose first chunk per column is sized by s.
+// Zero hints fall back to modest defaults.
+func NewArena(s Sizing) *Arena {
+	a := &Arena{}
+	a.flows.next = chunkHint(s.Flows, 64)
+	a.items.next = chunkHint(s.Items, 256)
+	a.visits.next = chunkHint(s.Visits, 128)
+	a.anoms.next = chunkHint(s.Anomalies, 16)
+	return a
+}
+
+func chunkHint(hint, def int) int {
+	if hint > def {
+		return hint
+	}
+	return def
+}
+
+// column is one chunked slab: carve hands out exactly-sized spans of the
+// current chunk and allocates a fresh chunk when the remainder is too small.
+// Retired chunks are dropped — the flows carved from them keep them alive.
+// Chunks never reallocate in place, so previously carved spans stay valid.
+type column[T any] struct {
+	chunk []T
+	next  int // capacity of the next chunk
+}
+
+// carve returns a zeroed span of exactly n elements (cap clamped to n, so a
+// consumer appending to it copies out instead of clobbering its neighbor).
+func (c *column[T]) carve(n int) []T {
+	if n > cap(c.chunk)-len(c.chunk) {
+		size := c.next
+		if size < n {
+			size = n
+		}
+		c.chunk = make([]T, 0, size)
+		// Geometric refill growth: a low sizing hint costs O(log n)
+		// extra chunks, not O(n) — the "corrected by chunking" half of
+		// the sizing contract.
+		if c.next < size {
+			c.next = size
+		}
+		c.next *= 2
+	}
+	off := len(c.chunk)
+	c.chunk = c.chunk[:off+n]
+	return c.chunk[off : off+n : off+n]
+}
+
+// Build commits one reconstructed flow: the Flow struct and exact-size
+// copies of its items, visits and anomalies are carved from the arena
+// (or heap-allocated when a is nil), and the O(1) inferred counter is
+// installed. inferred must be the number of inferred entries in items.
+// Empty slices commit as nil on both paths, so arena-backed and standalone
+// flows stay deeply equal.
+func (a *Arena) Build(pkt event.PacketID, items []Item, visits []Visit, anoms []Anomaly, inferred int) *Flow {
+	var f *Flow
+	if a == nil {
+		f = new(Flow)
+	} else {
+		f = &a.flows.carve(1)[0]
+	}
+	f.Packet = pkt
+	if len(items) > 0 {
+		var dst []Item
+		if a == nil {
+			dst = make([]Item, len(items))
+		} else {
+			dst = a.items.carve(len(items))
+		}
+		copy(dst, items)
+		f.Items = dst
+	}
+	if len(visits) > 0 {
+		var dst []Visit
+		if a == nil {
+			dst = make([]Visit, len(visits))
+		} else {
+			dst = a.visits.carve(len(visits))
+		}
+		copy(dst, visits)
+		f.Visits = dst
+	}
+	if len(anoms) > 0 {
+		var dst []Anomaly
+		if a == nil {
+			dst = make([]Anomaly, len(anoms))
+		} else {
+			dst = a.anoms.carve(len(anoms))
+		}
+		copy(dst, anoms)
+		f.Anomalies = dst
+	}
+	f.inferred = int32(inferred)
+	f.counted = int32(len(items))
+	return f
+}

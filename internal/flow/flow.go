@@ -58,7 +58,10 @@ type Anomaly struct {
 	Reason string
 }
 
-// Flow is the reconstructed event flow for one packet.
+// Flow is the reconstructed event flow for one packet. Engine-produced flows
+// are spans into a shared flow.Arena (see Build); hand-assembled flows grow
+// their own slices through Append. Either way the public fields read the
+// same.
 type Flow struct {
 	Packet event.PacketID
 	Items  []Item
@@ -66,23 +69,40 @@ type Flow struct {
 	Visits []Visit
 	// Anomalies lists discarded or inconsistent inputs.
 	Anomalies []Anomaly
+	// inferred counts the Inferred entries among the first counted items,
+	// making InferredCount O(1) on the paths that build flows through
+	// Append or Arena.Build. Items mutated behind the struct's back are
+	// healed by a recount the next time the length disagrees.
+	inferred int32
+	counted  int32
 }
 
 // Append adds an item and returns its position.
 func (f *Flow) Append(it Item) int {
 	f.Items = append(f.Items, it)
+	if int(f.counted) == len(f.Items)-1 {
+		f.counted++
+		if it.Inferred {
+			f.inferred++
+		}
+	}
 	return len(f.Items) - 1
 }
 
-// InferredCount returns how many items were inferred.
+// InferredCount returns how many items were inferred. O(1) for flows built
+// via Append or the arena; a flow whose Items were assembled directly is
+// recounted once and cached.
 func (f *Flow) InferredCount() int {
-	n := 0
-	for _, it := range f.Items {
-		if it.Inferred {
-			n++
+	if int(f.counted) != len(f.Items) {
+		n := int32(0)
+		for _, it := range f.Items {
+			if it.Inferred {
+				n++
+			}
 		}
+		f.inferred, f.counted = n, int32(len(f.Items))
 	}
-	return n
+	return int(f.inferred)
 }
 
 // LoggedCount returns how many items came straight from the logs.

@@ -41,8 +41,12 @@
 //	)
 //	out := refill.AnalyzeStream(an, logs)
 //
-// Event storage is columnar (structure-of-arrays) internally; the facade
-// deals in plain Event values and the log formats are unchanged.
+// Event storage is columnar (structure-of-arrays) internally, and
+// reconstructed flows are spans into shared per-worker arenas rather than
+// individually allocated slices; the facade deals in plain Event and Flow
+// values and the log formats are unchanged. Parallel and streaming runs
+// shard the packet space by origin, so each worker owns its arena and run
+// state outright.
 package refill
 
 import (
