@@ -13,11 +13,13 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/diagnosis"
 	"repro/internal/engine"
 	"repro/internal/event"
 	"repro/internal/experiments"
 	"repro/internal/fsm"
 	"repro/internal/logging"
+	"repro/internal/sim"
 	"repro/internal/sim/dissem"
 	"repro/internal/workload"
 )
@@ -436,6 +438,59 @@ func BenchmarkFlowOutput(b *testing.B) {
 			}
 		}
 		b.ReportMetric(float64(len(views)), "flows")
+	})
+}
+
+// BenchmarkDiagnosis isolates the diagnosis layer on the shared campaign's
+// reconstructed flows. classify is one scratch-backed classifier pass over
+// every flow — steady-state it performs ZERO allocations, the tentpole
+// invariant benchguard pins (the scratch is warmed before the timer, since
+// the baseline runs at -benchtime 1x). build is the full serial diagnosis
+// (classification, outage application, one-pass aggregation) producing a
+// finished report; reads exercises every aggregate-backed figure read on a
+// prebuilt report. All three run serially, so allocs/op is deterministic.
+func BenchmarkDiagnosis(b *testing.B) {
+	c := benchCampaign(b)
+	flows := c.Out.Result.Flows
+	ops := c.Out.Result.Operational
+	end := int64(c.Res.Duration)
+	dayLen := int64(sim.Day)
+	days := int((end + dayLen - 1) / dayLen)
+	cfg := diagnosis.Config{Sink: c.Res.Sink, End: end, DayLen: dayLen, Days: days}
+	b.Run("classify", func(b *testing.B) {
+		cl := diagnosis.NewClassifier()
+		for _, f := range flows {
+			cl.Classify(f) // warm the scratch to its high-water mark
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, f := range flows {
+				cl.Classify(f)
+			}
+		}
+		b.ReportMetric(float64(len(flows)), "flows")
+	})
+	b.Run("build", func(b *testing.B) {
+		b.ReportAllocs()
+		var rep *diagnosis.Report
+		for i := 0; i < b.N; i++ {
+			rep = diagnosis.BuildConfig(flows, ops, cfg)
+		}
+		b.ReportMetric(float64(rep.LossCount()), "losses")
+	})
+	b.Run("reads", func(b *testing.B) {
+		rep := diagnosis.BuildConfig(flows, ops, cfg)
+		b.ReportAllocs()
+		b.ResetTimer()
+		var touched int
+		for i := 0; i < b.N; i++ {
+			touched = len(rep.Breakdown()) + len(rep.SourcePoints()) +
+				len(rep.PositionPoints()) + len(rep.DailyComposition(dayLen, days)) +
+				len(rep.LossesBySite(diagnosis.ReceivedLoss)) + len(rep.TopLossPositions(10)) +
+				rep.LoopCount()
+		}
+		b.ReportMetric(float64(touched), "touched")
 	})
 }
 

@@ -25,7 +25,7 @@
 // mismatch CI:
 //
 //	go test -run '^$' \
-//	    -bench '^(BenchmarkAnalyzeCampaign|BenchmarkAnalyzePacket|BenchmarkEngineChain|BenchmarkBinaryCodec|BenchmarkTableII|BenchmarkFlowOutput)$' \
+//	    -bench '^(BenchmarkAnalyzeCampaign|BenchmarkAnalyzePacket|BenchmarkEngineChain|BenchmarkBinaryCodec|BenchmarkTableII|BenchmarkFlowOutput|BenchmarkDiagnosis)$' \
 //	    -benchmem -benchtime 1x . > bench_baseline.txt
 package main
 

@@ -34,6 +34,7 @@ func main() {
 		clocks    = flag.Bool("clocks", false, "recover per-node clock offsets from the flows")
 		workers   = flag.Int("workers", 0, "reconstruction workers (0 serial, -1 all cores)")
 		stream    = flag.Bool("stream", false, "overlap partitioning with reconstruction (implies parallel workers)")
+		twoPass   = flag.Bool("two-pass", false, "diagnose in a separate pass after reconstruction (legacy pipeline; output is identical)")
 		prof      profiling.Flags
 	)
 	prof.Register(flag.CommandLine)
@@ -61,10 +62,17 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	opts := []refill.AnalyzerOption{
+		refill.WithParallelism(*workers),
+		refill.WithDailyBins(int64(sim.Day), *days),
+	}
+	if *twoPass {
+		opts = append(opts, refill.WithSeparateDiagnosis())
+	}
 	an, err := refill.NewAnalyzer(refill.AnalyzerOptions{
 		Sink: refill.NodeID(*sinkID),
 		End:  int64(*days) * int64(sim.Day),
-	}, refill.WithParallelism(*workers))
+	}, opts...)
 	if err != nil {
 		fatal(err)
 	}

@@ -46,6 +46,17 @@ type Options struct {
 	// Group is the node roster for group-prerequisite protocols
 	// (e.g. dissemination).
 	Group []event.NodeID
+	// DayLen/Days pre-bin the report's daily composition matrix at
+	// analysis time (Report.DailyComposition with matching arguments
+	// becomes a table read). Days == 0 leaves daily bins computed per call.
+	DayLen int64
+	Days   int
+	// SeparateDiagnosis forces the legacy two-pass pipeline: reconstruct
+	// every flow first, then diagnose them in a second pass. The default
+	// fused pipeline classifies each flow as its worker commits it;
+	// outputs are identical either way — this is an escape hatch for
+	// debugging and for measuring the fusion itself.
+	SeparateDiagnosis bool
 }
 
 // Option is a functional override applied on top of an Options struct by
@@ -61,6 +72,18 @@ func WithProtocol(p *fsm.Protocol) Option {
 // 0 serial, n>0 exactly n, n<0 GOMAXPROCS).
 func WithParallelism(workers int) Option {
 	return func(o *Options) { o.Parallelism = workers }
+}
+
+// WithDailyBins pre-bins the report's daily composition (Figure 6) at
+// analysis time: DailyComposition(dayLen, days) becomes a table read.
+func WithDailyBins(dayLen int64, days int) Option {
+	return func(o *Options) { o.DayLen, o.Days = dayLen, days }
+}
+
+// WithSeparateDiagnosis forces the legacy two-pass pipeline (reconstruct all
+// flows, then diagnose) instead of the fused per-worker classification.
+func WithSeparateDiagnosis() Option {
+	return func(o *Options) { o.SeparateDiagnosis = true }
 }
 
 // WithEngineOptions imports engine-level configuration — the escape hatch for
@@ -95,10 +118,13 @@ func WithEngineOptions(eo engine.Options) Option {
 
 // Analyzer is the ready-to-run REFILL pipeline.
 type Analyzer struct {
-	eng  *engine.Engine
-	sink event.NodeID
-	end  int64
-	par  int
+	eng      *engine.Engine
+	sink     event.NodeID
+	end      int64
+	par      int
+	dayLen   int64
+	days     int
+	separate bool
 }
 
 // NewAnalyzer validates options and builds the pipeline. Functional options
@@ -119,7 +145,10 @@ func NewAnalyzer(opts Options, extra ...Option) (*Analyzer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	return &Analyzer{eng: eng, sink: opts.Sink, end: opts.End, par: opts.Parallelism}, nil
+	return &Analyzer{
+		eng: eng, sink: opts.Sink, end: opts.End, par: opts.Parallelism,
+		dayLen: opts.DayLen, days: opts.Days, separate: opts.SeparateDiagnosis,
+	}, nil
 }
 
 // Output bundles everything one analysis produces.
@@ -140,38 +169,65 @@ func (o *Output) Flow(id event.PacketID) *flow.Flow {
 	return nil
 }
 
+// diagConfig is the analyzer's report-level configuration.
+func (a *Analyzer) diagConfig() diagnosis.Config {
+	return diagnosis.Config{Sink: a.sink, End: a.end, DayLen: a.dayLen, Days: a.days}
+}
+
 // Analyze runs the full pipeline over a collection of per-node logs, fanning
 // per-packet reconstruction out over Options.Parallelism workers (0 = serial).
-// Workers are sharded by packet origin, each owning its flow arena and run
-// state. Output is identical regardless of the worker count.
+// Workers are sharded by packet origin, each owning its flow arena, run state,
+// classifier scratch and diagnosis aggregate: flows are classified as they are
+// committed and the per-worker aggregates merge at the join (unless
+// Options.SeparateDiagnosis asks for the legacy second pass). Output is
+// identical regardless of the worker count and of the fusion switch.
 func (a *Analyzer) Analyze(c *event.Collection) *Output {
+	if a.separate {
+		var res *engine.Result
+		switch {
+		case a.par == 0:
+			res = a.eng.Analyze(c)
+		case a.par < 0:
+			res = a.eng.AnalyzeParallel(c, 0) // engine: <=0 selects GOMAXPROCS
+		default:
+			res = a.eng.AnalyzeParallel(c, a.par)
+		}
+		return a.output(res)
+	}
 	var res *engine.Result
+	var rep *diagnosis.Report
 	switch {
 	case a.par == 0:
-		res = a.eng.Analyze(c)
+		res, rep = a.eng.AnalyzeDiagnosed(c, a.diagConfig())
 	case a.par < 0:
-		res = a.eng.AnalyzeParallel(c, 0) // engine: <=0 selects GOMAXPROCS
+		res, rep = a.eng.AnalyzeParallelDiagnosed(c, 0, a.diagConfig())
 	default:
-		res = a.eng.AnalyzeParallel(c, a.par)
+		res, rep = a.eng.AnalyzeParallelDiagnosed(c, a.par, a.diagConfig())
 	}
-	return a.output(res)
+	return &Output{Result: res, Report: rep}
 }
 
 // AnalyzeStream runs the full pipeline with partitioning overlapped with
 // reconstruction (engine.AnalyzeStream): packet views are handed to workers
-// the moment the partitioning scan completes them. Output is identical to
-// Analyze's. Worker count follows Options.Parallelism, except that 0 selects
-// GOMAXPROCS — a serial stream would only add channel overhead.
+// the moment the partitioning scan completes them, and each worker classifies
+// its flows at commit time against the pre-scanned outage schedule. Output is
+// identical to Analyze's. Worker count follows Options.Parallelism, except
+// that 0 selects GOMAXPROCS — a serial stream would only add channel overhead.
 func (a *Analyzer) AnalyzeStream(c *event.Collection) *Output {
 	workers := a.par
 	if workers < 0 {
 		workers = 0
 	}
-	return a.output(a.eng.AnalyzeStream(c, workers))
+	if a.separate {
+		return a.output(a.eng.AnalyzeStream(c, workers))
+	}
+	res, rep := a.eng.AnalyzeStreamDiagnosed(c, workers, a.diagConfig())
+	return &Output{Result: res, Report: rep}
 }
 
+// output is the legacy second diagnosis pass over a finished reconstruction.
 func (a *Analyzer) output(res *engine.Result) *Output {
-	rep := diagnosis.Build(res.Flows, res.Operational, a.sink, a.end)
+	rep := diagnosis.BuildConfig(res.Flows, res.Operational, a.diagConfig())
 	return &Output{Result: res, Report: rep}
 }
 

@@ -1,0 +1,152 @@
+package diagnosis
+
+import "repro/internal/event"
+
+// nc is numCauses as a plain int for table arithmetic.
+const nc = int(numCauses)
+
+// Aggregate is the dense, mergeable one-pass reduction behind every Report
+// aggregation: cause breakdown, sink split, per-site loss counters, the
+// days×causes matrix, loop count, and the Figure 4/5 point sets. The fused
+// analysis paths give each worker one Aggregate and merge them at the join;
+// every counter is order-independent and the point slices are finished with a
+// total-order sort, so the merged result is identical to a serial build.
+//
+// An Aggregate is not safe for concurrent use.
+type Aggregate struct {
+	sink   event.NodeID
+	dayLen int64
+	days   int
+
+	total int
+	loops int
+	// byCause counts every outcome; atSink the subset located at the sink.
+	byCause [nc]int
+	atSink  [nc]int
+	// daily is the losses-only days×causes matrix (row-major, day*nc+cause),
+	// nil when the aggregate was built without daily bins.
+	daily []int
+	// site counts outcomes per (position, cause) for real nodes, row-major
+	// node*nc+cause, grown to the highest position seen. The Server
+	// pseudo-node (0xFFFFFFFE) would explode the dense table and gets its
+	// own row; NoNode positions are not site-attributable at all.
+	site       []int32
+	serverSite [nc]int
+	// srcPts / posPts collect the Figure 4 (origin-attributed) and Figure 5
+	// (position-attributed) loss points; finish() sorts them.
+	srcPts, posPts []Point
+}
+
+// NewAggregate returns an empty aggregate for a report rooted at sink.
+// dayLen/days pre-bin the daily composition matrix; days == 0 disables it
+// (DailyComposition then falls back to scanning the outcomes).
+func NewAggregate(sink event.NodeID, dayLen int64, days int) *Aggregate {
+	a := &Aggregate{sink: sink, dayLen: dayLen, days: days}
+	if days > 0 {
+		a.daily = make([]int, days*nc)
+	}
+	return a
+}
+
+// Add folds one outcome in. Outcomes must already be outage-adjusted
+// (ApplyOutages) — the aggregate records causes as given.
+func (a *Aggregate) Add(o Outcome) {
+	a.total++
+	a.byCause[o.Cause]++
+	if o.Loop {
+		a.loops++
+	}
+	if o.Position == a.sink {
+		a.atSink[o.Cause]++
+	}
+	if o.Position != event.NoNode {
+		if o.Position == event.Server {
+			a.serverSite[o.Cause]++
+		} else {
+			a.siteAt(o.Position, o.Cause)
+		}
+	}
+	if o.Cause == Delivered {
+		return
+	}
+	if a.daily != nil {
+		day := 0
+		if o.TimeValid && a.dayLen > 0 {
+			day = int(o.LossTime / a.dayLen)
+		}
+		if day < 0 {
+			day = 0
+		}
+		if day >= a.days {
+			day = a.days - 1
+		}
+		a.daily[day*nc+int(o.Cause)]++
+	}
+	if o.TimeValid {
+		a.srcPts = append(a.srcPts, Point{Time: o.LossTime, Node: o.Packet.Origin, Cause: o.Cause})
+		if o.Position != event.NoNode {
+			a.posPts = append(a.posPts, Point{Time: o.LossTime, Node: o.Position, Cause: o.Cause})
+		}
+	}
+}
+
+// siteAt bumps the (node, cause) cell, growing the dense table to cover the
+// node. Growth doubles capacity so ascending node IDs stay amortized O(1).
+func (a *Aggregate) siteAt(n event.NodeID, c Cause) {
+	need := (int(n) + 1) * nc
+	if need > len(a.site) {
+		if need <= cap(a.site) {
+			a.site = a.site[:need]
+		} else {
+			grown := make([]int32, need, 2*need)
+			copy(grown, a.site)
+			a.site = grown
+		}
+	}
+	a.site[int(n)*nc+int(c)]++
+}
+
+// Merge folds b into a. Both sides must share the same sink and daily-bin
+// configuration (the fused paths construct every worker's aggregate from one
+// config); b is left untouched.
+func (a *Aggregate) Merge(b *Aggregate) {
+	a.total += b.total
+	a.loops += b.loops
+	for i := 0; i < nc; i++ {
+		a.byCause[i] += b.byCause[i]
+		a.atSink[i] += b.atSink[i]
+		a.serverSite[i] += b.serverSite[i]
+	}
+	if len(b.site) > len(a.site) {
+		if len(b.site) <= cap(a.site) {
+			a.site = a.site[:len(b.site)]
+		} else {
+			grown := make([]int32, len(b.site), 2*len(b.site))
+			copy(grown, a.site)
+			a.site = grown
+		}
+	}
+	for i, v := range b.site {
+		a.site[i] += v
+	}
+	if len(b.daily) > len(a.daily) {
+		grown := make([]int, len(b.daily))
+		copy(grown, a.daily)
+		a.daily = grown
+	}
+	for i, v := range b.daily {
+		a.daily[i] += v
+	}
+	a.srcPts = append(a.srcPts, b.srcPts...)
+	a.posPts = append(a.posPts, b.posPts...)
+}
+
+// finish sorts the point sets into their presentation order. Called once by
+// the report constructors after all Adds/Merges.
+func (a *Aggregate) finish() {
+	sortPoints(a.srcPts)
+	sortPoints(a.posPts)
+}
+
+// losses is the number of non-Delivered outcomes.
+func (a *Aggregate) losses() int { return a.total - a.byCause[Delivered] }

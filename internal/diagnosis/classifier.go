@@ -1,0 +1,316 @@
+package diagnosis
+
+import (
+	"sync"
+
+	"repro/internal/event"
+	"repro/internal/flow"
+	"repro/internal/fsm"
+)
+
+// Classifier diagnoses flows with reusable per-flow scratch: the per-hop
+// reception/transmission count table, the custody path, and the dense
+// state-predicate tables are rebuilt in place, so Classify allocates nothing
+// in steady state. A Classifier is not safe for concurrent use — the fused
+// analysis paths give each worker its own; the package-level Classify wraps a
+// pool for one-off callers.
+//
+// State predicates (live, sent-reaching, drop cause) are dense arrays indexed
+// by the interned fsm.StateIndex each visit carries, replacing the historical
+// map[string]bool probes. Visits without an index (hand-assembled in tests)
+// fall back to resolving the state name; names outside the tables read as
+// "no predicate", exactly like the old map misses.
+type Classifier struct {
+	// Dense predicate tables indexed by fsm.StateIndex. drop uses
+	// Delivered (the zero Cause, never a drop cause) as the "not a drop
+	// state" sentinel.
+	live      []bool
+	sentReach []bool
+	drop      []Cause
+
+	// Canonical indexes the classification rules compare against.
+	idxSent, idxReceived, idxHas fsm.StateIndex
+	idxQueued, idxDispatched     fsm.StateIndex
+	idxTimedOut                  fsm.StateIndex
+
+	// Per-flow scratch, truncated (not freed) between flows.
+	hops []hopStat
+	path []event.NodeID
+	loop bool
+}
+
+// hopStat accumulates one (sender, receiver) hop's evidence: receptions
+// logged or inferred on the hop, sent-reaching visits that transmitted over
+// it, and whether the hop has carried the packet (the Path traversal rule).
+type hopStat struct {
+	s, r       event.NodeID
+	recv, sent int32
+	traversed  bool
+}
+
+// liveStateNames are engine states meaning "the node still holds the packet".
+var liveStateNames = []string{
+	fsm.StateHas, fsm.StateReceived, fsm.StateQueued, fsm.StateDispatched, fsm.StateSent,
+}
+
+// sentReachingNames are states that imply the visit transmitted at least once.
+var sentReachingNames = []string{fsm.StateSent, fsm.StateAcked, fsm.StateTimedOut}
+
+// dropCauseNames maps terminal drop states to causes.
+var dropCauseNames = map[string]Cause{
+	fsm.StateTimedOut: TimeoutLoss,
+	fsm.StateDupDrop:  DupLoss,
+	fsm.StateOverflow: OverflowLoss,
+}
+
+// NewClassifier builds a classifier with predicate tables covering every
+// state name interned so far (the canonical protocol states are always
+// registered; later-interned foreign names read as predicate-less).
+func NewClassifier() *Classifier {
+	n := fsm.NumStateIndexes()
+	c := &Classifier{
+		live:          make([]bool, n),
+		sentReach:     make([]bool, n),
+		drop:          make([]Cause, n),
+		idxSent:       fsm.LookupStateIndex(fsm.StateSent),
+		idxReceived:   fsm.LookupStateIndex(fsm.StateReceived),
+		idxHas:        fsm.LookupStateIndex(fsm.StateHas),
+		idxQueued:     fsm.LookupStateIndex(fsm.StateQueued),
+		idxDispatched: fsm.LookupStateIndex(fsm.StateDispatched),
+		idxTimedOut:   fsm.LookupStateIndex(fsm.StateTimedOut),
+	}
+	for _, name := range liveStateNames {
+		c.live[fsm.LookupStateIndex(name)] = true
+	}
+	for _, name := range sentReachingNames {
+		c.sentReach[fsm.LookupStateIndex(name)] = true
+	}
+	//refill:allow maprange — writes into a dense table; no ordered output
+	for name, cause := range dropCauseNames {
+		c.drop[fsm.LookupStateIndex(name)] = cause
+	}
+	return c
+}
+
+// stateIdx resolves a visit's interned state index, falling back to the name
+// for hand-assembled visits that carry none.
+func (c *Classifier) stateIdx(v *flow.Visit) fsm.StateIndex {
+	if v.StateIdx != fsm.NoStateIndex {
+		return v.StateIdx
+	}
+	return fsm.LookupStateIndex(v.State)
+}
+
+func (c *Classifier) isLive(i fsm.StateIndex) bool {
+	return i > 0 && int(i) < len(c.live) && c.live[i]
+}
+
+func (c *Classifier) isSentReaching(i fsm.StateIndex) bool {
+	return i > 0 && int(i) < len(c.sentReach) && c.sentReach[i]
+}
+
+// dropOf returns the drop cause for a state index, Delivered when the state
+// is not a terminal drop.
+func (c *Classifier) dropOf(i fsm.StateIndex) Cause {
+	if i > 0 && int(i) < len(c.drop) {
+		return c.drop[i]
+	}
+	return Delivered
+}
+
+// hop returns the stat record for (s, r), materializing it on first touch.
+// Flows cross a handful of hops, so linear search beats any map.
+func (c *Classifier) hop(s, r event.NodeID) *hopStat {
+	for i := range c.hops {
+		if c.hops[i].s == s && c.hops[i].r == r {
+			return &c.hops[i]
+		}
+	}
+	c.hops = append(c.hops, hopStat{s: s, r: r})
+	return &c.hops[len(c.hops)-1]
+}
+
+// hopTraversed reads the traversal flag without materializing the hop.
+func (c *Classifier) hopTraversed(s, r event.NodeID) bool {
+	for i := range c.hops {
+		if c.hops[i].s == s && c.hops[i].r == r {
+			return c.hops[i].traversed
+		}
+	}
+	return false
+}
+
+// pushPath appends a node to the custody path (consecutive duplicates
+// collapsed), flagging a loop when the node already appears earlier — the
+// in-place equivalent of flow.Path + flow.HasLoop.
+func (c *Classifier) pushPath(n event.NodeID) {
+	if n == event.NoNode || (len(c.path) > 0 && c.path[len(c.path)-1] == n) {
+		return
+	}
+	for _, p := range c.path {
+		if p == n {
+			c.loop = true
+			break
+		}
+	}
+	c.path = append(c.path, n)
+}
+
+// lastIdx returns the last position of n in the path, -1 if absent.
+func (c *Classifier) lastIdx(n event.NodeID) int {
+	for i := len(c.path) - 1; i >= 0; i-- {
+		if c.path[i] == n {
+			return i
+		}
+	}
+	return -1
+}
+
+// arrival handles receiver-side custody exactly like flow.Path: forward
+// progress when the receiver is new; a loop return only when the sender
+// demonstrably sits downstream of the receiver's earlier appearance.
+func (c *Classifier) arrival(s, r event.NodeID) {
+	ri := c.lastIdx(r)
+	if ri < 0 {
+		c.pushPath(r)
+		return
+	}
+	if si := c.lastIdx(s); si >= 0 && si > ri {
+		c.pushPath(r) // genuine loop closure
+	}
+}
+
+// Classify diagnoses a single reconstructed flow without outage knowledge,
+// with the same case analysis as the package-level Classify (whose rules it
+// implements; see that doc comment): one pass over the items builds the loss
+// time, the delivery verdict, the per-hop reception counts and the custody
+// path, then two passes over the visit summaries pick the packet's frontier.
+func (c *Classifier) Classify(f *flow.Flow) Outcome {
+	out := Outcome{Packet: f.Packet, Cause: Unknown, Position: event.NoNode, Toward: event.NoNode}
+	c.hops = c.hops[:0]
+	c.path = c.path[:0]
+	c.loop = false
+
+	delivered := false
+	var lastT int64
+	anyLogged := false
+	c.pushPath(f.Packet.Origin)
+	for i := range f.Items {
+		e := &f.Items[i].Event
+		if !f.Items[i].Inferred && e.Time >= lastT {
+			lastT = e.Time
+			anyLogged = true
+		}
+		switch e.Type {
+		case event.Gen, event.Enqueue, event.Dequeue:
+			c.pushPath(e.Sender)
+		case event.Recv, event.ServerRecv, event.Dup, event.Overflow:
+			if e.Type == event.ServerRecv {
+				delivered = true
+			}
+			h := c.hop(e.Sender, e.Receiver)
+			if e.Type != event.ServerRecv {
+				h.recv++
+			}
+			first := !h.traversed
+			h.traversed = true
+			if first || e.Type == event.Recv || e.Type == event.ServerRecv {
+				c.arrival(e.Sender, e.Receiver)
+			}
+		case event.Trans:
+			if !c.hopTraversed(e.Sender, e.Receiver) {
+				c.pushPath(e.Sender)
+			}
+		}
+	}
+	out.LossTime, out.TimeValid = lastT, anyLogged
+	out.Loop = c.loop
+	if delivered {
+		out.Cause = Delivered
+		out.Position = event.Server
+		return out
+	}
+
+	// Count sent-reaching visits per hop, so a visit stuck at Sent whose
+	// transmissions all demonstrably arrived can be recognized as
+	// superseded (the sender merely lost its ack log).
+	for i := range f.Visits {
+		v := &f.Visits[i]
+		if v.Peer != event.NoNode && c.isSentReaching(c.stateIdx(v)) {
+			c.hop(v.Node, v.Peer).sent++
+		}
+	}
+
+	var lastLive, lastDrop *flow.Visit
+	for i := range f.Visits {
+		v := &f.Visits[i]
+		si := c.stateIdx(v)
+		if c.isLive(si) {
+			if si == c.idxSent && v.Peer != event.NoNode {
+				if h := c.hop(v.Node, v.Peer); h.recv >= h.sent {
+					continue // superseded: the frontier is downstream
+				}
+			}
+			if lastLive == nil || v.LastPos > lastLive.LastPos {
+				lastLive = v
+			}
+		} else if c.dropOf(si) != Delivered {
+			if lastDrop == nil || v.LastPos > lastDrop.LastPos {
+				lastDrop = v
+			}
+		}
+	}
+	switch {
+	case lastLive != nil:
+		out.Position = lastLive.Node
+		switch si := c.stateIdx(lastLive); si {
+		case c.idxSent:
+			out.Cause = TransitLoss
+			out.Toward = lastLive.Peer
+		case c.idxReceived:
+			if lastLive.RecvInferred {
+				out.Cause = AckedLoss
+			} else {
+				out.Cause = ReceivedLoss
+			}
+		case c.idxHas, c.idxQueued, c.idxDispatched:
+			// Held inside the node (generated or queued) and never
+			// transmitted onward: an in-node loss.
+			out.Cause = ReceivedLoss
+		}
+	case lastDrop != nil:
+		si := c.stateIdx(lastDrop)
+		out.Position = lastDrop.Node
+		out.Cause = c.dropOf(si)
+		if si == c.idxTimedOut {
+			out.Toward = lastDrop.Peer
+		}
+	}
+	return out
+}
+
+var classifierPool = sync.Pool{New: func() any { return NewClassifier() }}
+
+// Classify diagnoses a single reconstructed flow without outage knowledge
+// (see Report for the outage-aware pipeline).
+//
+// The rules follow Section IV-C's case analyses:
+//   - a delivered packet (server record) is Delivered;
+//   - otherwise the LATEST live visit (a node still holding the packet)
+//     locates the loss: Sent means the packet vanished in transit; Received
+//     means it died inside the node — an AckedLoss when the reception itself
+//     had to be inferred from the sender's ACK, a ReceivedLoss when logged;
+//   - with no live visit, the latest terminal drop (timeout, duplicate,
+//     overflow) is the cause;
+//   - with no visits at all the flow is Unknown.
+//
+// A visit stuck at Sent whose transmission demonstrably arrived (the flow
+// carries a matching reception for every Sent-reaching visit on that hop) is
+// superseded: the sender merely never learned — its ack log was lost — and
+// the packet's real frontier is downstream.
+func Classify(f *flow.Flow) Outcome {
+	c := classifierPool.Get().(*Classifier)
+	out := c.Classify(f)
+	classifierPool.Put(c)
+	return out
+}

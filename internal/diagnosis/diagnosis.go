@@ -6,10 +6,9 @@ package diagnosis
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/event"
-	"repro/internal/flow"
-	"repro/internal/fsm"
 )
 
 // Cause is the packet-loss taxonomy of Section V-C.
@@ -65,14 +64,18 @@ func (c Cause) String() string {
 	return fmt.Sprintf("cause(%d)", uint8(c))
 }
 
-// Causes lists every cause in presentation order.
-func Causes() []Cause {
+// allCauses is the precomputed presentation-order cause list.
+var allCauses = func() []Cause {
 	out := make([]Cause, numCauses)
 	for i := range out {
 		out[i] = Cause(i)
 	}
 	return out
-}
+}()
+
+// Causes lists every cause in presentation order. The returned slice is
+// shared — treat it as read-only.
+func Causes() []Cause { return allCauses }
 
 // Outcome is the diagnosis of one packet.
 type Outcome struct {
@@ -93,119 +96,6 @@ type Outcome struct {
 	Loop bool
 }
 
-// liveStates are engine states meaning "the node still holds the packet".
-var liveStates = map[string]bool{
-	fsm.StateHas:        true,
-	fsm.StateReceived:   true,
-	fsm.StateQueued:     true,
-	fsm.StateDispatched: true,
-	fsm.StateSent:       true,
-}
-
-// sentReaching are states that imply the visit transmitted at least once.
-var sentReaching = map[string]bool{
-	fsm.StateSent:     true,
-	fsm.StateAcked:    true,
-	fsm.StateTimedOut: true,
-}
-
-// dropCause maps terminal drop states to causes.
-var dropCause = map[string]Cause{
-	fsm.StateTimedOut: TimeoutLoss,
-	fsm.StateDupDrop:  DupLoss,
-	fsm.StateOverflow: OverflowLoss,
-}
-
-// Classify diagnoses a single reconstructed flow without outage knowledge
-// (see Report for the outage-aware pipeline).
-//
-// The rules follow Section IV-C's case analyses:
-//   - a delivered packet (server record) is Delivered;
-//   - otherwise the LATEST live visit (a node still holding the packet)
-//     locates the loss: Sent means the packet vanished in transit; Received
-//     means it died inside the node — an AckedLoss when the reception itself
-//     had to be inferred from the sender's ACK, a ReceivedLoss when logged;
-//   - with no live visit, the latest terminal drop (timeout, duplicate,
-//     overflow) is the cause;
-//   - with no visits at all the flow is Unknown.
-func Classify(f *flow.Flow) Outcome {
-	out := Outcome{Packet: f.Packet, Cause: Unknown, Position: event.NoNode, Toward: event.NoNode}
-	out.LossTime, out.TimeValid = f.LastLoggedTime()
-	out.Loop = f.HasLoop()
-	if f.Delivered() {
-		out.Cause = Delivered
-		out.Position = event.Server
-		return out
-	}
-	// A visit stuck at Sent whose transmission demonstrably arrived (the
-	// flow carries a matching reception for every Sent-reaching visit on
-	// that hop) is superseded: the sender merely never learned — its ack
-	// log was lost — and the packet's real frontier is downstream.
-	recvCount := make(map[[2]event.NodeID]int)
-	for _, it := range f.Items {
-		switch it.Event.Type {
-		case event.Recv, event.Dup, event.Overflow:
-			recvCount[[2]event.NodeID{it.Event.Sender, it.Event.Receiver}]++
-		}
-	}
-	sentVisits := make(map[[2]event.NodeID]int)
-	for _, v := range f.Visits {
-		if v.Peer != event.NoNode && sentReaching[v.State] {
-			sentVisits[[2]event.NodeID{v.Node, v.Peer}]++
-		}
-	}
-	superseded := func(v *flow.Visit) bool {
-		if v.State != fsm.StateSent || v.Peer == event.NoNode {
-			return false
-		}
-		hop := [2]event.NodeID{v.Node, v.Peer}
-		return recvCount[hop] >= sentVisits[hop]
-	}
-
-	var lastLive, lastDrop *flow.Visit
-	for i := range f.Visits {
-		v := &f.Visits[i]
-		if liveStates[v.State] {
-			if superseded(v) {
-				continue
-			}
-			if lastLive == nil || v.LastPos > lastLive.LastPos {
-				lastLive = v
-			}
-		} else if _, isDrop := dropCause[v.State]; isDrop {
-			if lastDrop == nil || v.LastPos > lastDrop.LastPos {
-				lastDrop = v
-			}
-		}
-	}
-	switch {
-	case lastLive != nil:
-		out.Position = lastLive.Node
-		switch lastLive.State {
-		case fsm.StateSent:
-			out.Cause = TransitLoss
-			out.Toward = lastLive.Peer
-		case fsm.StateReceived:
-			if lastLive.RecvInferred {
-				out.Cause = AckedLoss
-			} else {
-				out.Cause = ReceivedLoss
-			}
-		case fsm.StateHas, fsm.StateQueued, fsm.StateDispatched:
-			// Held inside the node (generated or queued) and never
-			// transmitted onward: an in-node loss.
-			out.Cause = ReceivedLoss
-		}
-	case lastDrop != nil:
-		out.Position = lastDrop.Node
-		out.Cause = dropCause[lastDrop.State]
-		if lastDrop.State == fsm.StateTimedOut {
-			out.Toward = lastDrop.Peer
-		}
-	}
-	return out
-}
-
 // Window is a half-open interval [Start, End) of microseconds.
 type Window struct {
 	Start, End int64
@@ -216,21 +106,60 @@ func (w Window) Covers(t int64) bool { return t >= w.Start && t < w.End }
 
 // OutageSchedule is the set of base-station outage windows, reconstructed
 // from the server's operational log (sdown/sup events).
+//
+// Covers assumes the canonical form — sorted by Start, non-overlapping —
+// which OutagesFromOperational always produces; call Normalize on
+// hand-assembled schedules before querying them.
 type OutageSchedule []Window
 
-// Covers reports whether any window covers t.
+// Covers reports whether any window covers t. Binary search over the
+// canonical (sorted, non-overlapping) window list: only the last window
+// starting at or before t can cover it.
 func (s OutageSchedule) Covers(t int64) bool {
-	for _, w := range s {
-		if w.Covers(t) {
-			return true
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid].Start > t {
+			hi = mid
+		} else {
+			lo = mid + 1
 		}
 	}
-	return false
+	return lo > 0 && t < s[lo-1].End
+}
+
+// Normalize sorts the windows by start time and merges overlapping or
+// adjacent ones, returning the canonical schedule Covers requires. The
+// receiver's backing array is reused; empty and single-window schedules are
+// returned as-is.
+func (s OutageSchedule) Normalize() OutageSchedule {
+	if len(s) < 2 {
+		return s
+	}
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].Start != s[j].Start {
+			return s[i].Start < s[j].Start
+		}
+		return s[i].End < s[j].End
+	})
+	out := s[:1]
+	for _, w := range s[1:] {
+		last := &out[len(out)-1]
+		if w.Start <= last.End {
+			if w.End > last.End {
+				last.End = w.End
+			}
+			continue
+		}
+		out = append(out, w)
+	}
+	return out
 }
 
 // OutagesFromOperational reconstructs the outage schedule from server
 // up/down events (ordered by time). A trailing down without an up extends to
-// end (pass the campaign end time).
+// end (pass the campaign end time). The result is canonical (sorted,
+// non-overlapping) even when the input ordering is not.
 func OutagesFromOperational(ops []event.Event, end int64) OutageSchedule {
 	var sched OutageSchedule
 	downAt := int64(-1)
@@ -252,7 +181,7 @@ func OutagesFromOperational(ops []event.Event, end int64) OutageSchedule {
 	if inOutage {
 		sched = append(sched, Window{Start: downAt, End: end})
 	}
-	return sched
+	return sched.Normalize()
 }
 
 // ApplyOutages reclassifies losses at the sink that fall inside an outage

@@ -1,0 +1,128 @@
+package diagnosis
+
+// Edge-case coverage for the canonical OutageSchedule form and the
+// binary-search Covers: Normalize must turn any hand-assembled window list
+// (unsorted, overlapping, adjacent, contained) into the sorted
+// non-overlapping form Covers assumes, and Covers must honor the half-open
+// [Start, End) boundaries at every window edge.
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/event"
+)
+
+func TestNormalizeUnsortedOverlapping(t *testing.T) {
+	s := OutageSchedule{{300, 400}, {100, 250}, {200, 260}, {50, 60}}
+	got := s.Normalize()
+	want := OutageSchedule{{50, 60}, {100, 260}, {300, 400}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Normalize = %v, want %v", got, want)
+	}
+	for _, c := range []struct {
+		t    int64
+		want bool
+	}{
+		{49, false}, {50, true}, {59, true}, {60, false},
+		{99, false}, {100, true}, {199, true}, {255, true}, {259, true}, {260, false},
+		{299, false}, {300, true}, {399, true}, {400, false},
+	} {
+		if got.Covers(c.t) != c.want {
+			t.Errorf("Covers(%d) = %v, want %v", c.t, !c.want, c.want)
+		}
+	}
+}
+
+func TestNormalizeAdjacentAndContained(t *testing.T) {
+	// Adjacent windows merge (End is exclusive, so [100,200)+[200,300) is
+	// one continuous outage).
+	got := OutageSchedule{{200, 300}, {100, 200}}.Normalize()
+	if !reflect.DeepEqual(got, OutageSchedule{{100, 300}}) {
+		t.Errorf("adjacent merge = %v", got)
+	}
+	// A window fully inside another disappears.
+	got = OutageSchedule{{100, 500}, {200, 300}}.Normalize()
+	if !reflect.DeepEqual(got, OutageSchedule{{100, 500}}) {
+		t.Errorf("contained merge = %v", got)
+	}
+	// Duplicates collapse.
+	got = OutageSchedule{{10, 20}, {10, 20}}.Normalize()
+	if !reflect.DeepEqual(got, OutageSchedule{{10, 20}}) {
+		t.Errorf("duplicate merge = %v", got)
+	}
+}
+
+func TestCoversEmptyAndSingle(t *testing.T) {
+	var empty OutageSchedule
+	if empty.Covers(0) || empty.Covers(-1) || empty.Covers(1<<40) {
+		t.Error("empty schedule covers something")
+	}
+	one := OutageSchedule{{10, 20}}
+	for _, c := range []struct {
+		t    int64
+		want bool
+	}{{-5, false}, {9, false}, {10, true}, {19, true}, {20, false}, {21, false}} {
+		if one.Covers(c.t) != c.want {
+			t.Errorf("Covers(%d) = %v, want %v", c.t, !c.want, c.want)
+		}
+	}
+}
+
+// TestCoversAgainstLinearScan cross-checks the binary search against the
+// obvious linear implementation over many windows and every boundary.
+func TestCoversAgainstLinearScan(t *testing.T) {
+	var s OutageSchedule
+	for i := 0; i < 500; i++ {
+		s = append(s, Window{Start: int64(i * 100), End: int64(i*100 + 50)})
+	}
+	linear := func(tt int64) bool {
+		for _, w := range s {
+			if w.Covers(tt) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, base := range []int64{0, 100, 4900, 24900, 49900} {
+		for _, off := range []int64{-1, 0, 1, 49, 50, 51, 99} {
+			tt := base + off
+			if got, want := s.Covers(tt), linear(tt); got != want {
+				t.Errorf("Covers(%d) = %v, want %v", tt, got, want)
+			}
+		}
+	}
+}
+
+// TestOutagesFromOperationalUnsortedOps feeds up/down pairs out of time
+// order; the schedule must still come out canonical.
+func TestOutagesFromOperationalUnsortedOps(t *testing.T) {
+	ops := []event.Event{
+		{Node: event.Server, Type: event.ServerDown, Time: 500},
+		{Node: event.Server, Type: event.ServerUp, Time: 600},
+		{Node: event.Server, Type: event.ServerDown, Time: 100},
+		{Node: event.Server, Type: event.ServerUp, Time: 200},
+	}
+	sched := OutagesFromOperational(ops, 900)
+	want := OutageSchedule{{100, 200}, {500, 600}}
+	if !reflect.DeepEqual(sched, want) {
+		t.Fatalf("schedule = %v, want %v", sched, want)
+	}
+}
+
+// TestOutagesTrailingOpenWindow pins the bound-by-end behavior: a down with
+// no matching up extends to the campaign end, and a leading up with no
+// preceding down is ignored.
+func TestOutagesTrailingOpenWindow(t *testing.T) {
+	ops := []event.Event{
+		{Node: event.Server, Type: event.ServerUp, Time: 50},
+		{Node: event.Server, Type: event.ServerDown, Time: 100},
+	}
+	sched := OutagesFromOperational(ops, 900)
+	if !reflect.DeepEqual(sched, OutageSchedule{{100, 900}}) {
+		t.Fatalf("schedule = %v", sched)
+	}
+	if !sched.Covers(899) || sched.Covers(900) {
+		t.Error("trailing window boundary wrong")
+	}
+}

@@ -8,44 +8,98 @@ import (
 )
 
 // Report aggregates per-packet outcomes into the figure-level views of the
-// paper's evaluation.
+// paper's evaluation. Every aggregation method is a cheap read over a dense
+// Aggregate built in one pass; Build and the fused engine paths populate it
+// at classification time, and hand-assembled reports (public fields only) get
+// it built lazily on first read — so the first aggregation call on such a
+// report is not safe to race, while pipeline-built reports stay read-only.
 type Report struct {
 	Sink     event.NodeID
 	Outages  OutageSchedule
 	Outcomes []Outcome
+
+	agg *Aggregate
+}
+
+// Config bundles the report-level knobs of a diagnosis build: the sink, the
+// campaign end (bounding a trailing open outage window), and the optional
+// daily-bin geometry for DailyComposition.
+type Config struct {
+	Sink event.NodeID
+	End  int64
+	// DayLen/Days pre-bin the daily composition matrix at build time;
+	// Days == 0 leaves DailyComposition computing its bins per call.
+	DayLen int64
+	Days   int
 }
 
 // Build classifies every flow, reconstructing the outage schedule from the
 // operational events and applying it. end bounds a trailing open outage.
 func Build(flows []*flow.Flow, ops []event.Event, sink event.NodeID, end int64) *Report {
-	r := &Report{Sink: sink, Outages: OutagesFromOperational(ops, end)}
-	r.Outcomes = make([]Outcome, 0, len(flows))
+	return BuildConfig(flows, ops, Config{Sink: sink, End: end})
+}
+
+// BuildConfig is Build with the full Config: one classifier's scratch serves
+// every flow and the aggregate is folded as outcomes are produced, so the
+// whole diagnosis performs O(1) allocations beyond the outcome slice itself.
+func BuildConfig(flows []*flow.Flow, ops []event.Event, cfg Config) *Report {
+	sched := OutagesFromOperational(ops, cfg.End)
+	cl := NewClassifier()
+	agg := NewAggregate(cfg.Sink, cfg.DayLen, cfg.Days)
+	outcomes := make([]Outcome, 0, len(flows))
 	for _, f := range flows {
-		out := ApplyOutages(Classify(f), r.Outages, sink)
-		r.Outcomes = append(r.Outcomes, out)
+		o := ApplyOutages(cl.Classify(f), sched, cfg.Sink)
+		agg.Add(o)
+		outcomes = append(outcomes, o)
 	}
-	return r
+	return FromParts(cfg.Sink, sched, outcomes, agg)
+}
+
+// FromParts assembles a report from pre-classified outcomes — the join step
+// of the fused per-worker analysis paths. agg must cover exactly the given
+// outcomes (or be nil, in which case it is rebuilt lazily on first
+// aggregation read); FromParts finishes it, so workers only Add and Merge.
+func FromParts(sink event.NodeID, outages OutageSchedule, outcomes []Outcome, agg *Aggregate) *Report {
+	if agg != nil {
+		agg.finish()
+	}
+	return &Report{Sink: sink, Outages: outages, Outcomes: outcomes, agg: agg}
+}
+
+// aggregate returns the report's dense aggregate, building it when the
+// report was hand-assembled and healing it when Outcomes was re-sliced
+// behind the report's back (the length disagreeing is the tell).
+func (r *Report) aggregate() *Aggregate {
+	if r.agg == nil || r.agg.total != len(r.Outcomes) {
+		dayLen, days := int64(0), 0
+		if r.agg != nil {
+			dayLen, days = r.agg.dayLen, r.agg.days
+		}
+		a := NewAggregate(r.Sink, dayLen, days)
+		for _, o := range r.Outcomes {
+			a.Add(o)
+		}
+		a.finish()
+		r.agg = a
+	}
+	return r.agg
 }
 
 // Total returns the number of diagnosed packets.
 func (r *Report) Total() int { return len(r.Outcomes) }
 
 // LossCount returns the number of packets that did not reach the server.
-func (r *Report) LossCount() int {
-	n := 0
-	for _, o := range r.Outcomes {
-		if o.Cause != Delivered {
-			n++
-		}
-	}
-	return n
-}
+func (r *Report) LossCount() int { return r.aggregate().losses() }
 
-// Breakdown counts outcomes per cause (Figure 9 / Section V-C).
+// Breakdown counts outcomes per cause (Figure 9 / Section V-C). Causes with
+// no outcomes are absent from the map, matching a direct tally.
 func (r *Report) Breakdown() map[Cause]int {
-	m := make(map[Cause]int)
-	for _, o := range r.Outcomes {
-		m[o.Cause]++
+	a := r.aggregate()
+	m := make(map[Cause]int, nc)
+	for c, n := range a.byCause {
+		if n > 0 {
+			m[Cause(c)] = n
+		}
 	}
 	return m
 }
@@ -53,11 +107,12 @@ func (r *Report) Breakdown() map[Cause]int {
 // LossFraction returns cause's share of all LOST packets (the paper's
 // percentages are fractions of losses, not of traffic).
 func (r *Report) LossFraction(c Cause) float64 {
-	losses := r.LossCount()
+	a := r.aggregate()
+	losses := a.losses()
 	if losses == 0 {
 		return 0
 	}
-	return float64(r.Breakdown()[c]) / float64(losses)
+	return float64(a.byCause[c]) / float64(losses)
 }
 
 // SinkSplit separates a cause's losses at the sink from those elsewhere —
@@ -68,18 +123,8 @@ type SinkSplit struct {
 
 // SplitBySink computes the sink/elsewhere split for a cause.
 func (r *Report) SplitBySink(c Cause) SinkSplit {
-	var s SinkSplit
-	for _, o := range r.Outcomes {
-		if o.Cause != c {
-			continue
-		}
-		if o.Position == r.Sink {
-			s.AtSink++
-		} else {
-			s.Elsewhere++
-		}
-	}
-	return s
+	a := r.aggregate()
+	return SinkSplit{AtSink: a.atSink[c], Elsewhere: a.byCause[c] - a.atSink[c]}
 }
 
 // Point is one marker of the Figure 4/5 scatter plots: a lost packet at a
@@ -94,49 +139,60 @@ type Point struct {
 // packet is attributed to the node that generated it — the view available
 // from collected data alone, where "packets generated at different nodes have
 // a similar probability to get lost".
-func (r *Report) SourcePoints() []Point {
-	var pts []Point
-	for _, o := range r.Outcomes {
-		if o.Cause == Delivered || !o.TimeValid {
-			continue
-		}
-		pts = append(pts, Point{Time: o.LossTime, Node: o.Packet.Origin, Cause: o.Cause})
-	}
-	sortPoints(pts)
-	return pts
-}
+func (r *Report) SourcePoints() []Point { return copyPoints(r.aggregate().srcPts) }
 
 // PositionPoints renders losses in the POSITION view of Figure 5: each lost
 // packet is attributed to the node REFILL located the loss at, revealing that
 // "loss positions are on a small portion of nodes".
-func (r *Report) PositionPoints() []Point {
-	var pts []Point
-	for _, o := range r.Outcomes {
-		if o.Cause == Delivered || !o.TimeValid || o.Position == event.NoNode {
-			continue
-		}
-		pts = append(pts, Point{Time: o.LossTime, Node: o.Position, Cause: o.Cause})
+func (r *Report) PositionPoints() []Point { return copyPoints(r.aggregate().posPts) }
+
+// copyPoints hands callers their own slice of the cached, pre-sorted points
+// (nil for none, matching the historical append-built result).
+func copyPoints(pts []Point) []Point {
+	if len(pts) == 0 {
+		return nil
 	}
-	sortPoints(pts)
-	return pts
+	out := make([]Point, len(pts))
+	copy(out, pts)
+	return out
 }
 
+// sortPoints orders points by (Time, Node, Cause) — a TOTAL order over every
+// Point field, so any two sorts of the same multiset (one worker's outcomes
+// or several workers' merged ones) produce identical slices.
 func sortPoints(pts []Point) {
 	sort.Slice(pts, func(i, j int) bool {
 		if pts[i].Time != pts[j].Time {
 			return pts[i].Time < pts[j].Time
 		}
-		return pts[i].Node < pts[j].Node
+		if pts[i].Node != pts[j].Node {
+			return pts[i].Node < pts[j].Node
+		}
+		return pts[i].Cause < pts[j].Cause
 	})
 }
 
 // DailyComposition bins losses by day and cause (Figure 6). dayLen is the
 // day length in time units; days the campaign length. Packets without a
-// valid loss time are accumulated under day 0.
+// valid loss time are accumulated under day 0. When the report was built
+// with matching daily bins (Config.DayLen/Days) the pre-binned matrix is
+// read; otherwise the outcomes are scanned per call.
 func (r *Report) DailyComposition(dayLen int64, days int) []map[Cause]int {
 	out := make([]map[Cause]int, days)
 	for i := range out {
 		out[i] = make(map[Cause]int)
+	}
+	a := r.aggregate()
+	if a.daily != nil && a.dayLen == dayLen && a.days == days {
+		for d := 0; d < days; d++ {
+			row := a.daily[d*nc : (d+1)*nc]
+			for c, n := range row {
+				if n > 0 {
+					out[d][Cause(c)] = n
+				}
+			}
+		}
+		return out
 	}
 	for _, o := range r.Outcomes {
 		if o.Cause == Delivered {
@@ -160,25 +216,21 @@ func (r *Report) DailyComposition(dayLen int64, days int) []map[Cause]int {
 // LossesBySite counts losses of the given cause per loss position
 // (Figure 8 uses ReceivedLoss; the circle radius is the count).
 func (r *Report) LossesBySite(c Cause) map[event.NodeID]int {
+	a := r.aggregate()
 	m := make(map[event.NodeID]int)
-	for _, o := range r.Outcomes {
-		if o.Cause == c && o.Position != event.NoNode {
-			m[o.Position]++
+	for n := 0; n*nc+int(c) < len(a.site); n++ {
+		if cnt := a.site[n*nc+int(c)]; cnt > 0 {
+			m[event.NodeID(n)] = int(cnt)
 		}
+	}
+	if cnt := a.serverSite[c]; cnt > 0 {
+		m[event.Server] = cnt
 	}
 	return m
 }
 
 // LoopCount returns how many packets exhibited routing loops.
-func (r *Report) LoopCount() int {
-	n := 0
-	for _, o := range r.Outcomes {
-		if o.Loop {
-			n++
-		}
-	}
-	return n
-}
+func (r *Report) LoopCount() int { return r.aggregate().loops }
 
 // TopLossPositions returns the loss positions ordered by descending loss
 // count (ties by node ID), up to k entries — the "small portion of nodes
@@ -187,35 +239,43 @@ func (r *Report) TopLossPositions(k int) []struct {
 	Node  event.NodeID
 	Count int
 } {
-	m := make(map[event.NodeID]int)
-	for _, o := range r.Outcomes {
-		if o.Cause != Delivered && o.Position != event.NoNode {
-			m[o.Position]++
-		}
-	}
-	type nc struct {
+	a := r.aggregate()
+	var out []struct {
 		Node  event.NodeID
 		Count int
 	}
-	var all []nc
-	for n, c := range m {
-		all = append(all, nc{n, c})
-	}
-	sort.Slice(all, func(i, j int) bool {
-		if all[i].Count != all[j].Count {
-			return all[i].Count > all[j].Count
+	appendPos := func(n event.NodeID, count int) {
+		if count > 0 {
+			out = append(out, struct {
+				Node  event.NodeID
+				Count int
+			}{n, count})
 		}
-		return all[i].Node < all[j].Node
+	}
+	for n := 0; n*nc < len(a.site); n++ {
+		count := 0
+		for c := 0; c < nc; c++ {
+			if Cause(c) != Delivered {
+				count += int(a.site[n*nc+c])
+			}
+		}
+		appendPos(event.NodeID(n), count)
+	}
+	server := 0
+	for c := 0; c < nc; c++ {
+		if Cause(c) != Delivered {
+			server += a.serverSite[c]
+		}
+	}
+	appendPos(event.Server, server)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Node < out[j].Node
 	})
-	if len(all) > k {
-		all = all[:k]
-	}
-	out := make([]struct {
-		Node  event.NodeID
-		Count int
-	}, len(all))
-	for i, x := range all {
-		out[i].Node, out[i].Count = x.Node, x.Count
+	if len(out) > k {
+		out = out[:k]
 	}
 	return out
 }

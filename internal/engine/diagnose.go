@@ -1,0 +1,192 @@
+package engine
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/diagnosis"
+	"repro/internal/event"
+	"repro/internal/flow"
+)
+
+// Fused diagnosis: the analysis paths below classify each flow the moment its
+// worker commits it — while the flow's items and visits are still hot in that
+// worker's cache — and fold the outcome into a worker-owned
+// diagnosis.Aggregate. The outage schedule is reconstructed up front (the
+// operational events are either a Partition byproduct or one cheap column
+// scan), shared read-only across workers, and the per-worker aggregates merge
+// at the join. A campaign is therefore diagnosed with no second pass over the
+// flows and no cross-worker sharing; the resulting Report is identical to
+// running diagnosis.Build over the finished Result.
+
+// AnalyzeDiagnosed runs Analyze and the diagnosis in one fused serial pass:
+// one classifier's scratch serves every flow right after it is built.
+func (e *Engine) AnalyzeDiagnosed(c *event.Collection, cfg diagnosis.Config) (*Result, *diagnosis.Report) {
+	views, ops := event.Partition(c)
+	res := &Result{Operational: ops, Flows: make([]*flow.Flow, len(views))}
+	sched := diagnosis.OutagesFromOperational(ops, cfg.End)
+	outs := make([]diagnosis.Outcome, len(views))
+	cl := diagnosis.NewClassifier()
+	agg := diagnosis.NewAggregate(cfg.Sink, cfg.DayLen, cfg.Days)
+	if len(views) > 0 {
+		a := flow.NewArena(e.flowSizing(views))
+		r := e.runPool.Get().(*run)
+		for i, v := range views {
+			f := r.analyze(e, v, a)
+			res.Flows[i] = f
+			outs[i] = diagnosis.ApplyOutages(cl.Classify(f), sched, cfg.Sink)
+			agg.Add(outs[i])
+		}
+		e.runPool.Put(r)
+	}
+	return res, diagnosis.FromParts(cfg.Sink, sched, outs, agg)
+}
+
+// AnalyzeParallelDiagnosed is AnalyzeParallel with per-worker fused
+// classification: every worker owns a classifier and an aggregate alongside
+// its run state and arena, writes outcomes into the same indexed slots as its
+// flows, and the aggregates merge once at the join. workers <= 0 selects
+// GOMAXPROCS. The Result and Report match AnalyzeDiagnosed's exactly.
+func (e *Engine) AnalyzeParallelDiagnosed(c *event.Collection, workers int, cfg diagnosis.Config) (*Result, *diagnosis.Report) {
+	views, ops := event.Partition(c)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(views) {
+		workers = len(views)
+	}
+	res := &Result{Operational: ops, Flows: make([]*flow.Flow, len(views))}
+	sched := diagnosis.OutagesFromOperational(ops, cfg.End)
+	outs := make([]diagnosis.Outcome, len(views))
+	agg := diagnosis.NewAggregate(cfg.Sink, cfg.DayLen, cfg.Days)
+	if len(views) == 0 {
+		return res, diagnosis.FromParts(cfg.Sink, sched, outs, agg)
+	}
+	if workers <= 1 {
+		cl := diagnosis.NewClassifier()
+		a := flow.NewArena(e.flowSizing(views))
+		r := e.runPool.Get().(*run)
+		for i, v := range views {
+			f := r.analyze(e, v, a)
+			res.Flows[i] = f
+			outs[i] = diagnosis.ApplyOutages(cl.Classify(f), sched, cfg.Sink)
+			agg.Add(outs[i])
+		}
+		e.runPool.Put(r)
+		return res, diagnosis.FromParts(cfg.Sink, sched, outs, agg)
+	}
+	chunks := originChunks(views, workers*4)
+	work := make(chan [2]int, len(chunks))
+	for _, ch := range chunks {
+		work <- ch
+	}
+	close(work)
+	sizing := perWorker(e.flowSizing(views), workers)
+	aggs := make([]*diagnosis.Aggregate, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			r := new(run)
+			a := flow.NewArena(sizing)
+			cl := diagnosis.NewClassifier()
+			wagg := diagnosis.NewAggregate(cfg.Sink, cfg.DayLen, cfg.Days)
+			for s := range work {
+				for i := s[0]; i < s[1]; i++ {
+					f := r.analyze(e, views[i], a)
+					res.Flows[i] = f
+					outs[i] = diagnosis.ApplyOutages(cl.Classify(f), sched, cfg.Sink)
+					wagg.Add(outs[i])
+				}
+			}
+			aggs[w] = wagg
+		}(w)
+	}
+	wg.Wait()
+	for _, wagg := range aggs {
+		agg.Merge(wagg)
+	}
+	return res, diagnosis.FromParts(cfg.Sink, sched, outs, agg)
+}
+
+// AnalyzeStreamDiagnosed is AnalyzeStream with per-worker fused
+// classification. The outage schedule must exist before the first commit, so
+// the operational events are extracted in a cheap dedicated column scan
+// (event.OperationalEvents) rather than waiting for the partitioning scan to
+// finish; each worker then classifies at commit time exactly like the
+// parallel path. The join concatenates the worker shards and co-sorts flows
+// and outcomes back into packet-ID order. workers <= 0 selects GOMAXPROCS.
+func (e *Engine) AnalyzeStreamDiagnosed(c *event.Collection, workers int, cfg diagnosis.Config) (*Result, *diagnosis.Report) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	sched := diagnosis.OutagesFromOperational(event.OperationalEvents(c), cfg.End)
+	sizing := perWorker(e.streamSizing(c), workers)
+	shards := make([]chan *event.PacketView, workers)
+	type part struct {
+		flows []*flow.Flow
+		outs  []diagnosis.Outcome
+		agg   *diagnosis.Aggregate
+	}
+	parts := make([]part, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		shards[w] = make(chan *event.PacketView, 64)
+		go func(w int) {
+			defer wg.Done()
+			r := new(run)
+			a := flow.NewArena(sizing)
+			cl := diagnosis.NewClassifier()
+			wagg := diagnosis.NewAggregate(cfg.Sink, cfg.DayLen, cfg.Days)
+			p := &parts[w]
+			for v := range shards[w] {
+				f := r.analyze(e, v, a)
+				o := diagnosis.ApplyOutages(cl.Classify(f), sched, cfg.Sink)
+				wagg.Add(o)
+				p.flows = append(p.flows, f)
+				p.outs = append(p.outs, o)
+			}
+			p.agg = wagg
+		}(w)
+	}
+	ops := event.StreamPartition(c, func(v *event.PacketView) {
+		shards[shardOf(v.Packet.Origin, workers)] <- v
+	})
+	for _, ch := range shards {
+		close(ch)
+	}
+	wg.Wait()
+	total := 0
+	for w := range parts {
+		total += len(parts[w].flows)
+	}
+	res := &Result{Operational: ops, Flows: make([]*flow.Flow, 0, total)}
+	outs := make([]diagnosis.Outcome, 0, total)
+	agg := diagnosis.NewAggregate(cfg.Sink, cfg.DayLen, cfg.Days)
+	for w := range parts {
+		res.Flows = append(res.Flows, parts[w].flows...)
+		outs = append(outs, parts[w].outs...)
+		agg.Merge(parts[w].agg)
+	}
+	// Shards complete in nondeterministic relative order; restore
+	// Partition's packet-ID order. Flows and outcomes share the unique
+	// packet-ID key, so sorting each by it keeps them co-indexed.
+	sort.Slice(res.Flows, func(i, j int) bool { return packetLess(res.Flows[i].Packet, res.Flows[j].Packet) })
+	sort.Slice(outs, func(i, j int) bool { return packetLess(outs[i].Packet, outs[j].Packet) })
+	return res, diagnosis.FromParts(cfg.Sink, sched, outs, agg)
+}
+
+// packetLess is the deterministic packet order every analysis path returns
+// flows in: origin, then sequence.
+func packetLess(a, b event.PacketID) bool {
+	if a.Origin != b.Origin {
+		return a.Origin < b.Origin
+	}
+	return a.Seq < b.Seq
+}

@@ -516,6 +516,7 @@ func (r *run) exec() {
 			Node:         v.node,
 			Index:        v.index,
 			State:        v.graph.State(v.cur).Name,
+			StateIdx:     v.graph.StateIndex(v.cur),
 			Terminal:     v.graph.Terminal(v.cur),
 			RecvInferred: v.recvInf,
 			Peer:         v.peer,

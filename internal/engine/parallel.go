@@ -172,13 +172,7 @@ func (e *Engine) AnalyzeStream(c *event.Collection, workers int) *Result {
 	// Shards complete in nondeterministic relative order; restore
 	// Partition's packet-ID order so the Result matches Analyze bit for
 	// bit.
-	sort.Slice(res.Flows, func(i, j int) bool {
-		a, b := res.Flows[i].Packet, res.Flows[j].Packet
-		if a.Origin != b.Origin {
-			return a.Origin < b.Origin
-		}
-		return a.Seq < b.Seq
-	})
+	sort.Slice(res.Flows, func(i, j int) bool { return packetLess(res.Flows[i].Packet, res.Flows[j].Packet) })
 	return res
 }
 

@@ -463,6 +463,25 @@ func StreamPartition(c *Collection, emit func(*PacketView)) (operational []Event
 	return operational
 }
 
+// OperationalEvents extracts the non-packet-scoped events (server up/down)
+// from a collection, sorted by time — the same slice Partition returns as its
+// second result, without building any views. A single pass over the dense
+// type columns, so callers that need the outage schedule BEFORE analysis
+// (the fused streaming diagnosis) can afford it up front.
+func OperationalEvents(c *Collection) []Event {
+	var ops []Event
+	for _, n := range c.Nodes() {
+		b := &c.Logs[n].batch
+		for i := 0; i < len(b.typ); i++ {
+			if !b.typ[i].PacketScoped() {
+				ops = append(ops, b.At(i))
+			}
+		}
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i].Time < ops[j].Time })
+	return ops
+}
+
 // MergeByTime flattens a collection into a single slice ordered by the Time
 // field, breaking ties by node then by log position. This is ONLY valid for
 // ground-truth collections whose Time is a global clock; it exists for the

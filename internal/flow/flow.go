@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"repro/internal/event"
+	"repro/internal/fsm"
 )
 
 // Item is one element of an event flow. Inferred items were never logged:
@@ -36,6 +37,12 @@ type Visit struct {
 	// State is the canonical name of the engine's final state for this
 	// visit (fsm.State* constants).
 	State string
+	// StateIdx is the interned index of State (fsm.StateIndex): the
+	// allocation-free currency the diagnosis classifier matches states
+	// with. Engine-built visits always carry it; hand-assembled visits may
+	// leave it zero (fsm.NoStateIndex), in which case readers fall back to
+	// resolving State by name.
+	StateIdx fsm.StateIndex
 	// Terminal reports whether that state is terminal in the node's graph.
 	Terminal bool
 	// RecvInferred is true when the visit's custody-establishing event

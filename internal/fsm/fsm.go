@@ -94,6 +94,10 @@ type Graph struct {
 	// upstream / broadcaster scan (NoState when the graph lacks them).
 	sent      StateID
 	announced StateID
+	// stateIdx maps each StateID to the process-global interned index of
+	// its name (see StateIndex), letting cross-graph consumers match
+	// states without string compares.
+	stateIdx []StateIndex
 }
 
 type transKey struct {
@@ -421,6 +425,7 @@ func (b *Builder) Finalize() (*Graph, error) {
 		return nil, err
 	}
 	g.buildDispatchTables()
+	g.buildStateIndexes()
 	g.sent = g.StateByName(StateSent)
 	g.announced = g.StateByName(StateAnnounced)
 	return g, nil

@@ -1,0 +1,128 @@
+package fsm
+
+import "sync"
+
+// StateIndex is a process-global interned identifier for a state NAME.
+// Unlike StateID — which indexes a state inside one Graph and means nothing
+// across graphs — a StateIndex is the same small integer for the same name in
+// every graph, so cross-graph consumers (the diagnosis classifier) can match
+// states with a dense array lookup instead of a string-map probe.
+//
+// Index 0 is reserved as "no index": the zero value of any struct carrying a
+// StateIndex stays meaningful, and readers fall back to the name on it. The
+// canonical protocol state names are registered in a fixed order at package
+// init, so their indexes are stable across runs and builds; names from
+// foreign graphs are interned lazily after them.
+type StateIndex int32
+
+// NoStateIndex is the reserved zero index: no state / unknown name.
+const NoStateIndex StateIndex = 0
+
+// Canonical indexes: the State* name constants in declaration order, starting
+// at 1. Appending here is safe; reordering breaks cross-run stability.
+var canonicalStateNames = []string{
+	StateStart,
+	StateHas,
+	StateReceived,
+	StateQueued,
+	StateDispatched,
+	StateSent,
+	StateAcked,
+	StateTimedOut,
+	StateDupDrop,
+	StateOverflow,
+	StateStored,
+	StateAnnounced,
+	StateResponded,
+}
+
+var stateIntern = func() *internTable {
+	t := &internTable{
+		byName: make(map[string]StateIndex, 2*len(canonicalStateNames)),
+		names:  make([]string, 1, 1+len(canonicalStateNames)), // names[0] = ""
+	}
+	for _, n := range canonicalStateNames {
+		t.names = append(t.names, n)
+		t.byName[n] = StateIndex(len(t.names) - 1)
+	}
+	return t
+}()
+
+type internTable struct {
+	mu     sync.RWMutex
+	byName map[string]StateIndex
+	names  []string
+}
+
+// InternStateIndex returns the stable index for a state name, assigning the
+// next free one on first sight. The empty name maps to NoStateIndex.
+func InternStateIndex(name string) StateIndex {
+	if name == "" {
+		return NoStateIndex
+	}
+	if i := LookupStateIndex(name); i != NoStateIndex {
+		return i
+	}
+	t := stateIntern
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if i, ok := t.byName[name]; ok { // raced with another interner
+		return i
+	}
+	t.names = append(t.names, name)
+	i := StateIndex(len(t.names) - 1)
+	t.byName[name] = i
+	return i
+}
+
+// LookupStateIndex returns the index for a state name, NoStateIndex if the
+// name was never interned. It never interns and never allocates.
+func LookupStateIndex(name string) StateIndex {
+	t := stateIntern
+	t.mu.RLock()
+	i := t.byName[name]
+	t.mu.RUnlock()
+	return i
+}
+
+// StateIndexName returns the name behind an index ("" for NoStateIndex or an
+// index never handed out).
+func StateIndexName(i StateIndex) string {
+	t := stateIntern
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if i <= 0 || int(i) >= len(t.names) {
+		return ""
+	}
+	return t.names[i]
+}
+
+// NumStateIndexes returns the number of interned indexes including the
+// reserved zero — i.e. every valid StateIndex is < NumStateIndexes(). Dense
+// tables sized by it cover all names interned so far; indexes interned later
+// must be bounds-checked (out of range reads as "unknown").
+func NumStateIndexes() int {
+	t := stateIntern
+	t.mu.RLock()
+	n := len(t.names)
+	t.mu.RUnlock()
+	return n
+}
+
+// StateIndex returns the interned index of a state's name, NoStateIndex for
+// ids outside the graph. The table is built at Finalize, so the lookup is a
+// slice read on the engine's visit-finalize path.
+func (g *Graph) StateIndex(id StateID) StateIndex {
+	if id < 0 || int(id) >= len(g.stateIdx) {
+		return NoStateIndex
+	}
+	return g.stateIdx[id]
+}
+
+// buildStateIndexes interns every state name (called from Finalize).
+func (g *Graph) buildStateIndexes() {
+	g.stateIdx = make([]StateIndex, len(g.states))
+	for i, s := range g.states {
+		g.stateIdx[i] = InternStateIndex(s.Name)
+	}
+}

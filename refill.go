@@ -207,6 +207,18 @@ func WithParallelism(workers int) AnalyzerOption { return core.WithParallelism(w
 // preserve the analyzer's existing settings rather than resetting them.
 func WithEngineOptions(eo EngineOptions) AnalyzerOption { return core.WithEngineOptions(eo) }
 
+// WithDailyBins pre-bins the report's daily loss composition (Figure 6) at
+// analysis time: Report.DailyComposition(dayLen, days) with the same
+// arguments becomes a table read instead of a scan over every outcome.
+func WithDailyBins(dayLen int64, days int) AnalyzerOption { return core.WithDailyBins(dayLen, days) }
+
+// WithSeparateDiagnosis forces the legacy two-pass pipeline — reconstruct
+// every flow, then diagnose them in a second pass — instead of the default
+// fused mode where each worker classifies its flows as it commits them.
+// Outputs are identical either way; this is an escape hatch for debugging
+// and for measuring the fusion itself.
+func WithSeparateDiagnosis() AnalyzerOption { return core.WithSeparateDiagnosis() }
+
 // AnalyzeStream runs the pipeline with partitioning overlapped with
 // reconstruction: packet views are handed to workers the moment the
 // partitioning scan completes them, hiding most of the partition cost behind
