@@ -9,10 +9,12 @@
 // code path — independent of the machine, CPU contention, and frequency
 // scaling — so a CI runner can enforce a tight threshold without flaking.
 // A benchmark regresses when its allocs/op exceeds the baseline by more
-// than -tolerance (default 10%). Benchmarks absent from the baseline are
-// reported but don't fail the run (add them to the baseline when they
-// stabilize); baseline entries missing from the input fail it, so the
-// guard can't rot silently when a benchmark is renamed.
+// than -tolerance (default 10%). The ns/op delta against the baseline is
+// printed alongside each verdict line for trend visibility, but it is
+// informational only and never fails the run. Benchmarks absent from the
+// baseline are reported but don't fail the run (add them to the baseline
+// when they stabilize); baseline entries missing from the input fail it,
+// so the guard can't rot silently when a benchmark is renamed.
 //
 // With -json the verdict is emitted as one JSON object instead of text:
 // ns/op and B/op ride along for trend tracking (see BENCH_*.json at the
@@ -25,7 +27,7 @@
 // mismatch CI:
 //
 //	go test -run '^$' \
-//	    -bench '^(BenchmarkAnalyzeCampaign|BenchmarkAnalyzePacket|BenchmarkEngineChain|BenchmarkBinaryCodec|BenchmarkTableII|BenchmarkFlowOutput|BenchmarkDiagnosis)$' \
+//	    -bench '^(BenchmarkAnalyzeCampaign|BenchmarkAnalyzePacket|BenchmarkEngineChain|BenchmarkBinaryCodec|BenchmarkTableII|BenchmarkFlowOutput|BenchmarkDiagnosis|BenchmarkKernel)$' \
 //	    -benchmem -benchtime 1x . > bench_baseline.txt
 package main
 
@@ -57,8 +59,12 @@ type Entry struct {
 	Result
 	BaselineAllocs int64   `json:"baseline_allocs_op,omitempty"`
 	DeltaPct       float64 `json:"delta_pct"`
-	Status         string  `json:"status"`
-	Detail         string  `json:"detail,omitempty"`
+	// BaselineNs and NsDeltaPct track wall-time drift against the baseline.
+	// Informational only: ns/op never decides pass/fail (see package doc).
+	BaselineNs float64 `json:"baseline_ns_op,omitempty"`
+	NsDeltaPct float64 `json:"ns_delta_pct,omitempty"`
+	Status     string  `json:"status"`
+	Detail     string  `json:"detail,omitempty"`
 }
 
 // report is the top-level -json document.
@@ -132,6 +138,10 @@ func check(baseline, current map[string]Result, tolerance float64) ([]Entry, boo
 			delta = 100 * (float64(cur.AllocsOp)/float64(base) - 1)
 		}
 		e := Entry{Result: cur, BaselineAllocs: base, DeltaPct: delta, Status: "ok"}
+		if baseNs := baseline[name].NsOp; baseNs > 0 && cur.NsOp > 0 {
+			e.BaselineNs = baseNs
+			e.NsDeltaPct = 100 * (cur.NsOp/baseNs - 1)
+		}
 		if float64(cur.AllocsOp) > float64(base)*(1+tolerance) {
 			e.Status = "fail"
 			e.Detail = fmt.Sprintf("%+.1f%% > %.0f%% tolerance", delta, tolerance*100)
@@ -152,21 +162,28 @@ func check(baseline, current map[string]Result, tolerance float64) ([]Entry, boo
 	return entries, ok
 }
 
-// render turns entries into the human verdict lines.
+// render turns entries into the human verdict lines. The trailing ns/op
+// delta, when baseline timing is available, is informational only — timing
+// never flips a verdict.
 func render(entries []Entry, tolerance float64) []string {
 	lines := make([]string, 0, len(entries))
 	for _, e := range entries {
+		ns := ""
+		if e.BaselineNs > 0 && e.NsOp > 0 {
+			ns = fmt.Sprintf("; %.0f ns/op vs baseline %.0f (%+.1f%%, non-fatal)",
+				e.NsOp, e.BaselineNs, e.NsDeltaPct)
+		}
 		switch {
 		case e.Status == "fail" && e.Detail == "in baseline but missing from input":
 			lines = append(lines, fmt.Sprintf("FAIL %s: %s", e.Name, e.Detail))
 		case e.Status == "fail":
-			lines = append(lines, fmt.Sprintf("FAIL %s: %d allocs/op, baseline %d (%s)",
-				e.Name, e.AllocsOp, e.BaselineAllocs, e.Detail))
+			lines = append(lines, fmt.Sprintf("FAIL %s: %d allocs/op, baseline %d (%s)%s",
+				e.Name, e.AllocsOp, e.BaselineAllocs, e.Detail, ns))
 		case e.Status == "note":
 			lines = append(lines, fmt.Sprintf("note %s: %d allocs/op, not in baseline", e.Name, e.AllocsOp))
 		default:
-			lines = append(lines, fmt.Sprintf("ok   %s: %d allocs/op, baseline %d (%+.1f%%)",
-				e.Name, e.AllocsOp, e.BaselineAllocs, e.DeltaPct))
+			lines = append(lines, fmt.Sprintf("ok   %s: %d allocs/op, baseline %d (%+.1f%%)%s",
+				e.Name, e.AllocsOp, e.BaselineAllocs, e.DeltaPct, ns))
 		}
 	}
 	return lines

@@ -90,6 +90,31 @@ func TestCheckUnknownBenchmarkIsNoted(t *testing.T) {
 	}
 }
 
+// TestNsDeltaIsInformational pins the ns/op delta behavior: it is computed
+// and rendered when both sides carry timing, but a huge wall-time regression
+// alone never fails the run.
+func TestNsDeltaIsInformational(t *testing.T) {
+	base := map[string]Result{"BenchmarkX": {Name: "BenchmarkX", NsOp: 1000, AllocsOp: 100}}
+	cur := map[string]Result{"BenchmarkX": {Name: "BenchmarkX", NsOp: 3000, AllocsOp: 100}}
+	entries, ok := check(base, cur, 0.10)
+	if !ok {
+		t.Fatalf("3x ns/op regression with flat allocs failed the guard: %v", render(entries, 0.10))
+	}
+	if len(entries) != 1 || entries[0].BaselineNs != 1000 || entries[0].NsDeltaPct != 200 {
+		t.Fatalf("entry = %+v, want baseline ns 1000 and +200%% delta", entries[0])
+	}
+	lines := render(entries, 0.10)
+	want := "ok   BenchmarkX: 100 allocs/op, baseline 100 (+0.0%); 3000 ns/op vs baseline 1000 (+200.0%, non-fatal)"
+	if len(lines) != 1 || lines[0] != want {
+		t.Errorf("line = %q, want %q", lines, want)
+	}
+	// Entries without timing on either side keep the bare line.
+	bare, _ := check(mkResults(map[string]int64{"BenchmarkY": 5}), mkResults(map[string]int64{"BenchmarkY": 5}), 0.10)
+	if l := render(bare, 0.10); len(l) != 1 || strings.Contains(l[0], "ns/op") {
+		t.Errorf("timing-less entry rendered a ns delta: %q", l)
+	}
+}
+
 // TestCheckEntriesRoundTripJSON pins the -json document shape: every entry
 // carries the measurements and a status, and the report marshals cleanly.
 func TestCheckEntriesRoundTripJSON(t *testing.T) {

@@ -1,7 +1,8 @@
 // Command refill-lint statically verifies the repo's protocol machinery at
 // two layers: the domain layer checks every built-in protocol graph and
 // prerequisite table (determinism, reachability, prerequisite soundness,
-// representation coherence), and the code layer runs the custom analyzers in
+// representation coherence, compiled-kernel coherence), and the code layer
+// runs the custom analyzers in
 // internal/analysis (maprange, wallclock, poolhygiene) over the packages
 // named on the command line.
 //

@@ -35,6 +35,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "reconstruction workers (0 serial, -1 all cores)")
 		stream    = flag.Bool("stream", false, "overlap partitioning with reconstruction (implies parallel workers)")
 		twoPass   = flag.Bool("two-pass", false, "diagnose in a separate pass after reconstruction (legacy pipeline; output is identical)")
+		interp    = flag.Bool("interpreted", false, "run the interpreted engine walk instead of the compiled kernels (reference path; output is identical)")
 		prof      profiling.Flags
 	)
 	prof.Register(flag.CommandLine)
@@ -68,6 +69,9 @@ func main() {
 	}
 	if *twoPass {
 		opts = append(opts, refill.WithSeparateDiagnosis())
+	}
+	if *interp {
+		opts = append(opts, refill.WithInterpretedEngine())
 	}
 	an, err := refill.NewAnalyzer(refill.AnalyzerOptions{
 		Sink: refill.NodeID(*sinkID),

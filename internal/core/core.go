@@ -57,6 +57,11 @@ type Options struct {
 	// outputs are identical either way — this is an escape hatch for
 	// debugging and for measuring the fusion itself.
 	SeparateDiagnosis bool
+	// InterpretedEngine forces the engine's interpreted reference walk
+	// instead of the default compiled-kernel execution. Outputs are
+	// identical either way — an escape hatch mirroring SeparateDiagnosis,
+	// for debugging and for measuring the kernel itself.
+	InterpretedEngine bool
 }
 
 // Option is a functional override applied on top of an Options struct by
@@ -86,6 +91,13 @@ func WithSeparateDiagnosis() Option {
 	return func(o *Options) { o.SeparateDiagnosis = true }
 }
 
+// WithInterpretedEngine forces the engine's interpreted reference walk
+// instead of the default compiled-kernel execution (see Options.
+// InterpretedEngine).
+func WithInterpretedEngine() Option {
+	return func(o *Options) { o.InterpretedEngine = true }
+}
+
 // WithEngineOptions imports engine-level configuration — the escape hatch for
 // callers that previously built an engine.Options by hand. It MERGES rather
 // than replaces: a field left at its zero value in eo (nil Protocol, NoNode
@@ -104,6 +116,7 @@ func WithEngineOptions(eo engine.Options) Option {
 		}
 		o.DisableIntra = o.DisableIntra || eo.DisableIntra
 		o.DisableInter = o.DisableInter || eo.DisableInter
+		o.InterpretedEngine = o.InterpretedEngine || eo.Interpreted
 		if eo.MaxInferred != 0 {
 			o.MaxInferred = eo.MaxInferred
 		}
@@ -141,6 +154,7 @@ func NewAnalyzer(opts Options, extra ...Option) (*Analyzer, error) {
 		MaxInferred:  opts.MaxInferred,
 		MaxDepth:     opts.MaxDepth,
 		Group:        opts.Group,
+		Interpreted:  opts.InterpretedEngine,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)

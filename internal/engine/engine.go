@@ -38,6 +38,12 @@ type Options struct {
 	// listed node (minus the event's own) to have passed the prerequisite
 	// state.
 	Group []event.NodeID
+	// Interpreted forces the interpreted reference walk — per-event dense
+	// table probes and Event materialization at pop time — instead of the
+	// default compiled-kernel execution (see kernel.go). Outputs are
+	// byte-identical either way; this is a debugging escape hatch and the
+	// reference the kernel equivalence suites compare against.
+	Interpreted bool
 }
 
 // prereqRule is a protocol prerequisite flattened into a dense per-type
@@ -71,7 +77,11 @@ type Engine struct {
 	interPrereq [event.NumTypes]prereqRule
 	selfPrereq  [event.NumTypes]prereqRule
 	sentBound   [event.NumTypes]bool
-	prereqs     map[*fsm.Graph]*graphPrereqs
+	// acts folds the prerequisite tables and the ablation switches into one
+	// per-type action mask (actSelfPre | actInterPre), so the kernel walk's
+	// per-event gates are a single byte load.
+	acts    [event.NumTypes]uint8
+	prereqs map[*fsm.Graph]*graphPrereqs
 	// runPool recycles per-packet run state (node tables, visit structs)
 	// across AnalyzePacket calls; safe for concurrent workers.
 	runPool sync.Pool
@@ -105,6 +115,14 @@ func New(opts Options) (*Engine, error) {
 		}
 		if pr, ok := opts.Protocol.SelfPrereq(event.Type(t)); ok {
 			e.selfPrereq[t] = prereqRule{pr: pr, ok: true}
+		}
+	}
+	for t := 0; t < event.NumTypes; t++ {
+		if !opts.DisableIntra && e.selfPrereq[t].ok {
+			e.acts[t] |= actSelfPre
+		}
+		if !opts.DisableInter && e.interPrereq[t].ok {
+			e.acts[t] |= actInterPre
 		}
 	}
 	for _, role := range []fsm.NodeRole{fsm.RoleOrigin, fsm.RoleForward, fsm.RoleSink, fsm.RoleServer} {
@@ -201,10 +219,11 @@ func (e *Engine) AnalyzePacketInto(v *event.PacketView, a *flow.Arena) *flow.Flo
 
 // flowSizing estimates the output arena geometry from partition statistics:
 // the logged item volume is the views' exact row count; the inferred volume
-// is unknowable ahead of time, so it is estimated as a quarter of the logged
-// rows plus one cascade seed per view — generous for healthy logs, low for
-// very lossy ones, and either way corrected by the arena's chunked growth.
-// Ablations that disable inference drop the estimate to zero.
+// is unknowable ahead of time, so it is estimated as an eighth of the logged
+// rows plus one cascade seed per view — generous for healthy logs (campaign
+// measurements sit near a tenth), low for very lossy ones, and either way
+// corrected by the arena's chunked growth. Ablations that disable inference
+// drop the estimate to zero.
 func (e *Engine) flowSizing(views []*event.PacketView) flow.Sizing {
 	logged, segs := 0, 0
 	for _, v := range views {
@@ -213,7 +232,7 @@ func (e *Engine) flowSizing(views []*event.PacketView) flow.Sizing {
 	}
 	inferred := 0
 	if !e.opts.DisableIntra || !e.opts.DisableInter {
-		inferred = logged/4 + len(views)
+		inferred = logged/8 + len(views)
 		if lim := e.opts.MaxInferred * len(views); inferred > lim {
 			inferred = lim
 		}
@@ -222,8 +241,11 @@ func (e *Engine) flowSizing(views []*event.PacketView) flow.Sizing {
 		Flows: len(views),
 		Items: logged + inferred,
 		// One visit per (node, packet) span, plus slack for rotations
-		// and prerequisite-driven nodes that logged nothing.
-		Visits:    segs + segs/8 + 4,
+		// and prerequisite-driven nodes that logged nothing. Campaign
+		// measurements put the extra-visit rate near 15% of spans; a
+		// quarter keeps the whole column in one chunk (an under-estimate
+		// costs a half-size refill chunk, never correctness).
+		Visits:    segs + segs/4 + 4,
 		Anomalies: len(views)/32 + 4,
 	}
 }
@@ -236,6 +258,7 @@ func (r *run) analyze(e *Engine, v *event.PacketView, a *flow.Arena) *flow.Flow 
 	r.e = e
 	r.pkt = v.Packet
 	r.view = v
+	r.cols = v.Columns()
 	r.infers = 0
 	r.inferCapHit = false
 	r.items = r.items[:0]
@@ -284,11 +307,21 @@ type visit struct {
 	recvInf bool         // custody entry (Received/Has) was inferred
 	lastPos int
 	started bool
+	// Kernel-walk caches of graph's compiled kernel (see kernel.go): the
+	// flat op array, its width, the flattened infer-step indexes, and the
+	// normal transitions the steps index into. Hoisted here so the hot loop
+	// dereferences the visit once instead of graph→kernel per event.
+	kops   []fsm.KernelOp
+	ksteps []int32
+	knorm  []fsm.Transition
+	kw     int
 }
 
 // queueSpan is a node's unconsumed remainder of its view span: batch rows
-// [cur, end) of the run's view. Events materialize from the columns at pop
-// time, so queued events occupy no per-run storage at all.
+// [cur, end) of the run's view. The kernel walk reads classification fields
+// straight from the columns and materializes an Event only at commit points
+// (the interpreted path materializes at step time), so queued events occupy
+// no per-run storage at all.
 type queueSpan struct{ cur, end int32 }
 
 func (q queueSpan) empty() bool { return q.cur >= q.end }
@@ -310,6 +343,9 @@ type run struct {
 	e    *Engine
 	pkt  event.PacketID
 	view *event.PacketView
+	// cols caches the view batch's hot columns for the kernel walk — the
+	// per-event classification reads index these directly.
+	cols event.Columns
 	// items is the flow output scratch; itemsInferred counts its inferred
 	// entries for the O(1) Flow.InferredCount counter.
 	items         []flow.Item
@@ -341,14 +377,6 @@ func (r *run) appendItem(it flow.Item) int {
 	return len(r.items) - 1
 }
 
-// pop materializes and consumes the next queued event of node index ni.
-// The caller must have checked the queue is non-empty.
-func (r *run) pop(ni int) event.Event {
-	ev := r.view.EventAt(int(r.queues[ni].cur))
-	r.queues[ni].cur++
-	return ev
-}
-
 // reset clears the per-packet state, recycling visit structs and dropping
 // references that would pin the caller's collection, while keeping every
 // slice's capacity for the next packet. (The output scratch is truncated at
@@ -360,6 +388,7 @@ func (r *run) reset() {
 		r.current[i] = nil
 	}
 	r.view = nil
+	r.cols = event.Columns{}
 	r.nodes = r.nodes[:0]
 	r.queues = r.queues[:0]
 	r.current = r.current[:0]
@@ -429,6 +458,11 @@ func (r *run) newVisit(ni int, g *fsm.Graph, index int) *visit {
 	v.cur = g.Start()
 	v.peer = event.NoNode
 	v.lastPos = -1
+	k := g.Kernel()
+	v.kops = k.Ops()
+	v.ksteps = k.StepIndexes()
+	v.knorm = g.NormalTransitions()
+	v.kw = k.Width()
 	r.current[ni] = v
 	r.all = append(r.all, v)
 	r.byNode[ni] = append(r.byNode[ni], v)
@@ -500,7 +534,7 @@ func (r *run) exec() {
 		progress := false
 		for _, ni := range r.order {
 			for !r.queues[ni].empty() {
-				r.process(int(ni), r.pop(int(ni)), 0)
+				r.step(int(ni), 0)
 				progress = true
 			}
 		}
@@ -806,6 +840,12 @@ func (r *run) satisfyPrereq(ev event.Event, depth int) {
 	if int(ev.Type) >= event.NumTypes || !r.e.interPrereq[ev.Type].ok {
 		return
 	}
+	r.satisfyPrereqRule(ev, depth)
+}
+
+// satisfyPrereqRule is satisfyPrereq past its guards — the kernel walk calls
+// it directly, having already folded the guards into the actInterPre bit.
+func (r *run) satisfyPrereqRule(ev event.Event, depth int) {
 	pr := &r.e.interPrereq[ev.Type].pr
 	if pr.Group {
 		// Many-to-1 prerequisite (Figure 3(c)/(d)): every group member
@@ -875,7 +915,7 @@ func (r *run) drive(p event.NodeID, ev event.Event, depth int) {
 			r.checkPeerBinding(v, t, wantPeer)
 			return
 		}
-		r.process(pi, r.pop(pi), depth+1)
+		r.step(pi, depth+1)
 	}
 	v = r.current[pi]
 	if passedAny(v, r.resolved(v, t, false).states) {

@@ -1,0 +1,212 @@
+package engine
+
+import (
+	"repro/internal/event"
+	"repro/internal/flow"
+	"repro/internal/fsm"
+)
+
+// This file is the compiled execution path: a column-wise walk over the
+// view's SoA batch feeding the graphs' threaded-code kernels (fsm.Kernel).
+// Per logged event the hot loop performs one action-mask load, one kernel op
+// load and a handful of column reads — no map lookups, no Transition struct
+// copies, no per-event re-derivation of the start-state fallback, and no
+// Event materialization until the row is committed to the flow (or needs an
+// anomaly record). The interpreted walk (process, transitionFor, startCan)
+// stays behind Options.Interpreted as the reference implementation; both
+// paths produce byte-identical flows, visits and anomalies — pinned by the
+// equivalence suites and FuzzKernelEquivalence.
+
+// Engine per-event-type action bits, folded at New from the protocol's
+// prerequisite tables and the ablation switches so the per-event gates are a
+// single mask test.
+const (
+	// actSelfPre: the type carries a self-prerequisite (and the intra
+	// ablation is off) — ensureSelf must run before the transition lookup.
+	actSelfPre uint8 = 1 << iota
+	// actInterPre: the type carries an inter-node prerequisite (and the
+	// inter ablation is off) — satisfyPrereq must run before commit.
+	actInterPre
+)
+
+// step consumes the next queued event of node index ni, routing it through
+// the kernel walk or, under Options.Interpreted, the reference path. The
+// caller must have checked the queue is non-empty.
+func (r *run) step(ni, depth int) bool {
+	row := int(r.queues[ni].cur)
+	r.queues[ni].cur++
+	if r.e.opts.Interpreted {
+		return r.process(ni, r.view.EventAt(row), depth)
+	}
+	return r.processRow(ni, row, depth)
+}
+
+// kop loads the visit's kernel op for a label slot. Slots beyond the kernel's
+// width belong to event types the graph never mentions and miss.
+func (r *run) kop(v *visit, slot int) fsm.KernelOp {
+	if slot >= v.kw {
+		return fsm.KernelMiss
+	}
+	return v.kops[int(v.cur)*v.kw+slot]
+}
+
+// kernelOpAt is kop for an arbitrary graph and state (the alt-graph probe).
+func kernelOpAt(g *fsm.Graph, s fsm.StateID, slot int) fsm.KernelOp {
+	k := g.Kernel()
+	if slot >= k.Width() {
+		return fsm.KernelMiss
+	}
+	return k.Ops()[int(s)*k.Width()+slot]
+}
+
+// kernelHas reports whether the op carries a consumable transition under the
+// intra ablation — the compiled form of transitionFor's hit test.
+func kernelHas(op fsm.KernelOp, disIntra bool) bool {
+	return op.NormalTr >= 0 || (!disIntra && op.IntraTr >= 0)
+}
+
+// kernelStartCan is startCan compiled into the op's replicated fallback
+// hints: could a fresh visit of the op's graph consume the slot's label?
+func kernelStartCan(flags uint8, disIntra bool) bool {
+	if flags&fsm.KernelStartNormal != 0 {
+		return true
+	}
+	return !disIntra && flags&fsm.KernelStartIntra != 0
+}
+
+// processRow is the kernel-path mirror of process: it applies the logged
+// event at batch row `row` to node index ni, reading the classification
+// fields straight from the view's columns and deferring full Event
+// materialization to commit and anomaly points. Every branch corresponds
+// one-to-one to a branch of process — the equivalence suites depend on the
+// two paths agreeing byte-for-byte.
+func (r *run) processRow(ni, row, depth int) bool {
+	n := r.nodes[ni]
+	if depth > r.e.opts.MaxDepth {
+		r.anomaly(r.view.EventAt(row), "recursion depth exceeded")
+		return false
+	}
+	cols := &r.cols
+	t := cols.Type[row]
+	// Label classification, mirroring fsm.LabelFor.
+	var role fsm.Role
+	belongs := cols.Node[row] == n
+	if belongs {
+		if t.SenderSide() || t.NodeLocal() {
+			role = fsm.SelfSender
+			belongs = cols.Sender[row] == n
+		} else {
+			role = fsm.SelfReceiver
+			belongs = cols.Receiver[row] == n
+		}
+	}
+	if !belongs {
+		r.anomaly(r.view.EventAt(row), "event does not belong to this node")
+		return false
+	}
+	if cols.Origin[row] != r.pkt.Origin || cols.Seq[row] != r.pkt.Seq {
+		r.anomaly(r.view.EventAt(row), "event for a different packet")
+		return false
+	}
+	r.processing[ni]++
+	defer func() { r.processing[ni]-- }()
+	var acts uint8
+	if int(t) < event.NumTypes {
+		acts = r.e.acts[t]
+	}
+	// Self-prerequisite before the transition lookup: ensureSelf may advance
+	// or rotate the visit, so the op load must come after it.
+	if acts&actSelfPre != 0 {
+		r.ensureSelf(ni, r.view.EventAt(row), depth)
+	}
+	v := r.visitFor(ni)
+	slot := int(t)*3 + int(role)
+	disIntra := r.e.opts.DisableIntra
+	op := r.kop(v, slot)
+	if !kernelHas(op, disIntra) {
+		// Revisit fallbacks, driven by the op's compiled start hints: a
+		// fresh visit on the node's own template, then — for an origin in
+		// a routing loop — on the forwarding template.
+		if v.cur != v.graph.Start() && kernelStartCan(op.Flags, disIntra) {
+			v = r.rotate(ni, v.graph)
+			op = r.kop(v, slot)
+		}
+		if !kernelHas(op, disIntra) {
+			if alt := r.altGraph(n); alt != nil && alt != v.graph &&
+				kernelHas(kernelOpAt(alt, alt.Start(), slot), disIntra) {
+				v = r.rotate(ni, alt)
+				op = r.kop(v, slot)
+			}
+		}
+		if !kernelHas(op, disIntra) {
+			r.anomaly(r.view.EventAt(row), "no transition from state "+v.graph.State(v.cur).Name)
+			return false
+		}
+	}
+	useIntra := op.NormalTr < 0
+	if useIntra {
+		// Intra-node jump: emit the skipped normal-path events (the op's
+		// flattened infer span) as inferred lost events, with peer hints
+		// read from the triggering row (hintsFromEvent, column form).
+		up, down := event.NoNode, event.NoNode
+		switch {
+		case t == event.Gen:
+		case t.SenderSide():
+			if cols.Sender[row] == n {
+				down = cols.Receiver[row]
+			}
+		case cols.Receiver[row] == n:
+			up = cols.Sender[row]
+		}
+		for _, si := range v.ksteps[op.StepLo : op.StepLo+op.StepN] {
+			r.emitInferred(v, v.knorm[si], up, down, depth)
+		}
+	}
+	var ev event.Event
+	evSet := false
+	if acts&actInterPre != 0 {
+		ev = r.view.EventAt(row)
+		evSet = true
+		r.satisfyPrereqRule(ev, depth)
+	}
+	// A deep prerequisite chain may itself have advanced or rotated this
+	// node's engine (cyclic traffic); re-resolve before committing.
+	if cur := r.current[ni]; cur != v {
+		v = cur
+		op = r.kop(v, slot)
+		if !kernelHas(op, disIntra) {
+			if !evSet {
+				ev = r.view.EventAt(row)
+			}
+			r.anomaly(ev, "visit advanced by prerequisite chain; no transition from "+v.graph.State(v.cur).Name)
+			return false
+		}
+		useIntra = op.NormalTr < 0
+	}
+	to := fsm.StateID(op.NormalTo)
+	if useIntra {
+		to = fsm.StateID(op.IntraTo)
+	}
+	if !evSet {
+		ev = r.view.EventAt(row)
+	}
+	r.applyOp(v, to, ev, op.Actions)
+	return true
+}
+
+// applyOp commits a logged event under the kernel walk: apply with the
+// custody/peer-binding type switch replaced by the op's compiled action mask
+// (inferred is always false here — inferred events go through apply).
+func (r *run) applyOp(v *visit, to fsm.StateID, ev event.Event, acts uint8) {
+	pos := r.appendItem(flow.Item{Event: ev})
+	v.cur = to
+	v.lastPos = pos
+	v.started = true
+	if acts&fsm.KernelActBindPeer != 0 {
+		if ev.Receiver != event.NoNode {
+			v.peer = ev.Receiver
+		}
+	} else if acts&fsm.KernelActRecvMark != 0 {
+		v.recvInf = false
+	}
+}

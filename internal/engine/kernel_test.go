@@ -1,0 +1,314 @@
+package engine
+
+// Equivalence and fallback-corner coverage for the compiled threaded-code
+// kernel walk: the kernel path (the default) must produce byte-identical
+// flows to the interpreted reference walk on every input — including the
+// fallback corners the hot loop special-cases (revisit rotation, the origin's
+// alternative forwarding template, prerequisite chains that run mid-event)
+// and on arbitrary fuzzed event soup.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/flow"
+	"repro/internal/fsm"
+)
+
+// twinEngines builds the same engine twice: once on the default compiled
+// kernel walk and once on the interpreted reference walk.
+func twinEngines(t testing.TB, opts Options) (kernel, interp *Engine) {
+	t.Helper()
+	kernel, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Interpreted = true
+	interp, err = New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return kernel, interp
+}
+
+// viewFor groups a flat event slice into the per-node view AnalyzePacket
+// consumes, preserving each node's log order.
+func viewFor(pkt event.PacketID, evs []event.Event) *event.PacketView {
+	perNode := map[event.NodeID][]event.Event{}
+	for _, e := range evs {
+		perNode[e.Node] = append(perNode[e.Node], e)
+	}
+	return event.NewPacketView(pkt, perNode)
+}
+
+// requireSameFlow asserts two flows are byte-identical: same items (events
+// and inferred marks, in order), same visits, same anomalies.
+func requireSameFlow(t testing.TB, tag string, kf, inf *flow.Flow) {
+	t.Helper()
+	if kf.Packet != inf.Packet {
+		t.Fatalf("%s: packet %v (kernel) vs %v (interpreted)", tag, kf.Packet, inf.Packet)
+	}
+	if len(kf.Items) != len(inf.Items) {
+		t.Fatalf("%s: %d items (kernel) vs %d (interpreted)\nkernel: %s\ninterp: %s",
+			tag, len(kf.Items), len(inf.Items), kf, inf)
+	}
+	for i := range kf.Items {
+		if kf.Items[i] != inf.Items[i] {
+			t.Fatalf("%s: item %d differs: %v (kernel) vs %v (interpreted)",
+				tag, i, kf.Items[i], inf.Items[i])
+		}
+	}
+	if len(kf.Visits) != len(inf.Visits) {
+		t.Fatalf("%s: %d visits (kernel) vs %d (interpreted)", tag, len(kf.Visits), len(inf.Visits))
+	}
+	for i := range kf.Visits {
+		if kf.Visits[i] != inf.Visits[i] {
+			t.Fatalf("%s: visit %d differs: %+v (kernel) vs %+v (interpreted)",
+				tag, i, kf.Visits[i], inf.Visits[i])
+		}
+	}
+	if len(kf.Anomalies) != len(inf.Anomalies) {
+		t.Fatalf("%s: %d anomalies (kernel) vs %d (interpreted)", tag, len(kf.Anomalies), len(inf.Anomalies))
+	}
+	for i := range kf.Anomalies {
+		if kf.Anomalies[i] != inf.Anomalies[i] {
+			t.Fatalf("%s: anomaly %d differs: %v (kernel) vs %v (interpreted)",
+				tag, i, kf.Anomalies[i], inf.Anomalies[i])
+		}
+	}
+	if kf.InferredCount() != inf.InferredCount() {
+		t.Fatalf("%s: inferred count %d (kernel) vs %d (interpreted)",
+			tag, kf.InferredCount(), inf.InferredCount())
+	}
+}
+
+// TestKernelMatchesInterpretedOnRandomSoup sweeps random event soup through
+// both walks for every protocol template and ablation combination.
+func TestKernelMatchesInterpretedOnRandomSoup(t *testing.T) {
+	pkt := event.PacketID{Origin: 1, Seq: 1}
+	cases := []struct {
+		name string
+		opts Options
+	}{
+		{"ctp", Options{Protocol: fsm.DefaultCTP(), Sink: 3}},
+		{"extended", Options{Protocol: fsm.ExtendedCTP(), Sink: 3}},
+		{"tableii", Options{Protocol: fsm.TableII(), Sink: 3}},
+		{"diss", Options{Protocol: fsm.Dissemination(), Sink: 3, Group: []event.NodeID{1, 2, 3, 4}}},
+		{"no-intra", Options{Protocol: fsm.DefaultCTP(), Sink: 3, DisableIntra: true}},
+		{"no-inter", Options{Protocol: fsm.DefaultCTP(), Sink: 3, DisableInter: true}},
+		{"no-both", Options{Protocol: fsm.DefaultCTP(), Sink: 3, DisableIntra: true, DisableInter: true}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			kern, interp := twinEngines(t, c.opts)
+			rng := rand.New(rand.NewSource(42))
+			for trial := 0; trial < 200; trial++ {
+				evs := randomSoup(rng, pkt, 5, 5+rng.Intn(40))
+				view := viewFor(pkt, evs)
+				requireSameFlow(t, c.name, kern.AnalyzePacket(view), interp.AnalyzePacket(view))
+			}
+		})
+	}
+}
+
+// TestKernelRevisitRotate drives the rotate fallback under the kernel walk: a
+// routing loop brings the packet back to forwarder 2, whose current visit is
+// parked past Received and cannot consume the second recv — a fresh visit on
+// the same template can, so the engine rotates.
+func TestKernelRevisitRotate(t *testing.T) {
+	pkt := event.PacketID{Origin: 1, Seq: 7}
+	evs := []event.Event{
+		{Node: 1, Type: event.Gen, Sender: 1, Packet: pkt, Time: 0},
+		{Node: 1, Type: event.Trans, Sender: 1, Receiver: 2, Packet: pkt, Time: 1},
+		{Node: 2, Type: event.Recv, Sender: 1, Receiver: 2, Packet: pkt, Time: 2},
+		{Node: 2, Type: event.Trans, Sender: 2, Receiver: 3, Packet: pkt, Time: 3},
+		{Node: 3, Type: event.Recv, Sender: 2, Receiver: 3, Packet: pkt, Time: 4},
+		{Node: 3, Type: event.Trans, Sender: 3, Receiver: 2, Packet: pkt, Time: 5},
+		// The loop: node 2 sees the packet again and must open visit 1.
+		{Node: 2, Type: event.Recv, Sender: 3, Receiver: 2, Packet: pkt, Time: 6},
+		{Node: 2, Type: event.Trans, Sender: 2, Receiver: 4, Packet: pkt, Time: 7},
+		{Node: 4, Type: event.Recv, Sender: 2, Receiver: 4, Packet: pkt, Time: 8},
+	}
+	kern, interp := twinEngines(t, Options{Protocol: fsm.DefaultCTP(), Sink: 4})
+	view := viewFor(pkt, evs)
+	kf := kern.AnalyzePacket(view)
+	requireSameFlow(t, "rotate", kf, interp.AnalyzePacket(view))
+	if len(kf.Anomalies) != 0 {
+		t.Fatalf("loop flow produced anomalies: %v", kf.Anomalies)
+	}
+	indexes := []int{}
+	for _, v := range kf.Visits {
+		if v.Node == 2 {
+			indexes = append(indexes, v.Index)
+		}
+	}
+	if len(indexes) != 2 || indexes[0] == indexes[1] {
+		t.Fatalf("node 2 should have rotated to a second visit; visit indexes = %v (flow %s)", indexes, kf)
+	}
+}
+
+// TestKernelOriginLoopAltGraph drives the alternative-template fallback under
+// the kernel walk: a routing loop returns the packet to its own origin, whose
+// template never consumes recv — not even fresh — so the engine must rotate
+// onto the forwarding template instead.
+func TestKernelOriginLoopAltGraph(t *testing.T) {
+	pkt := event.PacketID{Origin: 1, Seq: 9}
+	evs := []event.Event{
+		{Node: 1, Type: event.Gen, Sender: 1, Packet: pkt, Time: 0},
+		{Node: 1, Type: event.Trans, Sender: 1, Receiver: 2, Packet: pkt, Time: 1},
+		// The loop: the packet comes back to the origin itself.
+		{Node: 1, Type: event.Recv, Sender: 2, Receiver: 1, Packet: pkt, Time: 10},
+		{Node: 1, Type: event.Trans, Sender: 1, Receiver: 3, Packet: pkt, Time: 11},
+		{Node: 2, Type: event.Recv, Sender: 1, Receiver: 2, Packet: pkt, Time: 2},
+		{Node: 2, Type: event.Trans, Sender: 2, Receiver: 1, Packet: pkt, Time: 3},
+		{Node: 3, Type: event.Recv, Sender: 1, Receiver: 3, Packet: pkt, Time: 12},
+	}
+	// Precondition for the corner: the origin template cannot consume a recv
+	// even from a fresh start — only the alternative forwarding template can.
+	og := fsm.DefaultCTP().Graph(fsm.RoleOrigin)
+	recvLabel := fsm.On(event.Recv, fsm.SelfReceiver)
+	if _, ok := og.Next(og.Start(), recvLabel); ok {
+		t.Fatal("origin template consumes recv at start; scenario would not exercise the altGraph fallback")
+	}
+	kern, interp := twinEngines(t, Options{Protocol: fsm.DefaultCTP(), Sink: 3})
+	view := viewFor(pkt, evs)
+	kf := kern.AnalyzePacket(view)
+	requireSameFlow(t, "altgraph", kf, interp.AnalyzePacket(view))
+	// The recv at the origin must have committed (no anomaly) into a second
+	// visit — possible only by rotating onto the forwarding template.
+	if len(kf.Anomalies) != 0 {
+		t.Fatalf("loop flow produced anomalies: %v", kf.Anomalies)
+	}
+	second := false
+	for _, v := range kf.Visits {
+		second = second || (v.Node == 1 && v.Index == 1)
+	}
+	if !second {
+		t.Fatalf("origin never rotated onto a second visit: %s", kf)
+	}
+	committed := false
+	for _, it := range kf.Items {
+		committed = committed || (!it.Inferred && it.Event.Node == 1 && it.Event.Type == event.Recv)
+	}
+	if !committed {
+		t.Fatalf("origin's looped recv did not commit: %s", kf)
+	}
+}
+
+// TestKernelPrereqChainMidEvent drives the prerequisite-chain path under the
+// kernel walk: the origin's ack-recvd demands its receiver passed Received
+// (Definition 4.1), so node 2's log is consumed mid-event — its recv commits
+// into the flow before the ack does — and the walk re-resolves the origin's
+// visit before committing (engine.go's prerequisite re-resolve).
+func TestKernelPrereqChainMidEvent(t *testing.T) {
+	pkt := event.PacketID{Origin: 1, Seq: 3}
+	evs := []event.Event{
+		{Node: 1, Type: event.Gen, Sender: 1, Packet: pkt, Time: 0},
+		{Node: 1, Type: event.Trans, Sender: 1, Receiver: 2, Packet: pkt, Time: 1},
+		{Node: 1, Type: event.AckRecvd, Sender: 1, Receiver: 2, Packet: pkt, Time: 4},
+		{Node: 2, Type: event.Recv, Sender: 1, Receiver: 2, Packet: pkt, Time: 2},
+		{Node: 2, Type: event.Trans, Sender: 2, Receiver: 3, Packet: pkt, Time: 3},
+		{Node: 3, Type: event.Recv, Sender: 2, Receiver: 3, Packet: pkt, Time: 5},
+	}
+	kern, interp := twinEngines(t, Options{Protocol: fsm.DefaultCTP(), Sink: 3})
+	view := viewFor(pkt, evs)
+	kf := kern.AnalyzePacket(view)
+	requireSameFlow(t, "prereq-chain", kf, interp.AnalyzePacket(view))
+	// The chain ran mid-event: node 2's recv must precede node 1's ack in
+	// the committed flow even though node 1's whole log sorts first.
+	recvAt, ackAt := -1, -1
+	for i, it := range kf.Items {
+		switch {
+		case it.Event.Node == 2 && it.Event.Type == event.Recv:
+			if recvAt < 0 {
+				recvAt = i
+			}
+		case it.Event.Node == 1 && it.Event.Type == event.AckRecvd:
+			ackAt = i
+		}
+	}
+	if recvAt < 0 || ackAt < 0 || recvAt > ackAt {
+		t.Fatalf("prerequisite chain did not run mid-event: recv at %d, ack at %d (flow %s)", recvAt, ackAt, kf)
+	}
+
+	// Lossy variant: node 2 logged nothing, so the chain must infer the recv
+	// instead of consuming it — the cascade the kernel walk must replay
+	// identically.
+	lossy := []event.Event{evs[0], evs[1], evs[2]}
+	lview := viewFor(pkt, lossy)
+	lk := kern.AnalyzePacket(lview)
+	requireSameFlow(t, "prereq-chain-lossy", lk, interp.AnalyzePacket(lview))
+	tru := true
+	if !lk.Contains(event.Key{Type: event.Recv, Sender: 1, Receiver: 2, Packet: pkt}, &tru) {
+		t.Fatalf("lossy chain did not infer node 2's recv: %s", lk)
+	}
+}
+
+// soupFromBytes decodes a fuzz input into structurally valid event soup:
+// three bytes per event (type, endpoint, endpoint), shaped exactly like
+// randomSoup's generator so the fuzzer explores the same space the soup
+// tests sample.
+func soupFromBytes(data []byte) []event.Event {
+	types := []event.Type{event.Gen, event.Recv, event.Trans, event.AckRecvd,
+		event.Timeout, event.Dup, event.Overflow, event.ServerRecv,
+		event.Enqueue, event.Dequeue}
+	pkt := event.PacketID{Origin: 1, Seq: 1}
+	if len(data) > 768 {
+		data = data[:768] // bound per-input work
+	}
+	var out []event.Event
+	for i := 0; i+2 < len(data); i += 3 {
+		ty := types[int(data[i])%len(types)]
+		a := event.NodeID(int(data[i+1])%4 + 1)
+		b := event.NodeID(int(data[i+2])%4 + 1)
+		if b == a {
+			b = a%4 + 1
+		}
+		var e event.Event
+		switch {
+		case ty == event.Gen:
+			e = event.Event{Node: pkt.Origin, Type: ty, Sender: pkt.Origin, Packet: pkt}
+		case ty == event.ServerRecv:
+			e = event.Event{Node: event.Server, Type: ty, Sender: a,
+				Receiver: event.Server, Packet: pkt}
+		case ty.NodeLocal():
+			e = event.Event{Node: a, Type: ty, Sender: a, Packet: pkt}
+		case ty.SenderSide():
+			e = event.Event{Node: a, Type: ty, Sender: a, Receiver: b, Packet: pkt}
+		default:
+			e = event.Event{Node: b, Type: ty, Sender: a, Receiver: b, Packet: pkt}
+		}
+		e.Time = int64(i)
+		out = append(out, e)
+	}
+	return out
+}
+
+// FuzzKernelEquivalence feeds arbitrary event soup through the kernel and
+// interpreted walks and requires byte-identical flows. Crashers and
+// divergences found by `go test -fuzz=FuzzKernelEquivalence` are pinned under
+// testdata/fuzz and replayed by every normal test run.
+func FuzzKernelEquivalence(f *testing.F) {
+	// Seeds: a clean relay, a routing loop with an origin revisit, and soup.
+	f.Add([]byte{0, 1, 1, 2, 1, 2, 1, 1, 2, 3, 1, 2, 2, 2, 3, 1, 2, 3})
+	f.Add([]byte{0, 1, 1, 2, 1, 2, 1, 1, 2, 2, 2, 1, 1, 2, 1, 2, 1, 3, 1, 3, 1})
+	f.Add([]byte{9, 3, 3, 5, 2, 1, 7, 1, 4, 4, 2, 2, 6, 1, 3, 3, 2, 4, 8, 1, 1})
+	kern, err := New(Options{Protocol: fsm.DefaultCTP(), Sink: 3})
+	if err != nil {
+		f.Fatal(err)
+	}
+	interp, err := New(Options{Protocol: fsm.DefaultCTP(), Sink: 3, Interpreted: true})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		evs := soupFromBytes(data)
+		if len(evs) == 0 {
+			return
+		}
+		pkt := event.PacketID{Origin: 1, Seq: 1}
+		view := viewFor(pkt, evs)
+		requireSameFlow(t, "fuzz", kern.AnalyzePacket(view), interp.AnalyzePacket(view))
+	})
+}

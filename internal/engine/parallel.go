@@ -178,14 +178,14 @@ func (e *Engine) AnalyzeStream(c *event.Collection, workers int) *Result {
 
 // streamSizing estimates arena geometry before any views exist: the
 // collection's total event count bounds the logged volume, and the inferred
-// share uses the same quarter-of-logged heuristic as flowSizing. View and
+// share uses the same eighth-of-logged heuristic as flowSizing. View and
 // span counts are unknown mid-stream, so the flow/visit hints borrow the
 // partitioners' events/8 packet-count guess.
 func (e *Engine) streamSizing(c *event.Collection) flow.Sizing {
 	logged := c.TotalEvents()
 	inferred := 0
 	if !e.opts.DisableIntra || !e.opts.DisableInter {
-		inferred = logged/4 + 1
+		inferred = logged/8 + 1
 	}
 	pkts := logged/8 + 1
 	return flow.Sizing{

@@ -77,14 +77,24 @@ func (c *column[T]) carve(n int) []T {
 		if size < n {
 			size = n
 		}
+		first := c.chunk == nil
 		c.chunk = make([]T, 0, size)
-		// Geometric refill growth: a low sizing hint costs O(log n)
-		// extra chunks, not O(n) — the "corrected by chunking" half of
-		// the sizing contract.
-		if c.next < size {
-			c.next = size
+		if first {
+			// A sizing hint that falls just short should cost a cheap
+			// correction chunk, not a doubling of the whole column: the
+			// first refill is half the hinted chunk. Large allocations
+			// are the campaign's dominant cost (the chunk is zeroed and
+			// its pages faulted in), so over-allocation is pure waste.
+			c.next = size / 2
+			if c.next < 64 {
+				c.next = 64
+			}
+		} else {
+			// Geometric refill growth from there: a badly low hint costs
+			// O(log n) extra chunks, not O(n) — the "corrected by
+			// chunking" half of the sizing contract.
+			c.next = size * 2
 		}
-		c.next *= 2
 	}
 	off := len(c.chunk)
 	c.chunk = c.chunk[:off+n]

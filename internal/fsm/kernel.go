@@ -1,0 +1,159 @@
+package fsm
+
+import "repro/internal/event"
+
+// This file compiles a finalized Graph into a threaded-code kernel: one flat
+// op array with a precomputed record per (state, label) dispatch slot, so the
+// engine's per-event hot loop is a single table load plus a small action-mask
+// switch instead of two dense-table probes, a Transition struct copy and
+// per-event re-derivation of the start-state fallback ("can a fresh visit
+// consume this label?"). The kernel is derived storage only — the dense
+// tables and the transition slices remain the source of truth, and
+// internal/lint's "kernel" check compares every op against the reference
+// lookups (NormalNextReference / IndexedIntraNext + PathTo).
+
+// KernelOp action-mask bits: the graph-independent effects the engine applies
+// when committing an event of the slot's type (the custody/peer-binding
+// switch formerly keyed on ev.Type in engine.apply).
+const (
+	// KernelActBindPeer: the event names a transmission target that binds
+	// the visit's peer (trans / ack-recvd / timeout).
+	KernelActBindPeer uint8 = 1 << iota
+	// KernelActRecvMark: the event is a custody entry (recv / gen) whose
+	// inferred-ness is recorded on the visit.
+	KernelActRecvMark
+)
+
+// KernelOp flag bits: rotate/alt-graph fallback hints, replicated into every
+// state's row so one op load answers the revisit question too.
+const (
+	// KernelStartNormal: the graph's start state has a normal transition on
+	// this slot's label — a fresh visit could consume the event.
+	KernelStartNormal uint8 = 1 << iota
+	// KernelStartIntra: the start state has a derived intra transition on
+	// this slot's label (consumable unless the intra ablation is on).
+	KernelStartIntra
+)
+
+// KernelOp is one compiled (state, label) dispatch slot. Indexes are -1 when
+// the slot has no transition of that kind. The intra infer path (the skipped
+// normal-path events Section IV-B turns into inferred lost events) is stored
+// as a span [StepLo, StepLo+StepN) into the kernel's flattened step array.
+type KernelOp struct {
+	NormalTr int32 // index into NormalTransitions(), -1 if none
+	IntraTr  int32 // index into IntraTransitions(), -1 if none
+	NormalTo int32 // To state of the normal transition, -1 if none
+	IntraTo  int32 // To state of the intra transition, -1 if none
+	StepLo   int32 // first infer-path step (index into StepIndexes())
+	StepN    int32 // infer-path length (0 for normal-only slots)
+	Flags    uint8 // KernelStart* fallback hints
+	Actions  uint8 // KernelAct* custody/peer-binding mask
+}
+
+// KernelMiss is the op for a slot outside the kernel's label width (an event
+// type the graph never mentions): no transition, no hints.
+var KernelMiss = KernelOp{NormalTr: -1, IntraTr: -1, NormalTo: -1, IntraTo: -1}
+
+// Kernel is the compiled threaded-code form of one Graph: row-major ops
+// addressed by int(state)*Width() + slot, with the intra infer paths
+// flattened into one shared step-index array (indices into the graph's
+// normal transitions).
+type Kernel struct {
+	ops    []KernelOp
+	steps  []int32
+	width  int
+	states int
+}
+
+// Width returns the kernel's label width (slots per state row). Identical to
+// the dense dispatch tables' width: three slots per event type, one per Role
+// value.
+func (k *Kernel) Width() int { return k.width }
+
+// NumStates returns the number of state rows.
+func (k *Kernel) NumStates() int { return k.states }
+
+// Ops returns the flat op array, row-major by state. Shared storage: callers
+// must not mutate it.
+func (k *Kernel) Ops() []KernelOp { return k.ops }
+
+// StepIndexes returns the flattened infer-path storage: each value is an
+// index into the graph's NormalTransitions(). Shared storage; read-only.
+func (k *Kernel) StepIndexes() []int32 { return k.steps }
+
+// Op is the bounds-checked lookup used by lint and tests: the op for state s
+// on label l, or KernelMiss when the label falls outside the kernel (invalid
+// Role, unknown event type).
+func (k *Kernel) Op(s StateID, l Label) KernelOp {
+	slot, ok := LabelSlot(l)
+	if !ok || slot >= k.width || int(s) < 0 || int(s) >= k.states {
+		return KernelMiss
+	}
+	return k.ops[int(s)*k.width+slot]
+}
+
+// LabelSlot maps a label to its kernel/dispatch column. The boolean is false
+// for Role values outside [0, 2], which must miss rather than alias a
+// neighboring event type's columns (same contract as the dense tables).
+func LabelSlot(l Label) (int, bool) {
+	if l.Self < 0 || l.Self > 2 {
+		return 0, false
+	}
+	return labelSlot(l), true
+}
+
+// Kernel returns the graph's compiled kernel (built at Finalize).
+func (g *Graph) Kernel() *Kernel { return g.kernel }
+
+// kernelActions is the custody/peer-binding mask for an event type — the
+// compiled form of the type switch in the engine's apply.
+func kernelActions(t event.Type) uint8 {
+	switch t {
+	case event.Trans, event.AckRecvd, event.Timeout:
+		return KernelActBindPeer
+	case event.Recv, event.Gen:
+		return KernelActRecvMark
+	}
+	return 0
+}
+
+// compileKernel lowers the dense dispatch tables into the flat op array.
+// Runs after buildDispatchTables; every derived input (sorted transitions,
+// intra derivation, memoized paths) is already in place.
+func (g *Graph) compileKernel() {
+	k := &Kernel{width: g.labelWidth, states: len(g.states)}
+	k.ops = make([]KernelOp, len(g.states)*g.labelWidth)
+	startRow := int(g.start) * g.labelWidth
+	for s := 0; s < len(g.states); s++ {
+		row := s * g.labelWidth
+		for slot := 0; slot < g.labelWidth; slot++ {
+			op := KernelMiss
+			t := event.Type(slot / 3)
+			op.Actions = kernelActions(t)
+			if g.normalTab[startRow+slot] >= 0 {
+				op.Flags |= KernelStartNormal
+			}
+			if g.intraTab[startRow+slot] >= 0 {
+				op.Flags |= KernelStartIntra
+			}
+			if ni := g.normalTab[row+slot]; ni >= 0 {
+				op.NormalTr = ni
+				op.NormalTo = int32(g.normal[ni].To)
+			}
+			if ii := g.intraTab[row+slot]; ii >= 0 {
+				op.IntraTr = ii
+				op.IntraTo = int32(g.intra[ii].To)
+				op.StepLo = int32(len(k.steps))
+				for _, step := range g.intra[ii].InferPath {
+					// InferPath entries are value copies of normal
+					// transitions; record their indexes so the engine
+					// walks the span without touching the nested slice.
+					k.steps = append(k.steps, int32(g.normalIndex[transKey{step.From, step.On}][0]))
+				}
+				op.StepN = int32(len(g.intra[ii].InferPath))
+			}
+			k.ops[row+slot] = op
+		}
+	}
+	g.kernel = k
+}

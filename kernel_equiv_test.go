@@ -1,0 +1,64 @@
+package refill
+
+// Equivalence suite for the compiled threaded-code kernels: the default
+// kernel-walk engine must be indistinguishable from the interpreted reference
+// walk (WithInterpretedEngine) on real campaign logs — deeply equal results,
+// byte-identical flow serializations and rendered reports — across the
+// serial, parallel, streaming and two-pass (separate diagnosis) pipelines.
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestKernelEngineEquivalence(t *testing.T) {
+	for _, seed := range []int64{11, 12} {
+		camp, err := RunCampaign(TinyCampaign(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := AnalyzerOptions{Sink: camp.Sink, End: int64(camp.Duration)}
+		interp, err := NewAnalyzer(opts, WithInterpretedEngine())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := interp.Analyze(camp.Logs)
+		if len(want.Result.Flows) == 0 {
+			t.Fatalf("seed %d: no flows", seed)
+		}
+		wantFlows := serializeFlows(want.Result.Flows)
+		wantReport := RenderBreakdown(want.Report)
+		modes := []struct {
+			name   string
+			extra  []AnalyzerOption
+			stream bool
+		}{
+			{"serial", nil, false},
+			{"parallel-2", []AnalyzerOption{WithParallelism(2)}, false},
+			{"parallel-all", []AnalyzerOption{WithParallelism(-1)}, false},
+			{"stream", []AnalyzerOption{WithParallelism(2)}, true},
+			{"two-pass", []AnalyzerOption{WithSeparateDiagnosis()}, false},
+		}
+		for _, m := range modes {
+			an, err := NewAnalyzer(opts, m.extra...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var out *Output
+			if m.stream {
+				out = AnalyzeStream(an, camp.Logs)
+			} else {
+				out = an.Analyze(camp.Logs)
+			}
+			if !reflect.DeepEqual(want.Result, out.Result) {
+				t.Errorf("seed %d %s: kernel result diverged from the interpreted walk", seed, m.name)
+			}
+			if got := serializeFlows(out.Result.Flows); got != wantFlows {
+				t.Errorf("seed %d %s: kernel flow serialization diverged", seed, m.name)
+			}
+			if got := RenderBreakdown(out.Report); got != wantReport {
+				t.Errorf("seed %d %s: kernel report diverged:\n%s\nvs\n%s", seed, m.name, got, wantReport)
+			}
+		}
+	}
+}

@@ -219,6 +219,14 @@ func WithDailyBins(dayLen int64, days int) AnalyzerOption { return core.WithDail
 // and for measuring the fusion itself.
 func WithSeparateDiagnosis() AnalyzerOption { return core.WithSeparateDiagnosis() }
 
+// WithInterpretedEngine forces the engine's interpreted reference walk —
+// per-event dense-table probes — instead of the default compiled-kernel
+// execution (each protocol graph is lowered to a flat threaded-code op array
+// at build time and driven by a column-wise walk over the packet view).
+// Outputs are byte-identical either way; like WithSeparateDiagnosis this is
+// an escape hatch for debugging and for measuring the kernel itself.
+func WithInterpretedEngine() AnalyzerOption { return core.WithInterpretedEngine() }
+
 // AnalyzeStream runs the pipeline with partitioning overlapped with
 // reconstruction: packet views are handed to workers the moment the
 // partitioning scan completes them, hiding most of the partition cost behind
