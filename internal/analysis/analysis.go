@@ -34,20 +34,30 @@ type Analyzer struct {
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
-	out      *[]Diagnostic
+	// All is the full load result (dependencies included), for passes that
+	// need facts declared outside the package under analysis — shardowner
+	// reads `//refill:owned` markers off dependency type declarations.
+	All []*Package
+	out *[]Diagnostic
 }
 
-// Reportf records a diagnostic at pos unless a `//refill:allow <analyzer>`
-// directive on the same line or the line above suppresses it.
+// Reportf records a diagnostic at pos. A `//refill:allow <analyzer>` directive
+// on the same line or the line above marks the diagnostic Allowed; Run drops
+// allowed findings, RunAll surfaces them with their suppression status.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
-	position := p.Pkg.Fset.Position(pos)
-	if p.Pkg.allowed(p.Analyzer.Name, position) {
-		return
-	}
+	p.ReportAtPosition(p.Pkg.Fset.Position(pos), format, args...)
+}
+
+// ReportAtPosition is Reportf for findings whose location comes from outside
+// the FileSet — escapecheck anchors diagnostics at positions parsed out of the
+// compiler's -m=2 output. The allow-directive lookup matches on the position's
+// filename and line exactly like Reportf.
+func (p *Pass) ReportAtPosition(position token.Position, format string, args ...any) {
 	*p.out = append(*p.out, Diagnostic{
 		Analyzer: p.Analyzer.Name,
 		Pos:      position,
 		Message:  fmt.Sprintf(format, args...),
+		Allowed:  p.Pkg.allowed(p.Analyzer.Name, position),
 	})
 }
 
@@ -56,6 +66,10 @@ type Diagnostic struct {
 	Analyzer string
 	Pos      token.Position
 	Message  string
+	// Allowed marks a finding suppressed by a //refill:allow directive. Run
+	// filters allowed findings out; RunAll keeps them so machine consumers
+	// (-json) can expose the suppression status.
+	Allowed bool
 }
 
 func (d Diagnostic) String() string {
@@ -64,8 +78,22 @@ func (d Diagnostic) String() string {
 
 // Run executes every matching analyzer over every root package (packages the
 // load patterns named directly, not their dependencies) and returns the
-// surviving diagnostics in deterministic order.
+// surviving diagnostics — directive-suppressed findings dropped — in
+// deterministic order.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	all := RunAll(pkgs, analyzers)
+	out := all[:0]
+	for _, d := range all {
+		if !d.Allowed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// RunAll is Run without the suppression filter: allowed findings are returned
+// too, carrying Allowed=true, so -json consumers can audit directive usage.
+func RunAll(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var out []Diagnostic
 	for _, pkg := range pkgs {
 		if !pkg.Root {
@@ -75,7 +103,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 			if a.Match != nil && !a.Match(pkg.Path) {
 				continue
 			}
-			a.Run(&Pass{Analyzer: a, Pkg: pkg, out: &out})
+			a.Run(&Pass{Analyzer: a, Pkg: pkg, All: pkgs, out: &out})
 		}
 	}
 	sort.SliceStable(out, func(i, j int) bool {

@@ -9,17 +9,19 @@ import (
 // Analyzers returns the repo's pass set in the order cmd/refill-lint runs
 // them.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{MapRange, WallClock, PoolHygiene}
+	return []*Analyzer{MapRange, WallClock, PoolHygiene, EscapeCheck, ShardOwner}
 }
 
 // deterministicPackages are the packages whose output must be bit-identical
-// across runs: the inference core (fsm, engine), the flow model, and the
-// report emitters. Ranging over a map anywhere in them risks nondeterministic
-// output or inference order.
+// across runs: the inference core (fsm, engine), the flow and event models,
+// the diagnosis aggregates, and the report emitters. Ranging over a map
+// anywhere in them risks nondeterministic output or inference order.
 var deterministicPackages = PathIn(
 	"repro/internal/fsm",
 	"repro/internal/engine",
 	"repro/internal/flow",
+	"repro/internal/event",
+	"repro/internal/diagnosis",
 	"repro/internal/report",
 	"repro/internal/analysis/testdata/src/fixture",
 )
@@ -61,6 +63,7 @@ var replayDeterministicPackages = PathIn(
 	"repro/internal/engine",
 	"repro/internal/flow",
 	"repro/internal/event",
+	"repro/internal/diagnosis",
 	"repro/internal/analysis/testdata/src/fixture",
 )
 

@@ -1,0 +1,73 @@
+// Package escapefix seeds one violation per escapecheck rule, plus clean and
+// directive-suppressed counterparts proving the annotations and allows work.
+// Line numbers are pinned by internal/analysis tests — keep edits
+// append-only.
+package escapefix
+
+// HotEscape is annotated noalloc but returns the address of a local: the
+// compiler moves x to the heap, which escapecheck must report.
+//
+//refill:noalloc
+func HotEscape(n int) *int {
+	x := n + 1
+	return &x
+}
+
+// HotMake is annotated noalloc but builds an escaping slice.
+//
+//refill:noalloc
+func HotMake(n int) []int {
+	return make([]int, n)
+}
+
+// TooBig is annotated inline but exceeds the inliner's cost budget.
+//
+//refill:inline
+func TooBig(a, b int) int {
+	for i := 0; i < b; i++ {
+		switch {
+		case a%3 == 0:
+			a += i * 7
+		case a%5 == 0:
+			a -= i * 3
+		case a%7 == 0:
+			a ^= i << 2
+		default:
+			a += i
+		}
+		for j := 0; j < i; j++ {
+			a += j ^ i
+			if a > 1<<20 {
+				a >>= 3
+			}
+			switch j & 3 {
+			case 0:
+				a += j*13 + i
+			case 1:
+				a -= j * 11
+			case 2:
+				a ^= (j + i) << 1
+			default:
+				a = a*31 + j
+			}
+		}
+	}
+	return a
+}
+
+// CleanAdd satisfies both disciplines: no allocation, trivially inlinable.
+//
+//refill:noalloc
+//refill:inline
+func CleanAdd(a, b int) int {
+	return a + b*2
+}
+
+// AmortizedBuffer carries a deliberate, allow-suppressed allocation — the
+// noalloc pattern for amortized refills.
+//
+//refill:noalloc
+func AmortizedBuffer() []byte {
+	//refill:allow escapecheck — deliberate: one-time buffer, amortized over the fixture's lifetime
+	return make([]byte, 64)
+}

@@ -1,0 +1,87 @@
+// Package shardfix seeds one violation per shardowner crossing rule — the
+// worker-owned-scratch-leaked-through-a-closure bug class the sharded engine
+// must never reintroduce — plus an allow-suppressed merge-at-join handoff
+// proving the directive works. LeakClosure is also a real data race: the
+// -race regression test in internal/analysis reproduces dynamically what the
+// pass catches statically. Line numbers are pinned by tests — keep edits
+// append-only.
+package shardfix
+
+import "sync"
+
+// Scratch is per-worker scratch state: reusable, mutated on every use, and
+// meaningless to share.
+//
+//refill:owned
+type Scratch struct {
+	Hits []int
+}
+
+// NewScratch allocates a fresh worker-owned scratch.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// LeakClosure captures one worker-owned scratch in two goroutine closures —
+// the seeded capture violation, and a genuine data race on Hits.
+func LeakClosure() int {
+	s := NewScratch()
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				s.Hits = append(s.Hits, i)
+			}
+		}()
+	}
+	wg.Wait()
+	return len(s.Hits)
+}
+
+// LeakSend hands an owned value to another goroutine over a channel without
+// declaring the transfer.
+func LeakSend(ch chan *Scratch) {
+	s := NewScratch()
+	s.Hits = append(s.Hits, 1)
+	ch <- s
+}
+
+// shared is a package-level owned value: reachable from every goroutine.
+var shared *Scratch
+
+// Publish stores an owned value into the package-level variable.
+func Publish() {
+	shared = NewScratch()
+}
+
+// LeakArg passes the owned value into the spawned goroutine as a call
+// argument.
+func LeakArg(done chan struct{}) {
+	s := NewScratch()
+	go consume(s, done)
+}
+
+func consume(s *Scratch, done chan struct{}) {
+	s.Hits = append(s.Hits, 2)
+	close(done)
+}
+
+// MergeAtJoin is the sanctioned handoff: each worker creates its own scratch,
+// publishes it into its private result slot, and provably stops touching it
+// before the join reads anything.
+func MergeAtJoin() int {
+	out := make([]*Scratch, 2)
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := NewScratch()
+			s.Hits = append(s.Hits, w)
+			//refill:allow shardowner — merge-at-join handoff: each worker writes only its own slot, read after Wait
+			out[w] = s
+		}(w)
+	}
+	wg.Wait()
+	return len(out[0].Hits) + len(out[1].Hits)
+}

@@ -1,0 +1,23 @@
+package shardfix
+
+import "testing"
+
+// TestLeakClosureRaces exists to be run under -race by the shardowner
+// regression test in internal/analysis (TestShardOwnerCatchesRealRace): the
+// closure-captured scratch in LeakClosure is a real data race, so the run is
+// expected to FAIL with a race report — proving the pass catches statically
+// what the race detector catches dynamically. testdata packages are invisible
+// to ./..., so the seeded race never runs in the normal suite.
+func TestLeakClosureRaces(t *testing.T) {
+	if LeakClosure() < 0 {
+		t.Fatal("impossible")
+	}
+}
+
+// TestMergeAtJoinIsRaceFree pins the sanctioned handoff pattern: the
+// allow-annotated merge-at-join does not race.
+func TestMergeAtJoinIsRaceFree(t *testing.T) {
+	if got := MergeAtJoin(); got != 2 {
+		t.Fatalf("MergeAtJoin = %d, want 2", got)
+	}
+}

@@ -50,6 +50,8 @@ func NewAggregate(sink event.NodeID, dayLen int64, days int) *Aggregate {
 
 // Add folds one outcome in. Outcomes must already be outage-adjusted
 // (ApplyOutages) — the aggregate records causes as given.
+//
+//refill:noalloc — fused per-commit path; point collection grows only via append
 func (a *Aggregate) Add(o Outcome) {
 	a.total++
 	a.byCause[o.Cause]++
@@ -63,6 +65,7 @@ func (a *Aggregate) Add(o Outcome) {
 		if o.Position == event.Server {
 			a.serverSite[o.Cause]++
 		} else {
+			//refill:allow escapecheck — amortized dense-table doubling (siteAt inlines here): O(log maxNode) makes
 			a.siteAt(o.Position, o.Cause)
 		}
 	}
@@ -92,12 +95,15 @@ func (a *Aggregate) Add(o Outcome) {
 
 // siteAt bumps the (node, cause) cell, growing the dense table to cover the
 // node. Growth doubles capacity so ascending node IDs stay amortized O(1).
+//
+//refill:noalloc — per-loss counter bump; only amortized table growth may allocate
 func (a *Aggregate) siteAt(n event.NodeID, c Cause) {
 	need := (int(n) + 1) * nc
 	if need > len(a.site) {
 		if need <= cap(a.site) {
 			a.site = a.site[:need]
 		} else {
+			//refill:allow escapecheck — amortized dense-table doubling: O(log maxNode) makes per aggregate
 			grown := make([]int32, need, 2*need)
 			copy(grown, a.site)
 			a.site = grown

@@ -20,6 +20,8 @@ import (
 // map[string]bool probes. Visits without an index (hand-assembled in tests)
 // fall back to resolving the state name; names outside the tables read as
 // "no predicate", exactly like the old map misses.
+//
+//refill:owned — per-worker scratch: the fused analysis paths give each worker its own
 type Classifier struct {
 	// Dense predicate tables indexed by fsm.StateIndex. drop uses
 	// Delivered (the zero Cause, never a drop cause) as the "not a drop
@@ -185,6 +187,8 @@ func (c *Classifier) arrival(s, r event.NodeID) {
 // implements; see that doc comment): one pass over the items builds the loss
 // time, the delivery verdict, the per-hop reception counts and the custody
 // path, then two passes over the visit summaries pick the packet's frontier.
+//
+//refill:noalloc — 0 allocs/op steady-state, benchguard-pinned; scratch grows only via append
 func (c *Classifier) Classify(f *flow.Flow) Outcome {
 	out := Outcome{Packet: f.Packet, Cause: Unknown, Position: event.NoNode, Toward: event.NoNode}
 	c.hops = c.hops[:0]

@@ -101,6 +101,7 @@ func (e *Engine) AnalyzeParallelDiagnosed(c *event.Collection, workers int, cfg 
 					wagg.Add(outs[i])
 				}
 			}
+			//refill:allow shardowner — merge-at-join handoff: each worker writes only aggs[w], read after wg.Wait
 			aggs[w] = wagg
 		}(w)
 	}

@@ -339,6 +339,8 @@ func (q queueSpan) empty() bool { return q.cur >= q.end }
 // scratch slices, which keep their capacity across packets; analyze commits
 // them as exact-sized arena spans at the end, so steady-state reconstruction
 // allocates nothing per flow beyond the amortized arena chunks.
+//
+//refill:owned — per-packet run state: one run per worker, recycled through runPool only between packets
 type run struct {
 	e    *Engine
 	pkt  event.PacketID

@@ -32,6 +32,8 @@ const (
 // step consumes the next queued event of node index ni, routing it through
 // the kernel walk or, under Options.Interpreted, the reference path. The
 // caller must have checked the queue is non-empty.
+//
+//refill:noalloc — per-event dispatch; every queued event passes through here
 func (r *run) step(ni, depth int) bool {
 	row := int(r.queues[ni].cur)
 	r.queues[ni].cur++
@@ -43,6 +45,9 @@ func (r *run) step(ni, depth int) bool {
 
 // kop loads the visit's kernel op for a label slot. Slots beyond the kernel's
 // width belong to event types the graph never mentions and miss.
+//
+//refill:noalloc
+//refill:inline — one bounds test and one indexed load; must fold into processRow
 func (r *run) kop(v *visit, slot int) fsm.KernelOp {
 	if slot >= v.kw {
 		return fsm.KernelMiss
@@ -61,12 +66,18 @@ func kernelOpAt(g *fsm.Graph, s fsm.StateID, slot int) fsm.KernelOp {
 
 // kernelHas reports whether the op carries a consumable transition under the
 // intra ablation — the compiled form of transitionFor's hit test.
+//
+//refill:noalloc
+//refill:inline
 func kernelHas(op fsm.KernelOp, disIntra bool) bool {
 	return op.NormalTr >= 0 || (!disIntra && op.IntraTr >= 0)
 }
 
 // kernelStartCan is startCan compiled into the op's replicated fallback
 // hints: could a fresh visit of the op's graph consume the slot's label?
+//
+//refill:noalloc
+//refill:inline
 func kernelStartCan(flags uint8, disIntra bool) bool {
 	if flags&fsm.KernelStartNormal != 0 {
 		return true
@@ -80,6 +91,8 @@ func kernelStartCan(flags uint8, disIntra bool) bool {
 // materialization to commit and anomaly points. Every branch corresponds
 // one-to-one to a branch of process — the equivalence suites depend on the
 // two paths agreeing byte-for-byte.
+//
+//refill:noalloc — the kernel walk's hot loop: the alloc war's wins live or die here
 func (r *run) processRow(ni, row, depth int) bool {
 	n := r.nodes[ni]
 	if depth > r.e.opts.MaxDepth {
@@ -139,6 +152,7 @@ func (r *run) processRow(ni, row, depth int) bool {
 			}
 		}
 		if !kernelHas(op, disIntra) {
+			//refill:allow escapecheck — anomaly path: rare by construction, diagnostic string wanted
 			r.anomaly(r.view.EventAt(row), "no transition from state "+v.graph.State(v.cur).Name)
 			return false
 		}
@@ -178,6 +192,7 @@ func (r *run) processRow(ni, row, depth int) bool {
 			if !evSet {
 				ev = r.view.EventAt(row)
 			}
+			//refill:allow escapecheck — anomaly path: rare by construction, diagnostic string wanted
 			r.anomaly(ev, "visit advanced by prerequisite chain; no transition from "+v.graph.State(v.cur).Name)
 			return false
 		}
@@ -197,6 +212,9 @@ func (r *run) processRow(ni, row, depth int) bool {
 // applyOp commits a logged event under the kernel walk: apply with the
 // custody/peer-binding type switch replaced by the op's compiled action mask
 // (inferred is always false here — inferred events go through apply).
+//
+//refill:noalloc
+//refill:inline — commit path for every logged event under the kernel walk
 func (r *run) applyOp(v *visit, to fsm.StateID, ev event.Event, acts uint8) {
 	pos := r.appendItem(flow.Item{Event: ev})
 	v.cur = to

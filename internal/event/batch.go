@@ -165,6 +165,9 @@ func (b *Batch) setFrom(src *Batch, si, i int) {
 }
 
 // At materializes row i as an Event.
+//
+//refill:noalloc
+//refill:inline — called per committed row on the flow output path
 func (b *Batch) At(i int) Event {
 	e := Event{
 		Node:     b.node[i],
@@ -232,6 +235,9 @@ type Columns struct {
 }
 
 // Columns returns the batch's hot columns (shared storage; read-only).
+//
+//refill:noalloc
+//refill:inline — the kernel walk fetches columns once per span
 func (b *Batch) Columns() Columns {
 	return Columns{
 		Node:     b.node,

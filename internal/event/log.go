@@ -87,6 +87,7 @@ func (c *Collection) Add(e Event) {
 // deterministic iteration.
 func (c *Collection) Nodes() []NodeID {
 	nodes := make([]NodeID, 0, len(c.Logs))
+	//refill:allow maprange — key collection; the sort below imposes the order
 	for n := range c.Logs {
 		nodes = append(nodes, n)
 	}
@@ -97,6 +98,7 @@ func (c *Collection) Nodes() []NodeID {
 // TotalEvents returns the number of events across all logs.
 func (c *Collection) TotalEvents() int {
 	total := 0
+	//refill:allow maprange — commutative sum; order-independent
 	for _, l := range c.Logs {
 		total += l.Len()
 	}
@@ -116,6 +118,7 @@ func (c *Collection) Validate() error {
 // Clone returns a deep copy of the collection.
 func (c *Collection) Clone() *Collection {
 	out := NewCollection()
+	//refill:allow maprange — map-to-map copy; no ordered output is produced
 	for n, l := range c.Logs {
 		cl := l.Clone()
 		out.Logs[n] = &cl
@@ -158,6 +161,7 @@ type PacketView struct {
 func NewPacketView(pkt PacketID, perNode map[NodeID][]Event) *PacketView {
 	nodes := make([]NodeID, 0, len(perNode))
 	total := 0
+	//refill:allow maprange — key collection + commutative count; the sort below imposes the order
 	for n, evs := range perNode {
 		nodes = append(nodes, n)
 		total += len(evs)
@@ -184,6 +188,9 @@ func NewPacketView(pkt PacketID, perNode map[NodeID][]Event) *PacketView {
 func (v *PacketView) Spans() []ViewSpan { return v.spans }
 
 // EventAt materializes the event at batch row i (an index taken from a span).
+//
+//refill:noalloc
+//refill:inline — the engine's per-committed-row fetch
 func (v *PacketView) EventAt(i int) Event { return v.batch.At(i) }
 
 // Columns returns the hot columns of the view's backing batch, for span-wise

@@ -17,6 +17,8 @@ import "repro/internal/event"
 // All methods tolerate a nil receiver, which degrades to plain exact-sized
 // heap allocation — the engine funnels both its arena-backed and its
 // standalone (AnalyzePacket) paths through the same Build call.
+//
+//refill:owned — one arena per worker; flows carved by one worker must not cross another
 type Arena struct {
 	flows  column[Flow]
 	items  column[Item]
@@ -53,6 +55,7 @@ func NewArena(s Sizing) *Arena {
 	return a
 }
 
+//refill:inline
 func chunkHint(hint, def int) int {
 	if hint > def {
 		return hint
@@ -71,6 +74,8 @@ type column[T any] struct {
 
 // carve returns a zeroed span of exactly n elements (cap clamped to n, so a
 // consumer appending to it copies out instead of clobbering its neighbor).
+//
+//refill:noalloc — span carving is the campaign-dominant commit path; only chunk refills may allocate
 func (c *column[T]) carve(n int) []T {
 	if n > cap(c.chunk)-len(c.chunk) {
 		size := c.next
@@ -78,6 +83,7 @@ func (c *column[T]) carve(n int) []T {
 			size = n
 		}
 		first := c.chunk == nil
+		//refill:allow escapecheck — amortized chunk refill: O(log n) makes over a column's lifetime
 		c.chunk = make([]T, 0, size)
 		if first {
 			// A sizing hint that falls just short should cost a cheap
@@ -107,9 +113,12 @@ func (c *column[T]) carve(n int) []T {
 // installed. inferred must be the number of inferred entries in items.
 // Empty slices commit as nil on both paths, so arena-backed and standalone
 // flows stay deeply equal.
+//
+//refill:noalloc — arena-backed commits must stay on carved spans; only the nil-arena standalone path allocates
 func (a *Arena) Build(pkt event.PacketID, items []Item, visits []Visit, anoms []Anomaly, inferred int) *Flow {
 	var f *Flow
 	if a == nil {
+		//refill:allow escapecheck — nil-arena standalone path: exact-sized by design (AnalyzePacket)
 		f = new(Flow)
 	} else {
 		f = &a.flows.carve(1)[0]
@@ -118,6 +127,7 @@ func (a *Arena) Build(pkt event.PacketID, items []Item, visits []Visit, anoms []
 	if len(items) > 0 {
 		var dst []Item
 		if a == nil {
+			//refill:allow escapecheck — nil-arena standalone path: exact-sized by design
 			dst = make([]Item, len(items))
 		} else {
 			dst = a.items.carve(len(items))
@@ -128,6 +138,7 @@ func (a *Arena) Build(pkt event.PacketID, items []Item, visits []Visit, anoms []
 	if len(visits) > 0 {
 		var dst []Visit
 		if a == nil {
+			//refill:allow escapecheck — nil-arena standalone path: exact-sized by design
 			dst = make([]Visit, len(visits))
 		} else {
 			dst = a.visits.carve(len(visits))
@@ -138,6 +149,7 @@ func (a *Arena) Build(pkt event.PacketID, items []Item, visits []Visit, anoms []
 	if len(anoms) > 0 {
 		var dst []Anomaly
 		if a == nil {
+			//refill:allow escapecheck — nil-arena standalone path: exact-sized by design
 			dst = make([]Anomaly, len(anoms))
 		} else {
 			dst = a.anoms.carve(len(anoms))

@@ -84,6 +84,9 @@ func (k *Kernel) StepIndexes() []int32 { return k.steps }
 // Op is the bounds-checked lookup used by lint and tests: the op for state s
 // on label l, or KernelMiss when the label falls outside the kernel (invalid
 // Role, unknown event type).
+//
+//refill:noalloc
+//refill:inline
 func (k *Kernel) Op(s StateID, l Label) KernelOp {
 	slot, ok := LabelSlot(l)
 	if !ok || slot >= k.width || int(s) < 0 || int(s) >= k.states {
@@ -103,6 +106,9 @@ func LabelSlot(l Label) (int, bool) {
 }
 
 // Kernel returns the graph's compiled kernel (built at Finalize).
+//
+//refill:noalloc
+//refill:inline — fetched once per packet by the engine
 func (g *Graph) Kernel() *Kernel { return g.kernel }
 
 // kernelActions is the custody/peer-binding mask for an event type — the
