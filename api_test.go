@@ -263,12 +263,16 @@ func TestPublicParallelismAndStreamIdentical(t *testing.T) {
 		if got := reportFingerprint(an.Analyze(camp.Logs)); got != want {
 			t.Fatalf("Parallelism=%d diverged from serial", workers)
 		}
-		if got := reportFingerprint(AnalyzeStream(an, camp.Logs)); got != want {
+		if got := reportFingerprint(an.AnalyzeStream(camp.Logs)); got != want {
 			t.Fatalf("AnalyzeStream with Parallelism=%d diverged from serial", workers)
 		}
 	}
-	if got := reportFingerprint(AnalyzeStream(base, camp.Logs)); got != want {
+	if got := reportFingerprint(base.AnalyzeStream(camp.Logs)); got != want {
 		t.Fatal("AnalyzeStream with default options diverged from serial")
+	}
+	// The deprecated package-level wrapper must keep forwarding verbatim.
+	if got := reportFingerprint(AnalyzeStream(base, camp.Logs)); got != want {
+		t.Fatal("deprecated package-level AnalyzeStream diverged from the method")
 	}
 }
 
@@ -284,6 +288,10 @@ func TestPublicRecoverClocksWith(t *testing.T) {
 	out := an.Analyze(camp.Logs)
 	def := RecoverClocks(out.Result.Flows, Server)
 	same := RecoverClocksWith(out.Result.Flows, Server, RecoverClocksOpts{})
+	viaOpts := RecoverClocks(out.Result.Flows, Server, WithClockSweeps(10))
+	if len(viaOpts.Nodes) != len(def.Nodes) || viaOpts.Pairs != def.Pairs {
+		t.Fatal("variadic options diverged from defaults")
+	}
 	if len(def.Nodes) != len(same.Nodes) || def.Pairs != same.Pairs {
 		t.Fatal("zero options diverged from RecoverClocks")
 	}
@@ -293,7 +301,7 @@ func TestPublicRecoverClocksWith(t *testing.T) {
 		}
 	}
 	// An absurd threshold drops every non-anchor node into Unanchored.
-	strict := RecoverClocksWith(out.Result.Flows, Server, RecoverClocksOpts{MinPairings: 1 << 30})
+	strict := RecoverClocks(out.Result.Flows, Server, WithClockMinPairings(1<<30))
 	if len(strict.Unanchored) == 0 {
 		t.Error("MinPairings threshold dropped nothing")
 	}

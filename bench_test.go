@@ -607,3 +607,60 @@ func BenchmarkBinaryCodec(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkSessionIngest measures the resident ingest path end to end in the
+// steady-state shape of cmd/refill-serve: per-node fragments appended in
+// rounds, a watermark advance finalizing each retired window, and a final
+// drain. Windows run serially (Parallelism 1) so allocs/op is deterministic
+// and benchguard can pin it; fragment slicing happens outside the timer.
+func BenchmarkSessionIngest(b *testing.B) {
+	c := benchCampaign(b)
+	logs, sink, end := c.Res.Logs, c.Res.Sink, int64(c.Res.Duration)
+	horizon := maxPacketSpread(logs)
+	an, err := NewAnalyzer(AnalyzerOptions{},
+		WithSink(sink), WithWindow(0, end), WithParallelism(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	nodes := logs.Nodes()
+	const rounds = 8
+	type frag struct {
+		node NodeID
+		evs  []Event
+	}
+	var schedule [rounds][]frag
+	for _, n := range nodes {
+		evs := logs.Log(n).Events()
+		for r := 0; r < rounds; r++ {
+			lo, hi := len(evs)*r/rounds, len(evs)*(r+1)/rounds
+			schedule[r] = append(schedule[r], frag{node: n, evs: evs[lo:hi]})
+		}
+	}
+	events := logs.TotalEvents()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess, err := an.NewSession(SessionConfig{Horizon: horizon})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, n := range nodes {
+			sess.Register(n)
+		}
+		for r := 0; r < rounds; r++ {
+			for _, f := range schedule[r] {
+				if err := sess.Append(f.node, f.evs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := sess.Advance(end); err != nil {
+				b.Fatal(err)
+			}
+		}
+		_, rep := sess.Drain()
+		if rep.Total() == 0 {
+			b.Fatal("no packets")
+		}
+	}
+	b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}

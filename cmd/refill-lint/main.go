@@ -44,6 +44,7 @@ var analyzerFixtures = map[string]struct {
 }{
 	"escapecheck": {analysis.EscapeFixturePattern, analysis.EscapeCheck},
 	"shardowner":  {analysis.ShardFixturePattern, analysis.ShardOwner},
+	"session":     {analysis.SessionFixturePattern, analysis.ShardOwner},
 }
 
 func main() {
@@ -151,7 +152,7 @@ func verifyProtocols() []lint.Issue {
 func runFixtures(category string, stdout, stderr io.Writer) int {
 	categories := []string{category}
 	if category == "all" {
-		categories = append(append([]string{}, lint.FixtureCategories...), "code-analyzer", "escapecheck", "shardowner")
+		categories = append(append([]string{}, lint.FixtureCategories...), "code-analyzer", "escapecheck", "shardowner", "session")
 	}
 	caughtAll := true
 	reported := 0

@@ -1,0 +1,234 @@
+// Command refill-serve runs the REFILL pipeline as a resident ingest
+// service: log retrievers push per-node fragments as they collect them, the
+// daemon finalizes packets as the watermark advances, and clients query live
+// diagnosis reports at any point — without waiting for the campaign to end
+// or holding every event in memory.
+//
+// Usage:
+//
+//	refill-serve -sink 1 -end 2592000000000 [-addr :8377] [-horizon 5000000]
+//
+// # Endpoints
+//
+//	POST /v1/append    body: a log collection — text format by default,
+//	                   the compact binary codec with
+//	                   Content-Type: application/octet-stream. Each node log
+//	                   in the body is appended as that node's next fragment
+//	                   (fragments must arrive in log order per node).
+//	POST /v1/register  ?node=N — make node count toward the watermark
+//	                   before its first fragment. Register every log source
+//	                   up front, or early advances may finalize packets
+//	                   whose rows at still-unseen nodes are yet to arrive.
+//	POST /v1/advance   ?watermark=T — finalize packets provably complete
+//	                   below the watermark (clamped to the slowest node).
+//	GET  /v1/report    live JSON report snapshot; ?format=text renders the
+//	                   cause table instead.
+//	GET  /v1/stats     lifecycle counters (watermark, pending rows, ...).
+//	POST /v1/drain     finalize everything and return the final report;
+//	                   further appends fail.
+//	GET  /healthz      liveness.
+//
+// # Transport
+//
+// With -tls-cert/-tls-key the listener speaks HTTP/2 (negotiated via TLS
+// ALPN by net/http) and HTTP/1.1; without them it serves plain HTTP/1.1.
+// On SIGINT/SIGTERM the daemon stops accepting requests, finishes in-flight
+// ones, drains the session, and prints the final cause table to stdout.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
+
+	refill "repro"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8377", "listen address")
+		sinkID  = flag.Uint("sink", 0, "sink node id (required)")
+		start   = flag.Int64("start", 0, "campaign start time (daily-bin epoch)")
+		end     = flag.Int64("end", 0, "campaign end time (bounds a trailing open outage at drain)")
+		workers = flag.Int("workers", 0, "reconstruction workers per window (0 all cores, n>0 exactly n)")
+		shards  = flag.Int("shards", 0, "origin shards of the pending store (0 = 16)")
+		horizon = flag.Int64("horizon", 0, "max within-packet timestamp spread: clock skew + packet lifetime")
+		retain  = flag.Bool("retain-flows", false, "keep finalized flows in memory for the drained result")
+		tlsCert = flag.String("tls-cert", "", "TLS certificate file (with -tls-key enables HTTPS + HTTP/2)")
+		tlsKey  = flag.String("tls-key", "", "TLS key file")
+	)
+	flag.Parse()
+	if *sinkID == 0 {
+		fmt.Fprintln(os.Stderr, "refill-serve: -sink is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	an, err := refill.NewAnalyzer(refill.AnalyzerOptions{Parallelism: *workers},
+		refill.WithSink(refill.NodeID(*sinkID)),
+		refill.WithWindow(*start, *end))
+	if err != nil {
+		fatal(err)
+	}
+	sess, err := an.NewSession(refill.SessionConfig{
+		Shards: *shards, Horizon: *horizon, RetainFlows: *retain,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: newHandler(sess)}
+	errc := make(chan error, 1)
+	go func() {
+		if *tlsCert != "" || *tlsKey != "" {
+			errc <- srv.ListenAndServeTLS(*tlsCert, *tlsKey)
+		} else {
+			errc <- srv.ListenAndServe()
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fatal(err)
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "refill-serve: %v, draining\n", s)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "refill-serve: shutdown: %v\n", err)
+	}
+	_, rep := sess.Drain()
+	fmt.Print(refill.RenderBreakdown(rep))
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "refill-serve: %v\n", err)
+	os.Exit(1)
+}
+
+// newHandler wires the session endpoints onto a mux. Split out of main so
+// tests can mount the service on httptest servers (including HTTP/2 ones).
+func newHandler(sess *refill.Session) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/append", func(w http.ResponseWriter, r *http.Request) {
+		readLogs := refill.ReadLogs
+		if r.Header.Get("Content-Type") == "application/octet-stream" {
+			readLogs = refill.ReadLogsBinary
+		}
+		logs, err := readLogs(r.Body)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		ingested := 0
+		for _, n := range logs.Nodes() {
+			evs := logs.Log(n).Events()
+			if err := sess.Append(n, evs); err != nil {
+				httpError(w, http.StatusConflict, err)
+				return
+			}
+			ingested += len(evs)
+		}
+		writeJSON(w, map[string]int{"ingested": ingested, "nodes": len(logs.Nodes())})
+	})
+	mux.HandleFunc("POST /v1/register", func(w http.ResponseWriter, r *http.Request) {
+		n, err := refill.ParseNode(r.URL.Query().Get("node"))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		sess.Register(n)
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("POST /v1/advance", func(w http.ResponseWriter, r *http.Request) {
+		wm, err := strconv.ParseInt(r.URL.Query().Get("watermark"), 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad watermark: %w", err))
+			return
+		}
+		n, err := sess.Advance(wm)
+		if err != nil {
+			httpError(w, http.StatusConflict, err)
+			return
+		}
+		writeJSON(w, map[string]int64{"finalized": int64(n), "watermark": sess.Watermark()})
+	})
+	mux.HandleFunc("GET /v1/report", func(w http.ResponseWriter, r *http.Request) {
+		rep := sess.Snapshot()
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprint(w, refill.RenderBreakdown(rep))
+			return
+		}
+		writeJSON(w, reportJSON(rep))
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, sess.Stats())
+	})
+	mux.HandleFunc("POST /v1/drain", func(w http.ResponseWriter, r *http.Request) {
+		_, rep := sess.Drain()
+		writeJSON(w, reportJSON(rep))
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// outageView is one outage window in the JSON report.
+type outageView struct {
+	Start int64 `json:"start"`
+	End   int64 `json:"end"`
+}
+
+// reportView is the wire form of a report snapshot: the cause breakdown
+// keyed by cause name, plus totals and the outage schedule.
+type reportView struct {
+	Sink      string         `json:"sink"`
+	Total     int            `json:"total"`
+	Losses    int            `json:"losses"`
+	Breakdown map[string]int `json:"breakdown"`
+	Outages   []outageView   `json:"outages"`
+}
+
+func reportJSON(rep *refill.Report) reportView {
+	v := reportView{
+		Sink:      rep.Sink.String(),
+		Total:     rep.Total(),
+		Losses:    rep.LossCount(),
+		Breakdown: make(map[string]int),
+		Outages:   []outageView{},
+	}
+	//refill:allow maprange — map-to-map copy; JSON object keys are unordered anyway
+	for c, n := range rep.Breakdown() {
+		v.Breakdown[c.String()] = n
+	}
+	for _, o := range rep.Outages {
+		v.Outages = append(v.Outages, outageView{Start: o.Start, End: o.End})
+	}
+	return v
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// The header is gone; all we can do is log.
+		fmt.Fprintf(os.Stderr, "refill-serve: encode: %v\n", err)
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

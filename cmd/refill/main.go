@@ -82,7 +82,7 @@ func main() {
 	}
 	var out *refill.Output
 	if *stream {
-		out = refill.AnalyzeStream(an, logs)
+		out = an.AnalyzeStream(logs)
 	} else {
 		out = an.Analyze(logs)
 	}

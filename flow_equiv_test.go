@@ -99,7 +99,7 @@ func TestFlowArenaReportEquivalence(t *testing.T) {
 		if got := serializeFlows(par.Result.Flows); got != wantFlows {
 			t.Errorf("workers=%d: parallel flow serialization diverged", workers)
 		}
-		str := AnalyzeStream(an, camp.Logs)
+		str := an.AnalyzeStream(camp.Logs)
 		if !reflect.DeepEqual(serial.Result, str.Result) {
 			t.Errorf("workers=%d: stream result diverged from serial", workers)
 		}

@@ -1,0 +1,60 @@
+// Package sessionfix seeds the ingest-session flavor of the shardowner bug
+// class: a pending window — the per-shard buffer of not-yet-finalized packet
+// rows — is worker-owned scratch, and handing one to a concurrent goroutine
+// (say, an HTTP handler trying to analyze "in the background") is exactly
+// the leak the resident session must never reintroduce. One closure leak is
+// seeded, plus the sanctioned retire-at-join handoff proving the allow
+// directive works. Line numbers are pinned by tests — keep edits
+// append-only.
+package sessionfix
+
+import "sync"
+
+// PendingWindow buffers one origin shard's pending packet rows between
+// watermark advances: reusable, compacted in place, meaningless to share.
+//
+//refill:owned
+type PendingWindow struct {
+	Rows []int64
+}
+
+// NewPendingWindow allocates a fresh worker-owned window.
+func NewPendingWindow() *PendingWindow { return &PendingWindow{} }
+
+// LeakRetire captures one worker-owned pending window in a goroutine that
+// keeps appending while the spawner compacts — the seeded violation, and a
+// genuine data race on Rows.
+func LeakRetire() int {
+	w := NewPendingWindow()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 1000; i++ {
+			w.Rows = append(w.Rows, int64(i))
+		}
+	}()
+	w.Rows = w.Rows[:0]
+	wg.Wait()
+	return len(w.Rows)
+}
+
+// RetireAtJoin is the sanctioned handoff: each worker fills its own window,
+// publishes it into its private result slot, and provably stops touching it
+// before the join reads anything — the session's window-merge shape.
+func RetireAtJoin() int {
+	out := make([]*PendingWindow, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := NewPendingWindow()
+			w.Rows = append(w.Rows, int64(i))
+			//refill:allow shardowner — retire-at-join handoff: each worker writes only its own slot, read after Wait
+			out[i] = w
+		}(i)
+	}
+	wg.Wait()
+	return len(out[0].Rows) + len(out[1].Rows)
+}

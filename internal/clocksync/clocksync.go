@@ -94,6 +94,31 @@ type Opts struct {
 	MinPairings int
 }
 
+// Option adjusts one Opts knob; pass Options to EstimateWith.
+type Option func(*Opts)
+
+// WithSweeps sets the number of Gauss–Seidel iterations (<= 0 uses 10).
+func WithSweeps(n int) Option {
+	return func(o *Opts) { o.Sweeps = n }
+}
+
+// WithMinPairings drops nodes observed in fewer than n cross-node
+// constraints before solving (see Opts.MinPairings).
+func WithMinPairings(n int) Option {
+	return func(o *Opts) { o.MinPairings = n }
+}
+
+// EstimateWith solves the clock map from reconstructed flows, anchoring at
+// anchor (normally event.Server whose clock is NTP-disciplined). With no
+// options it reproduces the defaults (10 sweeps, every node kept).
+func EstimateWith(flows []*flow.Flow, anchor event.NodeID, opts ...Option) *Result {
+	var o Opts
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return EstimateOpts(flows, anchor, o)
+}
+
 // Estimate solves the clock map from reconstructed flows, anchoring at
 // anchor (normally event.Server whose clock is NTP-disciplined). sweeps
 // controls the Gauss–Seidel iterations (10 is plenty; <=0 uses 10).

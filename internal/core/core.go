@@ -12,30 +12,36 @@ import (
 	"repro/internal/event"
 	"repro/internal/flow"
 	"repro/internal/fsm"
+	"repro/internal/ingest"
 	"repro/internal/sim/network"
 )
 
 // Options configures an Analyzer.
 //
 // Zero-value footguns: the zero Sink is event.NoNode and NewAnalyzer rejects
-// it — there is no default sink; the zero End leaves a trailing server outage
-// open-ended in the report (set it to the campaign end when outages matter);
-// the zero Parallelism means strictly serial analysis, NOT "pick a core
-// count" — ask for -1 to use every core.
+// it — there is no default sink; use WithSink (or set Sink) explicitly. The
+// zero End leaves a trailing server outage open-ended in the report — use
+// WithWindow (or set Start/End) when outages or daily bins matter.
 type Options struct {
-	// Sink is the collection-tree root (required).
+	// Sink is the collection-tree root (required; see WithSink).
 	Sink event.NodeID
 	// Protocol overrides the FSM templates (default fsm.DefaultCTP()).
 	Protocol *fsm.Protocol
-	// End is the campaign end time, bounding a trailing open outage
-	// window when building the report.
-	End int64
+	// Start/End bound the analysis window (see WithWindow): End bounds a
+	// trailing open outage when building the report; Start is the epoch
+	// daily bins count from (day 0 begins at Start) and defaults to
+	// absolute time zero.
+	Start int64
+	End   int64
 	// DisableIntra / DisableInter are the ablation switches.
 	DisableIntra, DisableInter bool
-	// Parallelism selects how many workers Analyze fans per-packet
-	// reconstruction out over: 0 runs serially (the historical behavior),
-	// n > 0 uses n workers, n < 0 uses GOMAXPROCS. Output is byte-identical
-	// across all settings — flows stay in packet-ID order.
+	// Parallelism sets the reconstruction fan-out under ONE rule for every
+	// path: n > 0 uses exactly n workers, n < 0 uses all cores, and 0
+	// selects the path's default — serial for the batch Analyze (the
+	// reproducibility baseline) and all cores for the throughput paths
+	// (AnalyzeStream and Session ingest, where a serial run would only add
+	// overhead). Output is byte-identical across all settings — flows stay
+	// in packet-ID order.
 	Parallelism int
 	// MaxInferred caps inferred events per packet; 0 means the engine
 	// default (4096).
@@ -73,8 +79,23 @@ func WithProtocol(p *fsm.Protocol) Option {
 	return func(o *Options) { o.Protocol = p }
 }
 
-// WithParallelism sets the worker fan-out (see Options.Parallelism:
-// 0 serial, n>0 exactly n, n<0 GOMAXPROCS).
+// WithSink names the collection-tree root — the one required option: the
+// zero Options has no default sink and NewAnalyzer rejects it.
+func WithSink(sink event.NodeID) Option {
+	return func(o *Options) { o.Sink = sink }
+}
+
+// WithWindow bounds the analysis window [start, end): end bounds a trailing
+// open server outage in the report, and start is the epoch daily bins are
+// counted from. Leaving it unset (the zero window) keeps a trailing outage
+// open-ended and bins from absolute time zero.
+func WithWindow(start, end int64) Option {
+	return func(o *Options) { o.Start, o.End = start, end }
+}
+
+// WithParallelism sets the worker fan-out (see Options.Parallelism: n>0
+// exactly n, n<0 all cores, 0 the path's default — serial for Analyze, all
+// cores for the streaming and session paths).
 func WithParallelism(workers int) Option {
 	return func(o *Options) { o.Parallelism = workers }
 }
@@ -133,6 +154,7 @@ func WithEngineOptions(eo engine.Options) Option {
 type Analyzer struct {
 	eng      *engine.Engine
 	sink     event.NodeID
+	start    int64
 	end      int64
 	par      int
 	dayLen   int64
@@ -145,6 +167,9 @@ type Analyzer struct {
 func NewAnalyzer(opts Options, extra ...Option) (*Analyzer, error) {
 	for _, fn := range extra {
 		fn(&opts)
+	}
+	if opts.Sink == event.NoNode {
+		return nil, fmt.Errorf("core: no sink configured — the zero Options has no default sink; add WithSink(node) (or set Options.Sink)")
 	}
 	eng, err := engine.New(engine.Options{
 		Protocol:     opts.Protocol,
@@ -160,7 +185,7 @@ func NewAnalyzer(opts Options, extra ...Option) (*Analyzer, error) {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	return &Analyzer{
-		eng: eng, sink: opts.Sink, end: opts.End, par: opts.Parallelism,
+		eng: eng, sink: opts.Sink, start: opts.Start, end: opts.End, par: opts.Parallelism,
 		dayLen: opts.DayLen, days: opts.Days, separate: opts.SeparateDiagnosis,
 	}, nil
 }
@@ -185,7 +210,37 @@ func (o *Output) Flow(id event.PacketID) *flow.Flow {
 
 // diagConfig is the analyzer's report-level configuration.
 func (a *Analyzer) diagConfig() diagnosis.Config {
-	return diagnosis.Config{Sink: a.sink, End: a.end, DayLen: a.dayLen, Days: a.days}
+	return diagnosis.Config{Sink: a.sink, Start: a.start, End: a.end, DayLen: a.dayLen, Days: a.days}
+}
+
+// SessionConfig tunes NewSession beyond the analyzer's own options. See
+// ingest.Config for the field semantics; the zero value is a sensible
+// service default (16 origin shards, zero horizon, flows discarded).
+type SessionConfig struct {
+	// Shards is the origin-shard count of the pending store (0 = 16).
+	Shards int
+	// Horizon bounds the within-packet timestamp spread (cross-node clock
+	// skew plus packet lifetime); finalization waits it out.
+	Horizon int64
+	// RetainFlows keeps finalized flows for Drain's Result.
+	RetainFlows bool
+}
+
+// NewSession opens a resident ingest session running this analyzer's
+// pipeline incrementally: Append per-node log fragments, Advance the
+// watermark to finalize completed packets, Snapshot live reports, Drain for
+// the final batch-identical Result and Report. Worker fan-out follows
+// Options.Parallelism (0 selects all cores — the session is a throughput
+// path).
+func (a *Analyzer) NewSession(sc SessionConfig) (*ingest.Session, error) {
+	return ingest.NewSession(ingest.Config{
+		Engine:      a.eng,
+		Diagnosis:   a.diagConfig(),
+		Workers:     a.par,
+		Shards:      sc.Shards,
+		Horizon:     sc.Horizon,
+		RetainFlows: sc.RetainFlows,
+	})
 }
 
 // Analyze runs the full pipeline over a collection of per-node logs, fanning

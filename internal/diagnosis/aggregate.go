@@ -15,6 +15,7 @@ const nc = int(numCauses)
 // An Aggregate is not safe for concurrent use.
 type Aggregate struct {
 	sink   event.NodeID
+	start  int64
 	dayLen int64
 	days   int
 
@@ -39,9 +40,11 @@ type Aggregate struct {
 
 // NewAggregate returns an empty aggregate for a report rooted at sink.
 // dayLen/days pre-bin the daily composition matrix; days == 0 disables it
-// (DailyComposition then falls back to scanning the outcomes).
-func NewAggregate(sink event.NodeID, dayLen int64, days int) *Aggregate {
-	a := &Aggregate{sink: sink, dayLen: dayLen, days: days}
+// (DailyComposition then falls back to scanning the outcomes). start is the
+// daily-bin epoch: day 0 begins at start (0 reproduces the historical
+// absolute-time binning).
+func NewAggregate(sink event.NodeID, start, dayLen int64, days int) *Aggregate {
+	a := &Aggregate{sink: sink, start: start, dayLen: dayLen, days: days}
 	if days > 0 {
 		a.daily = make([]int, days*nc)
 	}
@@ -75,7 +78,7 @@ func (a *Aggregate) Add(o Outcome) {
 	if a.daily != nil {
 		day := 0
 		if o.TimeValid && a.dayLen > 0 {
-			day = int(o.LossTime / a.dayLen)
+			day = int((o.LossTime - a.start) / a.dayLen)
 		}
 		if day < 0 {
 			day = 0
@@ -145,6 +148,18 @@ func (a *Aggregate) Merge(b *Aggregate) {
 	}
 	a.srcPts = append(a.srcPts, b.srcPts...)
 	a.posPts = append(a.posPts, b.posPts...)
+}
+
+// Clone returns an independent deep copy — the ingest session snapshots its
+// running aggregate this way, so finishing (sorting) the copy for a live
+// Report never disturbs the still-accumulating original.
+func (a *Aggregate) Clone() *Aggregate {
+	out := *a
+	out.daily = append([]int(nil), a.daily...)
+	out.site = append([]int32(nil), a.site...)
+	out.srcPts = append([]Point(nil), a.srcPts...)
+	out.posPts = append([]Point(nil), a.posPts...)
+	return &out
 }
 
 // finish sorts the point sets into their presentation order. Called once by

@@ -27,6 +27,10 @@ type Report struct {
 type Config struct {
 	Sink event.NodeID
 	End  int64
+	// Start is the analysis window's start time: the epoch daily bins are
+	// counted from (day 0 begins at Start). The zero value reproduces the
+	// historical absolute-time binning.
+	Start int64
 	// DayLen/Days pre-bin the daily composition matrix at build time;
 	// Days == 0 leaves DailyComposition computing its bins per call.
 	DayLen int64
@@ -45,7 +49,7 @@ func Build(flows []*flow.Flow, ops []event.Event, sink event.NodeID, end int64) 
 func BuildConfig(flows []*flow.Flow, ops []event.Event, cfg Config) *Report {
 	sched := OutagesFromOperational(ops, cfg.End)
 	cl := NewClassifier()
-	agg := NewAggregate(cfg.Sink, cfg.DayLen, cfg.Days)
+	agg := NewAggregate(cfg.Sink, cfg.Start, cfg.DayLen, cfg.Days)
 	outcomes := make([]Outcome, 0, len(flows))
 	for _, f := range flows {
 		o := ApplyOutages(cl.Classify(f), sched, cfg.Sink)
@@ -71,11 +75,11 @@ func FromParts(sink event.NodeID, outages OutageSchedule, outcomes []Outcome, ag
 // behind the report's back (the length disagreeing is the tell).
 func (r *Report) aggregate() *Aggregate {
 	if r.agg == nil || r.agg.total != len(r.Outcomes) {
-		dayLen, days := int64(0), 0
+		start, dayLen, days := int64(0), int64(0), 0
 		if r.agg != nil {
-			dayLen, days = r.agg.dayLen, r.agg.days
+			start, dayLen, days = r.agg.start, r.agg.dayLen, r.agg.days
 		}
-		a := NewAggregate(r.Sink, dayLen, days)
+		a := NewAggregate(r.Sink, start, dayLen, days)
 		for _, o := range r.Outcomes {
 			a.Add(o)
 		}
@@ -173,10 +177,11 @@ func sortPoints(pts []Point) {
 }
 
 // DailyComposition bins losses by day and cause (Figure 6). dayLen is the
-// day length in time units; days the campaign length. Packets without a
-// valid loss time are accumulated under day 0. When the report was built
-// with matching daily bins (Config.DayLen/Days) the pre-binned matrix is
-// read; otherwise the outcomes are scanned per call.
+// day length in time units; days the campaign length. Days are counted from
+// the report's configured Start (0 unless the build set Config.Start).
+// Packets without a valid loss time are accumulated under day 0. When the
+// report was built with matching daily bins (Config.DayLen/Days) the
+// pre-binned matrix is read; otherwise the outcomes are scanned per call.
 func (r *Report) DailyComposition(dayLen int64, days int) []map[Cause]int {
 	out := make([]map[Cause]int, days)
 	for i := range out {
@@ -200,7 +205,7 @@ func (r *Report) DailyComposition(dayLen int64, days int) []map[Cause]int {
 		}
 		day := 0
 		if o.TimeValid && dayLen > 0 {
-			day = int(o.LossTime / dayLen)
+			day = int((o.LossTime - a.start) / dayLen)
 		}
 		if day < 0 {
 			day = 0

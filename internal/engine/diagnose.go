@@ -28,7 +28,7 @@ func (e *Engine) AnalyzeDiagnosed(c *event.Collection, cfg diagnosis.Config) (*R
 	sched := diagnosis.OutagesFromOperational(ops, cfg.End)
 	outs := make([]diagnosis.Outcome, len(views))
 	cl := diagnosis.NewClassifier()
-	agg := diagnosis.NewAggregate(cfg.Sink, cfg.DayLen, cfg.Days)
+	agg := diagnosis.NewAggregate(cfg.Sink, cfg.Start, cfg.DayLen, cfg.Days)
 	if len(views) > 0 {
 		a := flow.NewArena(e.flowSizing(views))
 		r := e.runPool.Get().(*run)
@@ -59,7 +59,7 @@ func (e *Engine) AnalyzeParallelDiagnosed(c *event.Collection, workers int, cfg 
 	res := &Result{Operational: ops, Flows: make([]*flow.Flow, len(views))}
 	sched := diagnosis.OutagesFromOperational(ops, cfg.End)
 	outs := make([]diagnosis.Outcome, len(views))
-	agg := diagnosis.NewAggregate(cfg.Sink, cfg.DayLen, cfg.Days)
+	agg := diagnosis.NewAggregate(cfg.Sink, cfg.Start, cfg.DayLen, cfg.Days)
 	if len(views) == 0 {
 		return res, diagnosis.FromParts(cfg.Sink, sched, outs, agg)
 	}
@@ -92,7 +92,7 @@ func (e *Engine) AnalyzeParallelDiagnosed(c *event.Collection, workers int, cfg 
 			r := new(run)
 			a := flow.NewArena(sizing)
 			cl := diagnosis.NewClassifier()
-			wagg := diagnosis.NewAggregate(cfg.Sink, cfg.DayLen, cfg.Days)
+			wagg := diagnosis.NewAggregate(cfg.Sink, cfg.Start, cfg.DayLen, cfg.Days)
 			for s := range work {
 				for i := s[0]; i < s[1]; i++ {
 					f := r.analyze(e, views[i], a)
@@ -144,7 +144,7 @@ func (e *Engine) AnalyzeStreamDiagnosed(c *event.Collection, workers int, cfg di
 			r := new(run)
 			a := flow.NewArena(sizing)
 			cl := diagnosis.NewClassifier()
-			wagg := diagnosis.NewAggregate(cfg.Sink, cfg.DayLen, cfg.Days)
+			wagg := diagnosis.NewAggregate(cfg.Sink, cfg.Start, cfg.DayLen, cfg.Days)
 			p := &parts[w]
 			for v := range shards[w] {
 				f := r.analyze(e, v, a)
@@ -169,7 +169,7 @@ func (e *Engine) AnalyzeStreamDiagnosed(c *event.Collection, workers int, cfg di
 	}
 	res := &Result{Operational: ops, Flows: make([]*flow.Flow, 0, total)}
 	outs := make([]diagnosis.Outcome, 0, total)
-	agg := diagnosis.NewAggregate(cfg.Sink, cfg.DayLen, cfg.Days)
+	agg := diagnosis.NewAggregate(cfg.Sink, cfg.Start, cfg.DayLen, cfg.Days)
 	for w := range parts {
 		res.Flows = append(res.Flows, parts[w].flows...)
 		outs = append(outs, parts[w].outs...)

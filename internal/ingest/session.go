@@ -1,0 +1,374 @@
+// Package ingest implements the resident REFILL session: a long-lived
+// analyzer that accepts per-node log fragments incrementally, finalizes
+// packets as the collection-wide watermark advances past them, folds each
+// retired window through the origin-sharded fused reconstruction, and serves
+// live report snapshots — all under memory bounded by the in-flight packet
+// population rather than the total volume ever ingested.
+//
+// # Lifecycle
+//
+// Append feeds one node's next log fragment (fragments must arrive in log
+// order, so each node's local timestamps are nondecreasing across its
+// fragments — the same append-only assumption the batch pipeline makes about
+// whole logs). Advance(w) moves the session watermark toward w, clamped to
+// the minimum watermark over every node seen so far, and finalizes each
+// packet whose rows are provably complete: no node can append a row below
+// the effective watermark ew, and any two rows about one packet are stamped
+// within Config.Horizon of each other, so a packet last seen before
+// ew − Horizon can never gain another row. Finalized packets are
+// reconstructed, classified against the outage schedule known so far, folded
+// into the running aggregate, and their rows evicted from the pending store.
+// Drain finalizes everything still pending and returns the completed Result
+// and Report.
+//
+// # Equivalence
+//
+// A drained session is byte-identical to batch Analyze over the same
+// collection, whatever the fragment and watermark schedule: per-packet
+// reconstruction depends only on the packet's own per-node rows in log order
+// (which retirement preserves), outage decisions for a packet finalized at
+// watermark ew match the final schedule's because every operational event
+// below ew has arrived and a still-open outage covers the packet's loss time
+// either way, and the final co-sort restores the batch packet-ID order while
+// the aggregate's counters are order-independent. session_equiv_test.go at
+// the repo root pins this.
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/diagnosis"
+	"repro/internal/engine"
+	"repro/internal/event"
+	"repro/internal/flow"
+)
+
+// ErrDrained is returned by mutating calls after Drain.
+var ErrDrained = errors.New("ingest: session already drained")
+
+// Config configures a Session.
+type Config struct {
+	// Engine is the reconstruction engine (required).
+	Engine *engine.Engine
+	// Diagnosis is the report-level configuration: sink (required), the
+	// campaign end bounding a trailing open outage at drain, the optional
+	// window start and daily-bin geometry.
+	Diagnosis diagnosis.Config
+	// Workers is the per-window reconstruction fan-out. The session is a
+	// throughput path, so 0 (and any negative value) selects all cores;
+	// n > 0 uses exactly n workers. Output is identical across settings.
+	Workers int
+	// Shards is the origin-shard count of the pending store (0 = 16).
+	Shards int
+	// Horizon bounds how far apart (in local-clock time units) any two log
+	// rows about the same packet can be stamped: cross-node clock skew
+	// plus in-network packet lifetime. Packets are finalized only once the
+	// watermark clears their last row by more than Horizon. Too small a
+	// horizon finalizes packets that later grow rows (they reappear as
+	// duplicate partial flows, as if their late rows had been lost); too
+	// large only delays finalization.
+	Horizon int64
+	// RetainFlows keeps every finalized flow for Drain's Result. Off (the
+	// service default) the session discards flows after classification and
+	// Drain's Result carries none — the memory bound then covers flows
+	// too, not just pending rows.
+	RetainFlows bool
+}
+
+// Stats is a point-in-time snapshot of a session's lifecycle counters.
+type Stats struct {
+	// Epoch counts Advance/Drain calls that moved the session.
+	Epoch int
+	// Watermark is the effective watermark reached so far.
+	Watermark int64
+	// Ingested is the total number of events ever appended.
+	Ingested int
+	// PendingRows / PendingPackets measure the retained packet rows — the
+	// quantity the watermark keeps bounded.
+	PendingRows    int
+	PendingPackets int
+	// FinalizedPackets counts packets retired through reconstruction.
+	FinalizedPackets int
+	// OperationalEvents counts server up/down events seen (kept for the
+	// life of the session; there are only ever a handful).
+	OperationalEvents int
+	// Nodes is the number of nodes observed.
+	Nodes int
+	// Drained reports whether Drain has completed the session.
+	Drained bool
+}
+
+// Session is the resident ingest pipeline. All methods are safe for
+// concurrent use: one mutex guards the whole session, which is plenty —
+// Append is a column append plus watermark bump, and the heavy lifting in
+// Advance fans out to engine workers while still holding the lock (a second
+// Advance would have to wait anyway for deterministic output).
+//
+// Session is deliberately NOT a //refill:owned type: it is shared across
+// goroutines by design (HTTP handlers, appenders, snapshot readers) and its
+// mutex is the ownership story. The worker-owned pieces inside — pending
+// shards, per-window run state, arenas, classifier scratch — carry their own
+// markers.
+type Session struct {
+	mu  sync.Mutex
+	eng *engine.Engine
+	cfg Config
+
+	wm    *event.Watermarks
+	store *event.PendingStore
+	// ops holds the operational (server up/down) events per node in
+	// arrival (= log) order; opsCount totals them.
+	ops      map[event.NodeID][]event.Event
+	opsCount int
+
+	watermark int64
+	epoch     int
+	ingested  int
+	finalized int
+
+	// flows/outs/agg accumulate finalized windows; flows only when
+	// Config.RetainFlows.
+	flows []*flow.Flow
+	outs  []diagnosis.Outcome
+	agg   *diagnosis.Aggregate
+
+	drained bool
+	result  *engine.Result
+	report  *diagnosis.Report
+}
+
+// NewSession validates the config and returns an empty session.
+func NewSession(cfg Config) (*Session, error) {
+	if cfg.Engine == nil {
+		return nil, errors.New("ingest: Config.Engine is required")
+	}
+	if cfg.Diagnosis.Sink == event.NoNode {
+		return nil, errors.New("ingest: Config.Diagnosis.Sink is required")
+	}
+	if cfg.Horizon < 0 {
+		return nil, fmt.Errorf("ingest: negative Horizon %d", cfg.Horizon)
+	}
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = 16
+	}
+	return &Session{
+		eng:   cfg.Engine,
+		cfg:   cfg,
+		wm:    event.NewWatermarks(),
+		store: event.NewPendingStore(shards),
+		ops:   make(map[event.NodeID][]event.Event),
+		agg:   diagnosis.NewAggregate(cfg.Diagnosis.Sink, cfg.Diagnosis.Start, cfg.Diagnosis.DayLen, cfg.Diagnosis.Days),
+	}, nil
+}
+
+// Append feeds node's next log fragment. Events are stamped with node (like
+// Log.Append) and must continue the node's log: local timestamps
+// nondecreasing across the node's fragments. Packet rows are buffered in the
+// pending store; operational events are kept session-level. The node's
+// watermark advances to the fragment's highest timestamp.
+func (s *Session) Append(node event.NodeID, events []event.Event) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.drained {
+		return ErrDrained
+	}
+	for _, e := range events {
+		e.Node = node
+		if e.Type.PacketScoped() {
+			s.store.Append(node, e)
+		} else {
+			s.ops[node] = append(s.ops[node], e)
+			s.opsCount++
+		}
+		s.wm.Observe(node, e.Time)
+		s.ingested++
+	}
+	return nil
+}
+
+// Register makes node count toward the effective watermark before its first
+// fragment arrives: until the node appends something, the session will not
+// finalize past time zero on its account. Use it when a slow source must
+// hold the watermark back; a node that only ever appends can skip it.
+func (s *Session) Register(node event.NodeID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.wm.Observe(node, math.MinInt64)
+}
+
+// Advance moves the session watermark toward watermark — clamped to the
+// minimum per-node watermark, since a node that has only shown rows up to
+// time t may still append rows at t and beyond — and finalizes every packet
+// whose rows are provably complete (last seen more than Config.Horizon below
+// the effective watermark). Returns the number of packets finalized.
+func (s *Session) Advance(watermark int64) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.drained {
+		return 0, ErrDrained
+	}
+	ew := watermark
+	if low, ok := s.wm.Low(); ok && low < ew {
+		ew = low
+	}
+	if ew <= s.watermark {
+		return 0, nil
+	}
+	return s.retireLocked(ew, false), nil
+}
+
+// retireLocked finalizes every packet complete below the effective
+// watermark ew (everything, when final) and folds the retired window through
+// the engine. Caller holds s.mu.
+func (s *Session) retireLocked(ew int64, final bool) int {
+	cutoff := ew - s.cfg.Horizon
+	if final {
+		cutoff = math.MaxInt64
+	}
+	window := event.NewCollection()
+	n := s.store.RetireComplete(cutoff, window)
+	s.epoch++
+	if ew > s.watermark {
+		s.watermark = ew
+	}
+	if n == 0 {
+		return 0
+	}
+	sched := s.scheduleLocked(ew, final)
+	flows, outs, agg := s.eng.AnalyzeWindowDiagnosed(window, s.workers(), s.cfg.Diagnosis, sched)
+	if s.cfg.RetainFlows {
+		s.flows = append(s.flows, flows...)
+	}
+	s.outs = append(s.outs, outs...)
+	s.agg.Merge(agg)
+	s.finalized += n
+	return n
+}
+
+// workers maps Config.Workers onto the engine's convention (<= 0 selects
+// GOMAXPROCS — the session is a throughput path, so 0 means all cores).
+func (s *Session) workers() int {
+	if s.cfg.Workers < 0 {
+		return 0
+	}
+	return s.cfg.Workers
+}
+
+// operationalLocked merges the per-node operational events exactly the way
+// event.Partition builds its operational slice: nodes ascending, log order
+// within each node, then one time sort — so a drained session's Result and
+// schedule are bit-identical to the batch path's. Caller holds s.mu.
+func (s *Session) operationalLocked() []event.Event {
+	if s.opsCount == 0 {
+		return nil
+	}
+	nodes := make([]event.NodeID, 0, len(s.ops))
+	//refill:allow maprange — key collection; the sort below imposes the order
+	for n := range s.ops {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	ops := make([]event.Event, 0, s.opsCount)
+	for _, n := range nodes {
+		ops = append(ops, s.ops[n]...)
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i].Time < ops[j].Time })
+	return ops
+}
+
+// scheduleLocked builds the outage schedule a window's packets are
+// classified against. Mid-session, a trailing open outage is extended to at
+// least the effective watermark; at drain (final) it is bounded by the
+// configured campaign end, exactly like the batch build. Every mid-session
+// decision matches the final schedule's for the packets it is applied to:
+// their loss times lie below ew, outages closed below ew appear identically
+// in both schedules, and an outage still open at ew covers such a loss time
+// now and at drain alike (its eventual close — a server-up row or the
+// campaign end — cannot precede ew).
+func (s *Session) scheduleLocked(ew int64, final bool) diagnosis.OutageSchedule {
+	ops := s.operationalLocked()
+	end := s.cfg.Diagnosis.End
+	if !final {
+		end = ew
+		if n := len(ops); n > 0 && ops[n-1].Time > end {
+			end = ops[n-1].Time
+		}
+	}
+	return diagnosis.OutagesFromOperational(ops, end)
+}
+
+// packetLess is the deterministic packet order every analysis path returns
+// flows in: origin, then sequence.
+func packetLess(a, b event.PacketID) bool {
+	if a.Origin != b.Origin {
+		return a.Origin < b.Origin
+	}
+	return a.Seq < b.Seq
+}
+
+// Snapshot assembles a live Report over every packet finalized so far,
+// without disturbing ingestion: outcomes are copied and sorted into
+// packet-ID order, the running aggregate is cloned, and the outage schedule
+// reflects the operational events seen so far. After Drain it returns the
+// final report.
+func (s *Session) Snapshot() *diagnosis.Report {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.drained {
+		return s.report
+	}
+	outs := make([]diagnosis.Outcome, len(s.outs))
+	copy(outs, s.outs)
+	sort.Slice(outs, func(i, j int) bool { return packetLess(outs[i].Packet, outs[j].Packet) })
+	return diagnosis.FromParts(s.cfg.Diagnosis.Sink, s.scheduleLocked(s.watermark, false), outs, s.agg.Clone())
+}
+
+// Drain finalizes every pending packet regardless of watermarks, completes
+// the session, and returns the final Result and Report. The Report (and,
+// with Config.RetainFlows, the Result's flows) is byte-identical to batch
+// Analyze over the union of every appended fragment. Drain is idempotent;
+// Append and Advance fail afterwards.
+func (s *Session) Drain() (*engine.Result, *diagnosis.Report) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.drained {
+		return s.result, s.report
+	}
+	s.retireLocked(math.MaxInt64, true)
+	sort.Slice(s.flows, func(i, j int) bool { return packetLess(s.flows[i].Packet, s.flows[j].Packet) })
+	sort.Slice(s.outs, func(i, j int) bool { return packetLess(s.outs[i].Packet, s.outs[j].Packet) })
+	sched := diagnosis.OutagesFromOperational(s.operationalLocked(), s.cfg.Diagnosis.End)
+	s.report = diagnosis.FromParts(s.cfg.Diagnosis.Sink, sched, s.outs, s.agg)
+	s.result = &engine.Result{Operational: s.operationalLocked(), Flows: s.flows}
+	s.drained = true
+	return s.result, s.report
+}
+
+// Watermark returns the effective watermark reached so far.
+func (s *Session) Watermark() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.watermark
+}
+
+// Stats returns a point-in-time snapshot of the lifecycle counters.
+func (s *Session) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Epoch:             s.epoch,
+		Watermark:         s.watermark,
+		Ingested:          s.ingested,
+		PendingRows:       s.store.Rows(),
+		PendingPackets:    s.store.Packets(),
+		FinalizedPackets:  s.finalized,
+		OperationalEvents: s.opsCount,
+		Nodes:             s.wm.Len(),
+		Drained:           s.drained,
+	}
+}

@@ -1,0 +1,353 @@
+package ingest
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/diagnosis"
+	"repro/internal/engine"
+	"repro/internal/event"
+	"repro/internal/fsm"
+)
+
+// ctpEngine builds an engine with the full CitySee protocol.
+func ctpEngine(t *testing.T, sink event.NodeID) *engine.Engine {
+	t.Helper()
+	e, err := engine.New(engine.Options{Protocol: fsm.DefaultCTP(), Sink: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// campaign is a tiny hand-built workload: every event of every packet plus
+// the operational rows, in global time order.
+type campaign struct {
+	sink event.NodeID
+	end  int64
+	evs  []event.Event
+}
+
+// delivery appends the lossless journey of pkt along path (ending at the
+// sink) plus server delivery, advancing the shared tick.
+func (c *campaign) delivery(tick *int64, pkt event.PacketID, path ...event.NodeID) {
+	stamp := func(e event.Event) {
+		*tick += 10
+		e.Time = *tick
+		c.evs = append(c.evs, e)
+	}
+	stamp(event.Event{Node: pkt.Origin, Type: event.Gen, Sender: pkt.Origin, Packet: pkt})
+	for i := 0; i+1 < len(path); i++ {
+		a, b := path[i], path[i+1]
+		stamp(event.Event{Node: a, Type: event.Trans, Sender: a, Receiver: b, Packet: pkt})
+		stamp(event.Event{Node: b, Type: event.Recv, Sender: a, Receiver: b, Packet: pkt})
+		stamp(event.Event{Node: a, Type: event.AckRecvd, Sender: a, Receiver: b, Packet: pkt})
+	}
+	stamp(event.Event{Node: event.Server, Type: event.ServerRecv,
+		Sender: path[len(path)-1], Receiver: event.Server, Packet: pkt})
+}
+
+// smallCampaign builds three delivered packets from two origins through the
+// sink, with a server outage bracketing the middle one.
+func smallCampaign() *campaign {
+	c := &campaign{sink: 1, end: 1000}
+	tick := int64(0)
+	c.delivery(&tick, event.PacketID{Origin: 2, Seq: 1}, 2, 1)
+	c.evs = append(c.evs, event.Event{Node: event.Server, Type: event.ServerDown, Time: tick + 5})
+	c.delivery(&tick, event.PacketID{Origin: 3, Seq: 1}, 3, 2, 1)
+	c.evs = append(c.evs, event.Event{Node: event.Server, Type: event.ServerUp, Time: tick + 5})
+	c.delivery(&tick, event.PacketID{Origin: 2, Seq: 2}, 2, 1)
+	return c
+}
+
+// perNode splits the campaign into per-node logs preserving log order.
+func (c *campaign) perNode() map[event.NodeID][]event.Event {
+	m := make(map[event.NodeID][]event.Event)
+	for _, e := range c.evs {
+		m[e.Node] = append(m[e.Node], e)
+	}
+	return m
+}
+
+// collection assembles the batch-path Collection of every event.
+func (c *campaign) collection() *event.Collection {
+	col := event.NewCollection()
+	for _, e := range c.evs {
+		col.Add(e)
+	}
+	return col
+}
+
+func (c *campaign) config() diagnosis.Config {
+	return diagnosis.Config{Sink: c.sink, End: c.end}
+}
+
+func (c *campaign) session(t *testing.T, eng *engine.Engine, horizon int64) *Session {
+	t.Helper()
+	s, err := NewSession(Config{
+		Engine: eng, Diagnosis: c.config(), Horizon: horizon, RetainFlows: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewSessionValidates(t *testing.T) {
+	eng := ctpEngine(t, 1)
+	if _, err := NewSession(Config{Diagnosis: diagnosis.Config{Sink: 1}}); err == nil {
+		t.Error("expected error without engine")
+	}
+	if _, err := NewSession(Config{Engine: eng}); err == nil {
+		t.Error("expected error without sink")
+	}
+	if _, err := NewSession(Config{Engine: eng, Diagnosis: diagnosis.Config{Sink: 1}, Horizon: -1}); err == nil {
+		t.Error("expected error for negative horizon")
+	}
+}
+
+func TestSessionDrainMatchesBatch(t *testing.T) {
+	c := smallCampaign()
+	eng := ctpEngine(t, c.sink)
+	s := c.session(t, eng, 0)
+	for n, evs := range c.perNode() {
+		if err := s.Append(n, evs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, rep := s.Drain()
+
+	refRes, refRep := eng.AnalyzeDiagnosed(c.collection(), c.config())
+	if !reflect.DeepEqual(rep.Outcomes, refRep.Outcomes) {
+		t.Errorf("outcomes differ:\n got %+v\nwant %+v", rep.Outcomes, refRep.Outcomes)
+	}
+	if !reflect.DeepEqual(rep.Outages, refRep.Outages) {
+		t.Errorf("outage schedules differ: got %+v want %+v", rep.Outages, refRep.Outages)
+	}
+	if !reflect.DeepEqual(res.Operational, refRes.Operational) {
+		t.Errorf("operational events differ: got %+v want %+v", res.Operational, refRes.Operational)
+	}
+	if len(res.Flows) != len(refRes.Flows) {
+		t.Fatalf("flow count: got %d want %d", len(res.Flows), len(refRes.Flows))
+	}
+	for i := range res.Flows {
+		if res.Flows[i].Packet != refRes.Flows[i].Packet {
+			t.Errorf("flow %d packet: got %v want %v", i, res.Flows[i].Packet, refRes.Flows[i].Packet)
+		}
+	}
+}
+
+func TestSessionAdvanceFinalizesAndEvicts(t *testing.T) {
+	c := smallCampaign()
+	eng := ctpEngine(t, c.sink)
+	s := c.session(t, eng, 0)
+	for n, evs := range c.perNode() {
+		if err := s.Append(n, evs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := s.Stats()
+	if before.PendingPackets != 3 || before.FinalizedPackets != 0 {
+		t.Fatalf("pre-advance stats: %+v", before)
+	}
+
+	// Node 3's log ends at t=90 (it only relays the middle packet), so
+	// Advance(100) is clamped to an effective watermark of 90 — past the
+	// first packet's last row (t=50) but short of the others.
+	n, err := s.Advance(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("Advance(100) finalized %d packets, want 1", n)
+	}
+	mid := s.Stats()
+	if mid.PendingPackets != 2 || mid.FinalizedPackets != 1 {
+		t.Errorf("post-advance stats: %+v", mid)
+	}
+	if mid.PendingRows >= before.PendingRows {
+		t.Errorf("pending rows did not shrink: %d -> %d", before.PendingRows, mid.PendingRows)
+	}
+	if w := s.Watermark(); w != 90 {
+		t.Errorf("watermark = %d, want 90 (clamped to node 3's log)", w)
+	}
+
+	// A second Advance to the same watermark is a no-op.
+	if n, _ := s.Advance(100); n != 0 {
+		t.Errorf("repeated Advance finalized %d packets, want 0", n)
+	}
+
+	if _, rep := s.Drain(); rep.Total() != 3 {
+		t.Errorf("drained report total = %d, want 3", rep.Total())
+	}
+	if st := s.Stats(); st.PendingRows != 0 || st.PendingPackets != 0 || !st.Drained {
+		t.Errorf("post-drain stats: %+v", st)
+	}
+}
+
+func TestSessionWatermarkClampedToSlowestNode(t *testing.T) {
+	c := smallCampaign()
+	eng := ctpEngine(t, c.sink)
+	s := c.session(t, eng, 0)
+	// Feed only a prefix of node 2's log: the other nodes are unseen, so
+	// they do not clamp, but node 2's own watermark does.
+	s.Append(2, []event.Event{
+		{Type: event.Gen, Sender: 2, Packet: event.PacketID{Origin: 2, Seq: 1}, Time: 10},
+	})
+	if _, err := s.Advance(500); err != nil {
+		t.Fatal(err)
+	}
+	if w := s.Watermark(); w != 10 {
+		t.Errorf("watermark = %d, want 10 (clamped to node 2)", w)
+	}
+}
+
+func TestSessionRegisterHoldsWatermark(t *testing.T) {
+	c := smallCampaign()
+	eng := ctpEngine(t, c.sink)
+	s := c.session(t, eng, 0)
+	s.Register(7) // a source that has not produced anything yet
+	s.Append(2, []event.Event{
+		{Type: event.Gen, Sender: 2, Packet: event.PacketID{Origin: 2, Seq: 1}, Time: 10},
+	})
+	if _, err := s.Advance(500); err != nil {
+		t.Fatal(err)
+	}
+	if w := s.Watermark(); w != 0 {
+		t.Errorf("watermark = %d, want 0 (held by registered silent node)", w)
+	}
+	if st := s.Stats(); st.Nodes != 2 {
+		t.Errorf("nodes = %d, want 2", st.Nodes)
+	}
+}
+
+func TestSessionHorizonDelaysFinalization(t *testing.T) {
+	c := smallCampaign()
+	eng := ctpEngine(t, c.sink)
+	s := c.session(t, eng, 40)
+	for n, evs := range c.perNode() {
+		if err := s.Append(n, evs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// With Horizon 40 the first packet (last row at t=50) needs ew > 90.
+	// Node 3's log ends at t=90, so even Advance(200) clamps to ew = 90 —
+	// not strictly past 50+40 — and nothing may finalize yet.
+	if n, _ := s.Advance(200); n != 0 {
+		t.Errorf("Advance(200) finalized %d packets under horizon 40, want 0", n)
+	}
+	// A later heartbeat from node 3 releases the clamp; ew = 100 clears
+	// the first packet strictly (maxTime 50 < cutoff 100-40 = 60).
+	s.Append(3, []event.Event{
+		{Type: event.Gen, Sender: 3, Packet: event.PacketID{Origin: 3, Seq: 99}, Time: 500},
+	})
+	if n, _ := s.Advance(100); n != 1 {
+		t.Errorf("Advance(100) finalized %d packets, want 1", n)
+	}
+	s.Drain()
+}
+
+func TestSessionDrainedRejectsMutation(t *testing.T) {
+	c := smallCampaign()
+	eng := ctpEngine(t, c.sink)
+	s := c.session(t, eng, 0)
+	for n, evs := range c.perNode() {
+		s.Append(n, evs)
+	}
+	res1, rep1 := s.Drain()
+	res2, rep2 := s.Drain()
+	if res1 != res2 || rep1 != rep2 {
+		t.Error("Drain is not idempotent")
+	}
+	if err := s.Append(2, nil); !errors.Is(err, ErrDrained) {
+		t.Errorf("Append after drain: %v, want ErrDrained", err)
+	}
+	if _, err := s.Advance(1); !errors.Is(err, ErrDrained) {
+		t.Errorf("Advance after drain: %v, want ErrDrained", err)
+	}
+	if got := s.Snapshot(); got != rep1 {
+		t.Error("Snapshot after drain should return the final report")
+	}
+}
+
+func TestSessionSnapshotTracksProgress(t *testing.T) {
+	c := smallCampaign()
+	eng := ctpEngine(t, c.sink)
+	s := c.session(t, eng, 0)
+	if rep := s.Snapshot(); rep.Total() != 0 {
+		t.Errorf("empty session snapshot total = %d", rep.Total())
+	}
+	for n, evs := range c.perNode() {
+		s.Append(n, evs)
+	}
+	s.Advance(100)
+	snap := s.Snapshot()
+	if snap.Total() != 1 {
+		t.Errorf("snapshot total = %d, want 1", snap.Total())
+	}
+	// The snapshot must be detached: draining afterwards must not disturb
+	// it, and the final report still matches the batch run.
+	_, final := s.Drain()
+	if snap.Total() != 1 {
+		t.Errorf("snapshot mutated by drain: total = %d", snap.Total())
+	}
+	if final.Total() != 3 {
+		t.Errorf("final total = %d, want 3", final.Total())
+	}
+}
+
+// TestSessionConcurrentAppendSnapshot exercises the mutex contract under the
+// race detector: appenders, a snapshot reader and a stats reader all run
+// concurrently against one session.
+func TestSessionConcurrentAppendSnapshot(t *testing.T) {
+	c := smallCampaign()
+	eng := ctpEngine(t, c.sink)
+	s := c.session(t, eng, 0)
+	frags := c.perNode()
+
+	var appenders sync.WaitGroup
+	for n, evs := range frags {
+		appenders.Add(1)
+		go func(n event.NodeID, evs []event.Event) {
+			defer appenders.Done()
+			// Feed one event at a time to maximize interleaving.
+			for _, e := range evs {
+				if err := s.Append(n, []event.Event{e}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(n, evs)
+	}
+	done := make(chan struct{})
+	var reader sync.WaitGroup
+	reader.Add(1)
+	go func() {
+		defer reader.Done()
+		rng := rand.New(rand.NewSource(1))
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			s.Snapshot()
+			s.Stats()
+			s.Advance(int64(rng.Intn(int(c.end))))
+		}
+	}()
+	appenders.Wait()
+	close(done)
+	reader.Wait()
+
+	_, rep := s.Drain()
+	if rep.Total() != 3 {
+		t.Errorf("drained total = %d, want 3", rep.Total())
+	}
+	if st := s.Stats(); st.Ingested != len(c.evs) {
+		t.Errorf("ingested = %d, want %d", st.Ingested, len(c.evs))
+	}
+}

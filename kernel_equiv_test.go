@@ -46,7 +46,7 @@ func TestKernelEngineEquivalence(t *testing.T) {
 			}
 			var out *Output
 			if m.stream {
-				out = AnalyzeStream(an, camp.Logs)
+				out = an.AnalyzeStream(camp.Logs)
 			} else {
 				out = an.Analyze(camp.Logs)
 			}

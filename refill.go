@@ -19,10 +19,10 @@
 //   - a CitySee-like WSN simulator used as the evaluation substrate
 //     (internal/sim/..., internal/logging, internal/workload)
 //
-// # Quick start
+// # Quick start: one-shot analysis
 //
 //	logs, _ := refill.ReadLogs(file)
-//	an, _ := refill.NewAnalyzer(refill.AnalyzerOptions{Sink: 1})
+//	an, _ := refill.NewAnalyzer(refill.AnalyzerOptions{}, refill.WithSink(1))
 //	out := an.Analyze(logs)
 //	for _, f := range out.Result.Flows {
 //		fmt.Println(f)                         // "1-2 trans, [1-2 recv], ..."
@@ -31,22 +31,41 @@
 //	fmt.Println(refill.RenderBreakdown(out.Report))
 //
 // Functional options layer on top of the AnalyzerOptions struct, and
-// AnalyzeStream overlaps log partitioning with reconstruction. Every
+// an.AnalyzeStream overlaps log partitioning with reconstruction. Every
 // configuration returns byte-identical output — flows stay in packet-ID
 // order regardless of worker count or streaming:
 //
-//	an, _ := refill.NewAnalyzer(
-//		refill.AnalyzerOptions{Sink: 1},
-//		refill.WithParallelism(-1), // all cores; 0 (the default) is serial
+//	an, _ := refill.NewAnalyzer(refill.AnalyzerOptions{},
+//		refill.WithSink(1),
+//		refill.WithParallelism(4), // 0 = each path's default, <0 = all cores
 //	)
-//	out := refill.AnalyzeStream(an, logs)
+//	out := an.AnalyzeStream(logs)
+//
+// # Quick start: resident sessions
+//
+// Logs do not have to arrive as one finished collection. A Session is a
+// long-lived analyzer: feed per-node log fragments as they are retrieved,
+// advance the watermark to finalize (reconstruct, classify, evict) the
+// packets that are provably complete, snapshot live reports at any point,
+// and drain for the final report — byte-identical to the one-shot run over
+// the same logs, with retained memory bounded by the in-flight packets
+// rather than the campaign size:
+//
+//	sess, _ := an.NewSession(refill.SessionConfig{Horizon: maxSkew})
+//	sess.Append(node, fragment)               // per node, in log order
+//	sess.Advance(watermark)                   // finalize completed packets
+//	rep := sess.Snapshot()                    // live report so far
+//	_, final := sess.Drain()                  // == one-shot report
+//
+// cmd/refill-serve wraps a session in an HTTP daemon (ingest + query +
+// graceful drain) for deployments where loggers push fragments remotely.
 //
 // Event storage is columnar (structure-of-arrays) internally, and
 // reconstructed flows are spans into shared per-worker arenas rather than
 // individually allocated slices; the facade deals in plain Event and Flow
-// values and the log formats are unchanged. Parallel and streaming runs
-// shard the packet space by origin, so each worker owns its arena and run
-// state outright.
+// values and the log formats are unchanged. Parallel, streaming and session
+// runs shard the packet space by origin, so each worker owns its arena and
+// run state outright.
 package refill
 
 import (
@@ -60,6 +79,7 @@ import (
 	"repro/internal/event"
 	"repro/internal/flow"
 	"repro/internal/fsm"
+	"repro/internal/ingest"
 	"repro/internal/logging"
 	"repro/internal/report"
 	"repro/internal/sim/network"
@@ -113,6 +133,10 @@ const (
 // NewCollection returns an empty log collection.
 func NewCollection() *Collection { return event.NewCollection() }
 
+// ParseNode parses a node ID in the log formats' spelling (a decimal id, or
+// "server" for the base-station pseudo-node).
+func ParseNode(s string) (NodeID, error) { return event.ParseNodeID(s) }
+
 // ReadLogs parses the text log format (one event per line).
 func ReadLogs(r io.Reader) (*Collection, error) { return event.ReadCollection(r) }
 
@@ -165,9 +189,11 @@ func Causes() []Cause { return diagnosis.Causes() }
 // Analyzer pipeline.
 type (
 	// AnalyzerOptions configures the pipeline. Zero-value footguns: Sink
-	// has no default (the zero Sink is NoNode and NewAnalyzer rejects it);
-	// a zero End leaves a trailing server outage open-ended in the report;
-	// a zero Parallelism means strictly serial — use -1 for "all cores".
+	// has no default (the zero Sink is NoNode and NewAnalyzer rejects it —
+	// add WithSink); a zero window leaves a trailing server outage
+	// open-ended in the report (add WithWindow); Parallelism 0 picks each
+	// path's default — serial for Analyze, all cores for the streaming and
+	// session paths.
 	AnalyzerOptions = core.Options
 	// AnalyzerOption is a functional override applied on top of
 	// AnalyzerOptions by NewAnalyzer (WithProtocol, WithParallelism, …).
@@ -185,19 +211,30 @@ type (
 // NewAnalyzer builds the REFILL pipeline. Functional options are applied on
 // top of opts in order:
 //
-//	an, _ := refill.NewAnalyzer(refill.AnalyzerOptions{Sink: 1},
+//	an, _ := refill.NewAnalyzer(refill.AnalyzerOptions{},
+//		refill.WithSink(1),
 //		refill.WithProtocol(refill.ExtendedCTP()),
 //		refill.WithParallelism(-1))
 func NewAnalyzer(opts AnalyzerOptions, extra ...AnalyzerOption) (*Analyzer, error) {
 	return core.NewAnalyzer(opts, extra...)
 }
 
+// WithSink names the collection-tree root — the one required option.
+func WithSink(sink NodeID) AnalyzerOption { return core.WithSink(sink) }
+
+// WithWindow bounds the analysis window [start, end): end bounds a trailing
+// open server outage in the report, and start is the epoch daily bins are
+// counted from.
+func WithWindow(start, end int64) AnalyzerOption { return core.WithWindow(start, end) }
+
 // WithProtocol overrides the FSM protocol templates.
 func WithProtocol(p *Protocol) AnalyzerOption { return core.WithProtocol(p) }
 
-// WithParallelism sets the per-packet reconstruction fan-out: 0 serial,
-// n > 0 exactly n workers, n < 0 GOMAXPROCS. Output is byte-identical
-// across all settings.
+// WithParallelism sets the per-packet reconstruction fan-out under one rule
+// for every path: n > 0 exactly n workers, n < 0 all cores, 0 the path's
+// default — serial for the batch Analyze (the reproducibility baseline),
+// all cores for AnalyzeStream and Session ingest (the throughput paths).
+// Output is byte-identical across all settings.
 func WithParallelism(workers int) AnalyzerOption { return core.WithParallelism(workers) }
 
 // WithEngineOptions imports engine-level configuration (ablations, inference
@@ -228,12 +265,29 @@ func WithSeparateDiagnosis() AnalyzerOption { return core.WithSeparateDiagnosis(
 func WithInterpretedEngine() AnalyzerOption { return core.WithInterpretedEngine() }
 
 // AnalyzeStream runs the pipeline with partitioning overlapped with
-// reconstruction: packet views are handed to workers the moment the
-// partitioning scan completes them, hiding most of the partition cost behind
-// engine work on campaign-scale collections. The Output is identical to
-// an.Analyze(logs). Worker count follows the analyzer's Parallelism option
-// (0 selects all cores here — a serial stream would only add overhead).
+// reconstruction; the Output is identical to an.Analyze(logs).
+//
+// Deprecated: call the method an.AnalyzeStream(logs) directly — the
+// analyzer owns its execution modes, and this package-level form survives
+// only as a thin wrapper for existing callers.
 func AnalyzeStream(an *Analyzer, logs *Collection) *Output { return an.AnalyzeStream(logs) }
+
+// Resident ingest sessions.
+type (
+	// Session is the long-lived incremental analyzer: Append per-node log
+	// fragments, Advance the watermark to finalize completed packets,
+	// Snapshot live reports, Drain for the final batch-identical output.
+	Session = ingest.Session
+	// SessionConfig tunes Analyzer.NewSession (shards, horizon, flow
+	// retention).
+	SessionConfig = core.SessionConfig
+	// SessionStats is a point-in-time snapshot of a session's lifecycle
+	// counters (watermark, pending rows, finalized packets, …).
+	SessionStats = ingest.Stats
+)
+
+// ErrSessionDrained is returned by Session mutations after Drain.
+var ErrSessionDrained = ingest.ErrDrained
 
 // Protocol templates.
 type Protocol = fsm.Protocol
@@ -387,20 +441,34 @@ type (
 	ClockParams = clocksync.Params
 )
 
-// RecoverClocksOpts tunes RecoverClocksWith. The zero value reproduces
-// RecoverClocks' behavior: 10 Gauss–Seidel sweeps, every paired node kept.
-type RecoverClocksOpts = clocksync.Opts
+// ClockOption tunes RecoverClocks (WithClockSweeps, WithClockMinPairings).
+type ClockOption = clocksync.Option
 
-// RecoverClocks estimates the network's clocks from reconstructed flows with
-// default options.
-func RecoverClocks(flows []*Flow, anchor NodeID) *ClockMap {
-	return RecoverClocksWith(flows, anchor, RecoverClocksOpts{})
+// WithClockSweeps bounds the Gauss–Seidel iterations (<= 0 uses 10).
+func WithClockSweeps(n int) ClockOption { return clocksync.WithSweeps(n) }
+
+// WithClockMinPairings drops nodes with fewer than n cross-node pairings —
+// too few to estimate reliably — before solving; they are reported in
+// ClockMap.Unanchored.
+func WithClockMinPairings(n int) ClockOption { return clocksync.WithMinPairings(n) }
+
+// RecoverClocks estimates the network's clocks from reconstructed flows,
+// anchored at anchor (normally refill.Server). With no options it uses the
+// defaults: 10 Gauss–Seidel sweeps, every paired node kept.
+func RecoverClocks(flows []*Flow, anchor NodeID, opts ...ClockOption) *ClockMap {
+	return clocksync.EstimateWith(flows, anchor, opts...)
 }
 
-// RecoverClocksWith estimates the network's clocks with explicit options:
-// Sweeps bounds the Gauss–Seidel iterations, and MinPairings drops nodes
-// with too few cross-node pairings to estimate reliably (they are reported
-// in ClockMap.Unanchored).
+// RecoverClocksOpts tunes RecoverClocksWith.
+//
+// Deprecated: pass ClockOptions to RecoverClocks instead.
+type RecoverClocksOpts = clocksync.Opts
+
+// RecoverClocksWith estimates the network's clocks with an explicit options
+// struct.
+//
+// Deprecated: use RecoverClocks(flows, anchor, opts...) — the variadic form
+// subsumes both the default and the configured call.
 func RecoverClocksWith(flows []*Flow, anchor NodeID, opts RecoverClocksOpts) *ClockMap {
 	return clocksync.EstimateOpts(flows, anchor, opts)
 }

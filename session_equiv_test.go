@@ -1,0 +1,384 @@
+package refill
+
+// Equivalence harness for the resident ingest session: a session fed a
+// campaign's per-node logs as fragments — whatever the fragment interleave
+// and watermark schedule — must, once drained, produce a Result and Report
+// byte-identical to batch Analyze over the same collection. Three named
+// schedules (in-order rounds, seeded random interleave, adversarial
+// single-digit fragments with an advance after every append) pin the
+// property deterministically; FuzzSessionEquivalence searches schedule space
+// beyond them. A soak test pins the memory story: retained pending rows
+// stay bounded by the in-flight window across many advances, rather than
+// accumulating with total ingest.
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// maxPacketSpread computes the campaign's maximum within-packet timestamp
+// spread — the Horizon a deployment would derive from its clock-skew and
+// packet-lifetime bounds, here measured exactly from the logs.
+func maxPacketSpread(logs *Collection) int64 {
+	type span struct{ min, max int64 }
+	spans := make(map[PacketID]span)
+	for _, n := range logs.Nodes() {
+		for _, e := range logs.Log(n).Events() {
+			if !e.Type.PacketScoped() {
+				continue
+			}
+			s, ok := spans[e.Packet]
+			if !ok {
+				s = span{min: e.Time, max: e.Time}
+			}
+			if e.Time < s.min {
+				s.min = e.Time
+			}
+			if e.Time > s.max {
+				s.max = e.Time
+			}
+			spans[e.Packet] = s
+		}
+	}
+	horizon := int64(0)
+	//refill:allow maprange — max reduction; order-independent
+	for _, s := range spans {
+		if d := s.max - s.min; d > horizon {
+			horizon = d
+		}
+	}
+	return horizon
+}
+
+// fragmentLogs splits each node's log into per-node fragment queues of at
+// most chunk events, preserving log order within each node.
+func fragmentLogs(logs *Collection, chunk int) map[NodeID][][]Event {
+	out := make(map[NodeID][][]Event)
+	for _, n := range logs.Nodes() {
+		evs := logs.Log(n).Events()
+		for lo := 0; lo < len(evs); lo += chunk {
+			hi := lo + chunk
+			if hi > len(evs) {
+				hi = len(evs)
+			}
+			out[n] = append(out[n], evs[lo:hi])
+		}
+	}
+	return out
+}
+
+// sessionFor opens a session on an analyzer configured like the batch
+// reference, with every campaign node registered so aggressive watermark
+// advances cannot finalize packets whose rows are still unseen.
+func sessionFor(t *testing.T, an *Analyzer, logs *Collection, horizon int64) *Session {
+	t.Helper()
+	sess, err := an.NewSession(SessionConfig{Horizon: horizon, RetainFlows: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range logs.Nodes() {
+		sess.Register(n)
+	}
+	return sess
+}
+
+func TestSessionEquivalence(t *testing.T) {
+	c := equivCampaign(t)
+	logs, sink, end := c.Res.Logs, c.Res.Sink, int64(c.Res.Duration)
+	dayLen := int64(sim.Day)
+	days := int((end + dayLen - 1) / dayLen)
+	horizon := maxPacketSpread(logs)
+
+	an, err := NewAnalyzer(AnalyzerOptions{},
+		WithSink(sink), WithWindow(0, end), WithDailyBins(dayLen, days))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := an.Analyze(logs)
+	if want.Report.Total() == 0 || len(want.Report.Outages) == 0 {
+		t.Fatal("degenerate campaign: sessions need losses and outages to prove anything")
+	}
+
+	check := func(t *testing.T, sess *Session) {
+		t.Helper()
+		res, rep := sess.Drain()
+		if !reflect.DeepEqual(want.Result.Operational, res.Operational) {
+			t.Error("Operational diverged from batch Analyze")
+		}
+		if !reflect.DeepEqual(want.Result.Flows, res.Flows) {
+			t.Error("Flows diverged from batch Analyze")
+		}
+		checkSameReport(t, want.Report, rep, dayLen, days)
+	}
+
+	t.Run("in-order", func(t *testing.T) {
+		// Each node's log arrives in a few in-order rounds; the watermark
+		// chases the campaign end after every round.
+		sess := sessionFor(t, an, logs, horizon)
+		const rounds = 5
+		nodes := logs.Nodes()
+		for r := 0; r < rounds; r++ {
+			for _, n := range nodes {
+				evs := logs.Log(n).Events()
+				lo, hi := len(evs)*r/rounds, len(evs)*(r+1)/rounds
+				if err := sess.Append(n, evs[lo:hi]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if _, err := sess.Advance(end); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if sess.Stats().FinalizedPackets == 0 {
+			t.Error("no packet finalized before drain; schedule never exercised retirement")
+		}
+		check(t, sess)
+	})
+
+	t.Run("shuffled", func(t *testing.T) {
+		// Fragments drain from per-node queues in a seeded random global
+		// interleave (per-node order intact — that is the log contract),
+		// with random watermark advances mixed in.
+		sess := sessionFor(t, an, logs, horizon)
+		frags := fragmentLogs(logs, 2048)
+		var order []NodeID
+		//refill:allow maprange — queue keys; the shuffle below randomizes deliberately
+		for n, q := range frags {
+			for range q {
+				order = append(order, n)
+			}
+		}
+		rng := rand.New(rand.NewSource(42))
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		next := make(map[NodeID]int)
+		for i, n := range order {
+			if err := sess.Append(n, frags[n][next[n]]); err != nil {
+				t.Fatal(err)
+			}
+			next[n]++
+			if i%7 == 0 {
+				if _, err := sess.Advance(rng.Int63n(2 * end)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		check(t, sess)
+	})
+
+	t.Run("adversarial", func(t *testing.T) {
+		// Tiny fragments, nodes in descending order, and a maximal advance
+		// after every single append — the watermark machinery gets no slack
+		// anywhere. Snapshots are interleaved to prove reads never disturb
+		// the accumulating state.
+		sess := sessionFor(t, an, logs, horizon)
+		frags := fragmentLogs(logs, 601)
+		nodes := logs.Nodes()
+		for i, j := 0, len(nodes)-1; i < j; i, j = i+1, j-1 {
+			nodes[i], nodes[j] = nodes[j], nodes[i]
+		}
+		for round, appended := 0, true; appended; round++ {
+			appended = false
+			for _, n := range nodes {
+				if round >= len(frags[n]) {
+					continue
+				}
+				appended = true
+				if err := sess.Append(n, frags[n][round]); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := sess.Advance(end + 1); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if rep := sess.Snapshot(); rep.Total() != sess.Stats().FinalizedPackets {
+				t.Fatal("snapshot total disagrees with finalized count")
+			}
+		}
+		check(t, sess)
+	})
+}
+
+// TestSessionSnapshotConsistency pins the live view: a snapshot taken
+// mid-campaign covers exactly the finalized packets, agrees with its own
+// aggregate reads, and draining afterwards still matches batch.
+func TestSessionSnapshotConsistency(t *testing.T) {
+	c := equivCampaign(t)
+	logs, sink, end := c.Res.Logs, c.Res.Sink, int64(c.Res.Duration)
+	horizon := maxPacketSpread(logs)
+	an, err := NewAnalyzer(AnalyzerOptions{}, WithSink(sink), WithWindow(0, end))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := an.Analyze(logs)
+	sess := sessionFor(t, an, logs, horizon)
+	nodes := logs.Nodes()
+	const rounds = 4
+	for r := 0; r < rounds; r++ {
+		for _, n := range nodes {
+			evs := logs.Log(n).Events()
+			lo, hi := len(evs)*r/rounds, len(evs)*(r+1)/rounds
+			if err := sess.Append(n, evs[lo:hi]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := sess.Advance(end); err != nil {
+			t.Fatal(err)
+		}
+		rep := sess.Snapshot()
+		if rep.Total() != sess.Stats().FinalizedPackets {
+			t.Fatalf("round %d: snapshot total %d != finalized %d", r, rep.Total(), sess.Stats().FinalizedPackets)
+		}
+		losses := 0
+		//refill:allow maprange — sum reduction; order-independent
+		for _, n := range rep.Breakdown() {
+			losses += n
+		}
+		if losses != rep.Total() {
+			t.Fatalf("round %d: breakdown sums to %d of %d outcomes", r, losses, rep.Total())
+		}
+	}
+	_, rep := sess.Drain()
+	if !reflect.DeepEqual(want.Report.Outcomes, rep.Outcomes) {
+		t.Error("drained outcomes diverged after interleaved snapshots")
+	}
+}
+
+// TestSessionBoundedRetention is the soak test: a session fed an unbounded
+// packet stream, advanced once per window, must hold pending rows bounded by
+// the in-flight window population — not by total ingest.
+func TestSessionBoundedRetention(t *testing.T) {
+	an, err := NewAnalyzer(AnalyzerOptions{}, WithSink(1), WithWindow(0, 1<<40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := an.NewSession(SessionConfig{Horizon: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		windows      = 16
+		perWindow    = 25
+		windowLength = int64(1000)
+	)
+	origins := []NodeID{2, 3, 4}
+	maxPending, totalRows := 0, 0
+	for w := 0; w < windows; w++ {
+		base := int64(w) * windowLength
+		for p := 0; p < perWindow; p++ {
+			o := origins[p%len(origins)]
+			pkt := PacketID{Origin: o, Seq: uint32(w*perWindow + p)}
+			tick := base + int64(p)*20
+			rows := []Event{
+				{Node: o, Type: Gen, Sender: o, Packet: pkt, Time: tick},
+				{Node: o, Type: Trans, Sender: o, Receiver: 1, Packet: pkt, Time: tick + 2},
+				{Node: 1, Type: Recv, Sender: o, Receiver: 1, Packet: pkt, Time: tick + 3},
+				{Node: o, Type: AckRecvd, Sender: o, Receiver: 1, Packet: pkt, Time: tick + 4},
+				{Node: Server, Type: ServerRecv, Sender: 1, Receiver: Server, Packet: pkt, Time: tick + 5},
+			}
+			for _, e := range rows {
+				if err := sess.Append(e.Node, []Event{e}); err != nil {
+					t.Fatal(err)
+				}
+				totalRows++
+			}
+		}
+		if _, err := sess.Advance(base + windowLength); err != nil {
+			t.Fatal(err)
+		}
+		if p := sess.Stats().PendingRows; p > maxPending {
+			maxPending = p
+		}
+	}
+	st := sess.Stats()
+	if st.Epoch < 10 {
+		t.Fatalf("only %d advances moved the session; the soak needs >= 10 windows", st.Epoch)
+	}
+	// Everything except at most the last window's tail (held back by the
+	// horizon) must have been evicted at every step: the high-water mark
+	// may cover about two windows of rows, never the whole stream.
+	bound := 3 * perWindow * 5
+	if maxPending > bound {
+		t.Errorf("pending rows peaked at %d; bound for two in-flight windows is %d (total ingested %d)",
+			maxPending, bound, totalRows)
+	}
+	if maxPending >= totalRows {
+		t.Errorf("retention never evicted: peak %d of %d total rows", maxPending, totalRows)
+	}
+	_, rep := sess.Drain()
+	if rep.Total() != windows*perWindow {
+		t.Errorf("drained %d packets, want %d", rep.Total(), windows*perWindow)
+	}
+	if rep.LossCount() != 0 {
+		t.Errorf("lossless soak stream reported %d losses", rep.LossCount())
+	}
+}
+
+// FuzzSessionEquivalence drives a session with a fuzz-chosen fragment and
+// watermark schedule over a tiny campaign and requires the drained report to
+// match batch Analyze exactly. Bytes alternate between "which node appends
+// its next fragment" and "advance the watermark to a byte-scaled time".
+func FuzzSessionEquivalence(f *testing.F) {
+	camp, err := RunCampaign(TinyCampaign(3))
+	if err != nil {
+		f.Fatal(err)
+	}
+	logs, sink, end := camp.Logs, camp.Sink, int64(camp.Duration)
+	horizon := maxPacketSpread(logs)
+	an, err := NewAnalyzer(AnalyzerOptions{}, WithSink(sink), WithWindow(0, end))
+	if err != nil {
+		f.Fatal(err)
+	}
+	want := an.Analyze(logs)
+	nodes := logs.Nodes()
+
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add([]byte{0xFF, 0x00, 0xFF, 0x80, 0x40})
+	f.Add([]byte("watermarks"))
+	f.Fuzz(func(t *testing.T, program []byte) {
+		sess, err := an.NewSession(SessionConfig{Horizon: horizon, RetainFlows: false})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range nodes {
+			sess.Register(n)
+		}
+		frags := fragmentLogs(logs, 257)
+		next := make(map[NodeID]int)
+		for i, b := range program {
+			if i%2 == 1 {
+				// Odd bytes advance: scale the byte across [0, 2*end) so
+				// overshoot (clamping) is exercised too.
+				if _, err := sess.Advance(int64(b) * 2 * end / 256); err != nil {
+					t.Fatal(err)
+				}
+				continue
+			}
+			n := nodes[int(b)%len(nodes)]
+			if next[n] < len(frags[n]) {
+				if err := sess.Append(n, frags[n][next[n]]); err != nil {
+					t.Fatal(err)
+				}
+				next[n]++
+			}
+		}
+		// Deliver every remaining fragment, then drain.
+		for _, n := range nodes {
+			for ; next[n] < len(frags[n]); next[n]++ {
+				if err := sess.Append(n, frags[n][next[n]]); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		_, rep := sess.Drain()
+		if !reflect.DeepEqual(want.Report.Outcomes, rep.Outcomes) {
+			t.Errorf("outcomes diverged under schedule %x", program)
+		}
+		if !reflect.DeepEqual(want.Report.Breakdown(), rep.Breakdown()) {
+			t.Errorf("breakdown diverged under schedule %x:\n got %v\nwant %v",
+				program, rep.Breakdown(), want.Report.Breakdown())
+		}
+	})
+}
