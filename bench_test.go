@@ -9,6 +9,7 @@ package refill
 
 import (
 	"bytes"
+	"path/filepath"
 	"sync"
 	"testing"
 
@@ -603,6 +604,83 @@ func BenchmarkBinaryCodec(b *testing.B) {
 			}
 			if got.TotalEvents() != logs.TotalEvents() {
 				b.Fatal("count mismatch")
+			}
+		}
+	})
+}
+
+// BenchmarkSnapshot measures the columnar snapshot path on the shared
+// campaign's logs: writing the file, the zero-copy open (the headline —
+// section geometry checks plus slice casts, no per-event work), and open
+// followed by a full batch analysis against the read-binary-then-analyze
+// pipeline it replaces.
+func BenchmarkSnapshot(b *testing.B) {
+	c := benchCampaign(b)
+	logs, sink, end := c.Res.Logs, c.Res.Sink, int64(c.Res.Duration)
+	path := filepath.Join(b.TempDir(), "campaign.snap")
+	if err := WriteSnapshot(path, logs); err != nil {
+		b.Fatal(err)
+	}
+	an, err := NewAnalyzer(AnalyzerOptions{}, WithSink(sink), WithWindow(0, end))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rows := logs.TotalEvents()
+
+	b.Run("write", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := WriteSnapshot(path, logs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("open", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s, err := OpenSnapshot(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if s.Rows() != rows {
+				b.Fatalf("rows = %d, want %d", s.Rows(), rows)
+			}
+			if err := s.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("open-analyze", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s, err := OpenSnapshot(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			out := an.Analyze(s.Collection())
+			if out.Report.Total() == 0 {
+				b.Fatal("no packets")
+			}
+			if err := s.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	var bin bytes.Buffer
+	if err := event.WriteCollectionBinary(&bin, logs); err != nil {
+		b.Fatal(err)
+	}
+	raw := bin.Bytes()
+	b.Run("read-binary-analyze", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			got, err := event.ReadCollectionBinary(bytes.NewReader(raw))
+			if err != nil {
+				b.Fatal(err)
+			}
+			out := an.Analyze(got)
+			if out.Report.Total() == 0 {
+				b.Fatal("no packets")
 			}
 		}
 	})

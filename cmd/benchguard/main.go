@@ -5,16 +5,20 @@
 //
 //	go test -run '^$' -bench . -benchmem . | benchguard -baseline bench_baseline.txt
 //
-// Only allocs/op is guarded: unlike ns/op it is deterministic for a given
-// code path — independent of the machine, CPU contention, and frequency
-// scaling — so a CI runner can enforce a tight threshold without flaking.
-// A benchmark regresses when its allocs/op exceeds the baseline by more
-// than -tolerance (default 10%). The ns/op delta against the baseline is
-// printed alongside each verdict line for trend visibility, but it is
-// informational only and never fails the run. Benchmarks absent from the
-// baseline are reported but don't fail the run (add them to the baseline
-// when they stabilize); baseline entries missing from the input fail it,
-// so the guard can't rot silently when a benchmark is renamed.
+// Only allocs/op is guarded by default: unlike ns/op it is deterministic
+// for a given code path — independent of the machine, CPU contention, and
+// frequency scaling — so a CI runner can enforce a tight threshold without
+// flaking. A benchmark regresses when its allocs/op exceeds the baseline by
+// more than -tolerance (default 10%). The ns/op delta against the baseline
+// is printed alongside each verdict line for trend visibility; by default it
+// is informational only and never fails the run. Passing -ns-tolerance opts
+// into gating wall time too — a benchmark then also fails when its ns/op
+// exceeds the baseline by more than that fraction. Reserve it for quiet,
+// pinned machines: on shared CI runners the timing gate WILL flake, which is
+// exactly why it is off by default. Benchmarks absent from the baseline are
+// reported but don't fail the run (add them to the baseline when they
+// stabilize); baseline entries missing from the input fail it, so the guard
+// can't rot silently when a benchmark is renamed.
 //
 // With -json the verdict is emitted as one JSON object instead of text:
 // ns/op and B/op ride along for trend tracking (see BENCH_*.json at the
@@ -27,7 +31,7 @@
 // mismatch CI:
 //
 //	go test -run '^$' \
-//	    -bench '^(BenchmarkAnalyzeCampaign|BenchmarkAnalyzePacket|BenchmarkEngineChain|BenchmarkBinaryCodec|BenchmarkTableII|BenchmarkFlowOutput|BenchmarkDiagnosis|BenchmarkKernel|BenchmarkSessionIngest)$' \
+//	    -bench '^(BenchmarkAnalyzeCampaign|BenchmarkAnalyzePacket|BenchmarkEngineChain|BenchmarkBinaryCodec|BenchmarkTableII|BenchmarkFlowOutput|BenchmarkDiagnosis|BenchmarkKernel|BenchmarkSessionIngest|BenchmarkSnapshot)$' \
 //	    -benchmem -benchtime 1x . > bench_baseline.txt
 package main
 
@@ -69,9 +73,12 @@ type Entry struct {
 
 // report is the top-level -json document.
 type report struct {
-	Tolerance  float64 `json:"tolerance"`
-	Pass       bool    `json:"pass"`
-	Benchmarks []Entry `json:"benchmarks"`
+	Tolerance float64 `json:"tolerance"`
+	// NsTolerance is the opt-in wall-time gate; 0 means ns/op was
+	// informational for this run.
+	NsTolerance float64 `json:"ns_tolerance,omitempty"`
+	Pass        bool    `json:"pass"`
+	Benchmarks  []Entry `json:"benchmarks"`
 }
 
 // benchLine matches the testing package's benchmark result format:
@@ -112,9 +119,11 @@ func parse(r io.Reader) (map[string]Result, error) {
 }
 
 // check compares current allocs against the baseline. tolerance is
-// fractional (0.10 = 10%). Entries come back in deterministic order:
-// baseline benchmarks sorted by name, then not-in-baseline notes.
-func check(baseline, current map[string]Result, tolerance float64) ([]Entry, bool) {
+// fractional (0.10 = 10%); nsTolerance > 0 additionally gates ns/op at that
+// fraction (0 keeps timing informational). Entries come back in
+// deterministic order: baseline benchmarks sorted by name, then
+// not-in-baseline notes.
+func check(baseline, current map[string]Result, tolerance, nsTolerance float64) ([]Entry, bool) {
 	var entries []Entry
 	ok := true
 	names := make([]string, 0, len(baseline))
@@ -147,6 +156,16 @@ func check(baseline, current map[string]Result, tolerance float64) ([]Entry, boo
 			e.Detail = fmt.Sprintf("%+.1f%% > %.0f%% tolerance", delta, tolerance*100)
 			ok = false
 		}
+		if nsTolerance > 0 && e.BaselineNs > 0 && cur.NsOp > e.BaselineNs*(1+nsTolerance) {
+			e.Status = "fail"
+			nsDetail := fmt.Sprintf("ns/op %+.1f%% > %.0f%% ns-tolerance", e.NsDeltaPct, nsTolerance*100)
+			if e.Detail != "" {
+				e.Detail += "; " + nsDetail
+			} else {
+				e.Detail = nsDetail
+			}
+			ok = false
+		}
 		entries = append(entries, e)
 	}
 	extras := make([]string, 0, len(current))
@@ -163,15 +182,20 @@ func check(baseline, current map[string]Result, tolerance float64) ([]Entry, boo
 }
 
 // render turns entries into the human verdict lines. The trailing ns/op
-// delta, when baseline timing is available, is informational only — timing
-// never flips a verdict.
-func render(entries []Entry, tolerance float64) []string {
+// delta, when baseline timing is available, is marked non-fatal unless the
+// run opted into the -ns-tolerance gate.
+func render(entries []Entry, tolerance, nsTolerance float64) []string {
 	lines := make([]string, 0, len(entries))
 	for _, e := range entries {
 		ns := ""
 		if e.BaselineNs > 0 && e.NsOp > 0 {
-			ns = fmt.Sprintf("; %.0f ns/op vs baseline %.0f (%+.1f%%, non-fatal)",
-				e.NsOp, e.BaselineNs, e.NsDeltaPct)
+			if nsTolerance > 0 {
+				ns = fmt.Sprintf("; %.0f ns/op vs baseline %.0f (%+.1f%%)",
+					e.NsOp, e.BaselineNs, e.NsDeltaPct)
+			} else {
+				ns = fmt.Sprintf("; %.0f ns/op vs baseline %.0f (%+.1f%%, non-fatal)",
+					e.NsOp, e.BaselineNs, e.NsDeltaPct)
+			}
 		}
 		switch {
 		case e.Status == "fail" && e.Detail == "in baseline but missing from input":
@@ -192,6 +216,7 @@ func render(entries []Entry, tolerance float64) []string {
 func main() {
 	baselinePath := flag.String("baseline", "bench_baseline.txt", "baseline benchmark output to compare against")
 	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional allocs/op regression")
+	nsTolerance := flag.Float64("ns-tolerance", 0, "opt-in fractional ns/op regression gate (0 = informational only; timing flakes on shared runners)")
 	jsonOut := flag.Bool("json", false, "emit the verdict as one JSON object (ns/op and B/op included)")
 	flag.Parse()
 
@@ -225,15 +250,15 @@ func main() {
 		fatal(fmt.Errorf("no benchmark lines in input (run with -bench and -benchmem)"))
 	}
 
-	entries, ok := check(baseline, current, *tolerance)
+	entries, ok := check(baseline, current, *tolerance, *nsTolerance)
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(report{Tolerance: *tolerance, Pass: ok, Benchmarks: entries}); err != nil {
+		if err := enc.Encode(report{Tolerance: *tolerance, NsTolerance: *nsTolerance, Pass: ok, Benchmarks: entries}); err != nil {
 			fatal(err)
 		}
 	} else {
-		fmt.Println(strings.Join(render(entries, *tolerance), "\n"))
+		fmt.Println(strings.Join(render(entries, *tolerance, *nsTolerance), "\n"))
 	}
 	if !ok {
 		os.Exit(1)

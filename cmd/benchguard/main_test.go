@@ -47,11 +47,11 @@ func TestParseStripsCPUSuffix(t *testing.T) {
 
 func TestCheckWithinTolerancePasses(t *testing.T) {
 	base := mkResults(map[string]int64{"BenchmarkX": 1000})
-	_, ok := check(base, mkResults(map[string]int64{"BenchmarkX": 1099}), 0.10)
+	_, ok := check(base, mkResults(map[string]int64{"BenchmarkX": 1099}), 0.10, 0)
 	if !ok {
 		t.Error("9.9% regression failed under a 10% tolerance")
 	}
-	_, ok = check(base, mkResults(map[string]int64{"BenchmarkX": 900}), 0.10)
+	_, ok = check(base, mkResults(map[string]int64{"BenchmarkX": 900}), 0.10, 0)
 	if !ok {
 		t.Error("an improvement failed the guard")
 	}
@@ -59,34 +59,34 @@ func TestCheckWithinTolerancePasses(t *testing.T) {
 
 func TestCheckRegressionFails(t *testing.T) {
 	base := mkResults(map[string]int64{"BenchmarkX": 1000})
-	entries, ok := check(base, mkResults(map[string]int64{"BenchmarkX": 1101}), 0.10)
+	entries, ok := check(base, mkResults(map[string]int64{"BenchmarkX": 1101}), 0.10, 0)
 	if ok {
-		t.Errorf("10.1%% regression passed: %v", render(entries, 0.10))
+		t.Errorf("10.1%% regression passed: %v", render(entries, 0.10, 0))
 	}
 }
 
 func TestCheckMissingBenchmarkFails(t *testing.T) {
 	base := mkResults(map[string]int64{"BenchmarkX": 1000, "BenchmarkY": 5})
-	entries, ok := check(base, mkResults(map[string]int64{"BenchmarkX": 1000}), 0.10)
+	entries, ok := check(base, mkResults(map[string]int64{"BenchmarkX": 1000}), 0.10, 0)
 	if ok {
-		t.Errorf("missing baseline benchmark passed: %v", render(entries, 0.10))
+		t.Errorf("missing baseline benchmark passed: %v", render(entries, 0.10, 0))
 	}
 }
 
 func TestCheckUnknownBenchmarkIsNoted(t *testing.T) {
 	base := mkResults(map[string]int64{"BenchmarkX": 1000})
-	entries, ok := check(base, mkResults(map[string]int64{"BenchmarkX": 1000, "BenchmarkNew": 7}), 0.10)
+	entries, ok := check(base, mkResults(map[string]int64{"BenchmarkX": 1000, "BenchmarkNew": 7}), 0.10, 0)
 	if !ok {
-		t.Errorf("benchmark absent from baseline failed the run: %v", render(entries, 0.10))
+		t.Errorf("benchmark absent from baseline failed the run: %v", render(entries, 0.10, 0))
 	}
 	found := false
-	for _, l := range render(entries, 0.10) {
+	for _, l := range render(entries, 0.10, 0) {
 		if strings.Contains(l, "BenchmarkNew") && strings.HasPrefix(l, "note") {
 			found = true
 		}
 	}
 	if !found {
-		t.Errorf("new benchmark not noted: %v", render(entries, 0.10))
+		t.Errorf("new benchmark not noted: %v", render(entries, 0.10, 0))
 	}
 }
 
@@ -96,22 +96,62 @@ func TestCheckUnknownBenchmarkIsNoted(t *testing.T) {
 func TestNsDeltaIsInformational(t *testing.T) {
 	base := map[string]Result{"BenchmarkX": {Name: "BenchmarkX", NsOp: 1000, AllocsOp: 100}}
 	cur := map[string]Result{"BenchmarkX": {Name: "BenchmarkX", NsOp: 3000, AllocsOp: 100}}
-	entries, ok := check(base, cur, 0.10)
+	entries, ok := check(base, cur, 0.10, 0)
 	if !ok {
-		t.Fatalf("3x ns/op regression with flat allocs failed the guard: %v", render(entries, 0.10))
+		t.Fatalf("3x ns/op regression with flat allocs failed the guard: %v", render(entries, 0.10, 0))
 	}
 	if len(entries) != 1 || entries[0].BaselineNs != 1000 || entries[0].NsDeltaPct != 200 {
 		t.Fatalf("entry = %+v, want baseline ns 1000 and +200%% delta", entries[0])
 	}
-	lines := render(entries, 0.10)
+	lines := render(entries, 0.10, 0)
 	want := "ok   BenchmarkX: 100 allocs/op, baseline 100 (+0.0%); 3000 ns/op vs baseline 1000 (+200.0%, non-fatal)"
 	if len(lines) != 1 || lines[0] != want {
 		t.Errorf("line = %q, want %q", lines, want)
 	}
 	// Entries without timing on either side keep the bare line.
-	bare, _ := check(mkResults(map[string]int64{"BenchmarkY": 5}), mkResults(map[string]int64{"BenchmarkY": 5}), 0.10)
-	if l := render(bare, 0.10); len(l) != 1 || strings.Contains(l[0], "ns/op") {
+	bare, _ := check(mkResults(map[string]int64{"BenchmarkY": 5}), mkResults(map[string]int64{"BenchmarkY": 5}), 0.10, 0)
+	if l := render(bare, 0.10, 0); len(l) != 1 || strings.Contains(l[0], "ns/op") {
 		t.Errorf("timing-less entry rendered a ns delta: %q", l)
+	}
+}
+
+// TestNsToleranceGate pins the opt-in wall-time gate: with -ns-tolerance a
+// ns/op regression beyond the fraction fails the run even when allocs are
+// flat, within-tolerance drift still passes, and the rendered line drops the
+// "non-fatal" marker.
+func TestNsToleranceGate(t *testing.T) {
+	base := map[string]Result{"BenchmarkX": {Name: "BenchmarkX", NsOp: 1000, AllocsOp: 100}}
+
+	slow := map[string]Result{"BenchmarkX": {Name: "BenchmarkX", NsOp: 1600, AllocsOp: 100}}
+	entries, ok := check(base, slow, 0.10, 0.50)
+	if ok {
+		t.Fatalf("+60%% ns/op passed a 50%% ns-tolerance: %v", render(entries, 0.10, 0.50))
+	}
+	if e := entries[0]; e.Status != "fail" || !strings.Contains(e.Detail, "ns-tolerance") {
+		t.Errorf("entry = %+v, want a ns-tolerance fail", e)
+	}
+	if l := render(entries, 0.10, 0.50); strings.Contains(l[0], "non-fatal") {
+		t.Errorf("gated render still says non-fatal: %q", l[0])
+	}
+
+	drift := map[string]Result{"BenchmarkX": {Name: "BenchmarkX", NsOp: 1400, AllocsOp: 100}}
+	if _, ok := check(base, drift, 0.10, 0.50); !ok {
+		t.Error("+40% ns/op failed under a 50% ns-tolerance")
+	}
+
+	// Both gates tripping report both reasons.
+	worse := map[string]Result{"BenchmarkX": {Name: "BenchmarkX", NsOp: 1600, AllocsOp: 200}}
+	entries, ok = check(base, worse, 0.10, 0.50)
+	if ok {
+		t.Fatal("double regression passed")
+	}
+	if d := entries[0].Detail; !strings.Contains(d, "tolerance") || !strings.Contains(d, "ns-tolerance") {
+		t.Errorf("detail %q does not report both gates", d)
+	}
+
+	// Default (0) keeps timing informational — the pre-gate behavior.
+	if _, ok := check(base, slow, 0.10, 0); !ok {
+		t.Error("ns regression failed the run with the gate off")
 	}
 }
 
@@ -123,7 +163,7 @@ func TestCheckEntriesRoundTripJSON(t *testing.T) {
 		"BenchmarkX":   {Name: "BenchmarkX", NsOp: 1.5e6, BytesOp: 4096, AllocsOp: 950},
 		"BenchmarkNew": {Name: "BenchmarkNew", NsOp: 10, BytesOp: 0, AllocsOp: 0},
 	}
-	entries, ok := check(base, cur, 0.10)
+	entries, ok := check(base, cur, 0.10, 0)
 	if ok {
 		t.Fatal("missing BenchmarkGone must fail the run")
 	}
@@ -158,8 +198,8 @@ func TestCheckEntriesRoundTripJSON(t *testing.T) {
 func TestRenderFormatsUnchanged(t *testing.T) {
 	base := mkResults(map[string]int64{"BenchmarkA": 100, "BenchmarkB": 10})
 	cur := mkResults(map[string]int64{"BenchmarkA": 200, "BenchmarkC": 1})
-	entries, _ := check(base, cur, 0.10)
-	lines := render(entries, 0.10)
+	entries, _ := check(base, cur, 0.10, 0)
+	lines := render(entries, 0.10, 0)
 	want := []string{
 		"FAIL BenchmarkA: 200 allocs/op, baseline 100 (+100.0% > 10% tolerance)",
 		"FAIL BenchmarkB: in baseline but missing from input",

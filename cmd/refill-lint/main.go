@@ -28,6 +28,7 @@ import (
 	"os"
 
 	"repro/internal/analysis"
+	"repro/internal/event"
 	"repro/internal/fsm"
 	"repro/internal/lint"
 )
@@ -152,13 +153,24 @@ func verifyProtocols() []lint.Issue {
 func runFixtures(category string, stdout, stderr io.Writer) int {
 	categories := []string{category}
 	if category == "all" {
-		categories = append(append([]string{}, lint.FixtureCategories...), "code-analyzer", "escapecheck", "shardowner", "session")
+		categories = append(append([]string{}, lint.FixtureCategories...), "code-analyzer", "escapecheck", "shardowner", "session", "snapfix")
 	}
 	caughtAll := true
 	reported := 0
 	for _, c := range categories {
 		var lines []string
-		if c == "code-analyzer" {
+		if c == "snapfix" {
+			// Seeded snapshot-file corruptions: each kind must be rejected
+			// by the snapshot reader's validation, not silently decoded.
+			for _, kind := range event.SnapshotFixtureKinds {
+				msg, err := event.BrokenSnapshotFixture(kind)
+				if err != nil {
+					fmt.Fprintln(stderr, err)
+					return 2
+				}
+				lines = append(lines, fmt.Sprintf("%s: %s", kind, msg))
+			}
+		} else if c == "code-analyzer" {
 			pkgs, err := analysis.Load("", codeFixturePattern)
 			if err != nil {
 				fmt.Fprintln(stderr, err)

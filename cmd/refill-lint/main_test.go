@@ -43,6 +43,7 @@ func TestFixtureCategories(t *testing.T) {
 		{"code-analyzer", "[maprange]"},
 		{"escapecheck", "[escapecheck]"},
 		{"shardowner", "[shardowner]"},
+		{"snapfix", "span index mis-ordered"},
 	}
 	for _, c := range cases {
 		var out, errb bytes.Buffer
@@ -62,7 +63,7 @@ func TestFixtureAll(t *testing.T) {
 	if code := run([]string{"-fixture", "all"}, &out, &errb); code != 1 {
 		t.Fatalf("exit %d, want 1\nstderr:\n%s", code, errb.String())
 	}
-	for _, want := range []string{"[determinism]", "[reachability]", "[prereq]", "[coherence]", "[maprange]", "[wallclock]", "[poolhygiene]", "[escapecheck]", "[shardowner]"} {
+	for _, want := range []string{"[determinism]", "[reachability]", "[prereq]", "[coherence]", "[maprange]", "[wallclock]", "[poolhygiene]", "[escapecheck]", "[shardowner]", "span index mis-ordered", "overlaps the previous section"} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("fixture all: missing %s in output:\n%s", want, out.String())
 		}

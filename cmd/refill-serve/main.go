@@ -26,7 +26,19 @@
 //	GET  /v1/stats     lifecycle counters (watermark, pending rows, ...).
 //	POST /v1/drain     finalize everything and return the final report;
 //	                   further appends fail.
+//	POST /v1/checkpoint  (with -checkpoint-dir) write a checkpoint now.
 //	GET  /healthz      liveness.
+//
+// # Checkpointing
+//
+// With -checkpoint-dir the daemon periodically persists the session — the
+// pending packet rows, per-node watermarks, accumulated outcomes and
+// aggregate — to <dir>/session.ckpt (atomically: temp file + rename), every
+// -checkpoint-every interval and on demand via POST /v1/checkpoint. On
+// startup, an existing checkpoint is resumed: retrievers re-push anything
+// they sent after the last checkpoint (per-node fragments in log order, as
+// always) and the drained report comes out byte-identical to a run that
+// never crashed. Checkpointing requires -retain-flows to be off.
 //
 // # Transport
 //
@@ -39,11 +51,13 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"syscall"
 	"time"
@@ -61,6 +75,8 @@ func main() {
 		shards  = flag.Int("shards", 0, "origin shards of the pending store (0 = 16)")
 		horizon = flag.Int64("horizon", 0, "max within-packet timestamp spread: clock skew + packet lifetime")
 		retain  = flag.Bool("retain-flows", false, "keep finalized flows in memory for the drained result")
+		ckptDir = flag.String("checkpoint-dir", "", "directory for durable session checkpoints (resumed on startup)")
+		ckptDur = flag.Duration("checkpoint-every", 30*time.Second, "periodic checkpoint interval with -checkpoint-dir (0 = on demand only)")
 		tlsCert = flag.String("tls-cert", "", "TLS certificate file (with -tls-key enables HTTPS + HTTP/2)")
 		tlsKey  = flag.String("tls-key", "", "TLS key file")
 	)
@@ -70,20 +86,45 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *ckptDir != "" && *retain {
+		fmt.Fprintln(os.Stderr, "refill-serve: -checkpoint-dir is incompatible with -retain-flows (flows are not serializable)")
+		os.Exit(2)
+	}
 	an, err := refill.NewAnalyzer(refill.AnalyzerOptions{Parallelism: *workers},
 		refill.WithSink(refill.NodeID(*sinkID)),
 		refill.WithWindow(*start, *end))
 	if err != nil {
 		fatal(err)
 	}
-	sess, err := an.NewSession(refill.SessionConfig{
-		Shards: *shards, Horizon: *horizon, RetainFlows: *retain,
-	})
-	if err != nil {
-		fatal(err)
+	sc := refill.SessionConfig{Shards: *shards, Horizon: *horizon, RetainFlows: *retain}
+	var (
+		sess     *refill.Session
+		ckptPath string
+	)
+	if *ckptDir != "" {
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			fatal(err)
+		}
+		ckptPath = filepath.Join(*ckptDir, "session.ckpt")
 	}
+	if ckptPath != "" && fileExists(ckptPath) {
+		sess, err = an.ResumeSession(sc, ckptPath)
+		if err != nil {
+			fatal(fmt.Errorf("resume %s: %w", ckptPath, err))
+		}
+		st := sess.Stats()
+		fmt.Fprintf(os.Stderr, "refill-serve: resumed %s (watermark %d, %d finalized, %d pending rows)\n",
+			ckptPath, st.Watermark, st.FinalizedPackets, st.PendingRows)
+	} else {
+		sess, err = an.NewSession(sc)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	stopCkpt := startCheckpointer(sess, ckptPath, *ckptDur)
+	defer stopCkpt()
 
-	srv := &http.Server{Addr: *addr, Handler: newHandler(sess)}
+	srv := &http.Server{Addr: *addr, Handler: newHandler(sess, ckptPath)}
 	errc := make(chan error, 1)
 	go func() {
 		if *tlsCert != "" || *tlsKey != "" {
@@ -115,10 +156,61 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
+func fileExists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
+}
+
+// startCheckpointer writes the session to path every interval until the
+// returned stop function is called. A drained session stops the loop (the
+// final report is the durable artifact at that point); other write errors
+// are logged and retried next tick.
+func startCheckpointer(sess *refill.Session, path string, every time.Duration) (stop func()) {
+	if path == "" || every <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				if err := sess.WriteCheckpoint(path); err != nil {
+					if errors.Is(err, refill.ErrSessionDrained) {
+						return
+					}
+					fmt.Fprintf(os.Stderr, "refill-serve: checkpoint: %v\n", err)
+				}
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+	}
+}
+
 // newHandler wires the session endpoints onto a mux. Split out of main so
 // tests can mount the service on httptest servers (including HTTP/2 ones).
-func newHandler(sess *refill.Session) http.Handler {
+// ckptPath enables the on-demand checkpoint endpoint ("" disables it).
+func newHandler(sess *refill.Session, ckptPath string) http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/checkpoint", func(w http.ResponseWriter, r *http.Request) {
+		if ckptPath == "" {
+			httpError(w, http.StatusNotFound, errors.New("checkpointing is not enabled (start with -checkpoint-dir)"))
+			return
+		}
+		if err := sess.WriteCheckpoint(ckptPath); err != nil {
+			httpError(w, http.StatusConflict, err)
+			return
+		}
+		writeJSON(w, map[string]string{"path": ckptPath})
+	})
 	mux.HandleFunc("POST /v1/append", func(w http.ResponseWriter, r *http.Request) {
 		readLogs := refill.ReadLogs
 		if r.Header.Get("Content-Type") == "application/octet-stream" {

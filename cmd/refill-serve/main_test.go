@@ -94,7 +94,7 @@ func TestServeIngestMatchesBatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewUnstartedServer(newHandler(sess))
+	srv := httptest.NewUnstartedServer(newHandler(sess, ""))
 	srv.EnableHTTP2 = true
 	srv.StartTLS()
 	defer srv.Close()
@@ -209,6 +209,132 @@ func TestServeIngestMatchesBatch(t *testing.T) {
 	resp.Body.Close()
 }
 
+// TestServeCheckpointResume crashes the service between two ingest rounds:
+// fragments are pushed, a checkpoint is forced via the endpoint, the session
+// is abandoned (the "crash"), and a second service resumes from the file.
+// Fed the same remaining fragments, the resumed service's drained report —
+// JSON and text rendering — must be byte-identical to an uninterrupted run.
+func TestServeCheckpointResume(t *testing.T) {
+	camp, err := refill.RunCampaign(refill.TinyCampaign(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := refill.NewAnalyzer(refill.AnalyzerOptions{},
+		refill.WithSink(camp.Sink),
+		refill.WithWindow(0, int64(camp.Duration)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frags, horizon := campaignPieces(t, camp.Logs)
+	nodes := camp.Logs.Nodes()
+	ckptPath := t.TempDir() + "/session.ckpt"
+	sc := refill.SessionConfig{Horizon: horizon}
+
+	// drive pushes rounds [from, to) of every node's log, advancing after
+	// each round, then drains and returns the JSON and text reports.
+	const rounds = 4
+	drive := func(t *testing.T, url string, client *http.Client, from, to int, drain bool) (string, string) {
+		t.Helper()
+		for r := from; r < to; r++ {
+			for _, n := range nodes {
+				evs := frags[n].Log(n).Events()
+				lo, hi := len(evs)*r/rounds, len(evs)*(r+1)/rounds
+				chunk := refill.NewCollection()
+				for _, e := range evs[lo:hi] {
+					chunk.Add(e)
+				}
+				postLogs(t, client, url, chunk, r%2 == 1)
+			}
+			resp, err := client.Post(fmt.Sprintf("%s/v1/advance?watermark=%d", url, camp.Duration), "", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+		}
+		if !drain {
+			return "", ""
+		}
+		resp, err := client.Post(url+"/v1/drain", "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jsonRep, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		resp, err = client.Get(url + "/v1/report?format=text")
+		if err != nil {
+			t.Fatal(err)
+		}
+		textRep, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return string(jsonRep), string(textRep)
+	}
+	register := func(t *testing.T, url string, client *http.Client) {
+		t.Helper()
+		for _, n := range nodes {
+			resp, err := client.Post(fmt.Sprintf("%s/v1/register?node=%v", url, n), "", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+		}
+	}
+
+	// Uninterrupted reference run.
+	ref, err := an.NewSession(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refSrv := httptest.NewServer(newHandler(ref, ""))
+	defer refSrv.Close()
+	register(t, refSrv.URL, refSrv.Client())
+	wantJSON, wantText := drive(t, refSrv.URL, refSrv.Client(), 0, rounds, true)
+
+	// Crashing run: two rounds, checkpoint, abandon the session.
+	first, err := an.NewSession(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1 := httptest.NewServer(newHandler(first, ckptPath))
+	register(t, srv1.URL, srv1.Client())
+	drive(t, srv1.URL, srv1.Client(), 0, rounds/2, false)
+	resp, err := srv1.Client().Post(srv1.URL+"/v1/checkpoint", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("checkpoint: %s: %s", resp.Status, body)
+	}
+	srv1.Close() // crash
+
+	// Resume from the file and finish the campaign.
+	resumed, err := an.ResumeSession(sc, ckptPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2 := httptest.NewServer(newHandler(resumed, ckptPath))
+	defer srv2.Close()
+	gotJSON, gotText := drive(t, srv2.URL, srv2.Client(), rounds/2, rounds, true)
+
+	if gotJSON != wantJSON {
+		t.Errorf("resumed JSON report diverged:\n got: %s\nwant: %s", gotJSON, wantJSON)
+	}
+	if gotText != wantText {
+		t.Errorf("resumed text report diverged:\n got: %s\nwant: %s", gotText, wantText)
+	}
+
+	// Without -checkpoint-dir the endpoint 404s.
+	resp, err = refSrv.Client().Post(refSrv.URL+"/v1/checkpoint", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("checkpoint without dir: %s, want 404", resp.Status)
+	}
+}
+
 func TestServeRejectsBadRequests(t *testing.T) {
 	an, err := refill.NewAnalyzer(refill.AnalyzerOptions{}, refill.WithSink(1))
 	if err != nil {
@@ -218,7 +344,7 @@ func TestServeRejectsBadRequests(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(newHandler(sess))
+	srv := httptest.NewServer(newHandler(sess, ""))
 	defer srv.Close()
 
 	resp, err := http.Post(srv.URL+"/v1/append", "text/plain", strings.NewReader("not a log line\n"))

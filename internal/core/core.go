@@ -233,14 +233,26 @@ type SessionConfig struct {
 // Options.Parallelism (0 selects all cores — the session is a throughput
 // path).
 func (a *Analyzer) NewSession(sc SessionConfig) (*ingest.Session, error) {
-	return ingest.NewSession(ingest.Config{
+	return ingest.NewSession(a.sessionConfig(sc))
+}
+
+// ResumeSession rebuilds a session from a checkpoint written by
+// Session.WriteCheckpoint. The analyzer's sink and sc.Horizon must match
+// the checkpointed session's (verified against the file); the resumed
+// session continues exactly where the checkpointed one stopped.
+func (a *Analyzer) ResumeSession(sc SessionConfig, path string) (*ingest.Session, error) {
+	return ingest.Resume(a.sessionConfig(sc), path)
+}
+
+func (a *Analyzer) sessionConfig(sc SessionConfig) ingest.Config {
+	return ingest.Config{
 		Engine:      a.eng,
 		Diagnosis:   a.diagConfig(),
 		Workers:     a.par,
 		Shards:      sc.Shards,
 		Horizon:     sc.Horizon,
 		RetainFlows: sc.RetainFlows,
-	})
+	}
 }
 
 // Analyze runs the full pipeline over a collection of per-node logs, fanning

@@ -29,6 +29,24 @@ type Batch struct {
 	// Allocated only by viewLayout.alloc when the counting pre-pass saw a
 	// non-empty Info; when non-nil it supersedes the map entirely.
 	infoCol []string
+	// ro marks a snapshot-mapped batch: its columns alias a read-only file
+	// mapping, so every mutating path panics instead of faulting on a
+	// protected page (or silently corrupting the portable fallback buffer
+	// other readers share). Clone is the escape hatch — the copy is
+	// writable.
+	ro bool
+}
+
+// ReadOnly reports whether the batch is snapshot-mapped and immutable.
+func (b *Batch) ReadOnly() bool { return b.ro }
+
+// mutable panics when the batch is snapshot-mapped. Every mutating method
+// calls it first; the panic converts what would be a SIGSEGV on the mapped
+// pages into a diagnosable error at the API boundary.
+func (b *Batch) mutable() {
+	if b.ro {
+		panic("event: batch is read-only (snapshot-mapped); Clone it to mutate")
+	}
 }
 
 // Len returns the number of rows.
@@ -42,6 +60,7 @@ func (b *Batch) Grow(n int) {
 	if n <= 0 {
 		return
 	}
+	b.mutable()
 	want := len(b.typ) + n
 	growNodes := func(s []NodeID) []NodeID {
 		if cap(s) >= want {
@@ -81,6 +100,7 @@ func (b *Batch) Grow(n int) {
 // preserved up to min(Len, n). The partitioners use it to allocate an arena
 // once and fill rows by index.
 func (b *Batch) Resize(n int) {
+	b.mutable()
 	if n > len(b.typ) {
 		b.Grow(n - len(b.typ))
 	}
@@ -98,6 +118,7 @@ func (b *Batch) Resize(n int) {
 
 // Append adds one event as a new row.
 func (b *Batch) Append(e Event) {
+	b.mutable()
 	b.node = append(b.node, e.Node)
 	b.typ = append(b.typ, e.Type)
 	b.sender = append(b.sender, e.Sender)
@@ -119,6 +140,7 @@ func (b *Batch) Append(e Event) {
 
 // Set overwrites row i with e. The row must already exist (see Resize).
 func (b *Batch) Set(i int, e Event) {
+	b.mutable()
 	b.node[i] = e.Node
 	b.typ[i] = e.Type
 	b.sender[i] = e.Sender
@@ -143,6 +165,7 @@ func (b *Batch) Set(i int, e Event) {
 // setFrom copies row si of src into row i of b — the partitioners' bulk move,
 // which avoids materializing an Event in between.
 func (b *Batch) setFrom(src *Batch, si, i int) {
+	b.mutable()
 	b.node[i] = src.node[si]
 	b.typ[i] = src.typ[si]
 	b.sender[i] = src.sender[si]
@@ -252,6 +275,7 @@ func (b *Batch) Columns() Columns {
 
 // Reset empties the batch, keeping column capacity.
 func (b *Batch) Reset() {
+	b.mutable()
 	b.Resize(0)
 	b.info = nil
 	b.infoCol = nil

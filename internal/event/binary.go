@@ -125,7 +125,10 @@ func ReadCollectionBinary(r io.Reader) (*Collection, error) {
 		}
 		node := NodeID(nodeRaw)
 		log := c.Log(node)
-		log.Batch().Grow(int(count))
+		// The count field sizes a pre-allocation only — clamp it so a
+		// corrupted or hostile header cannot force a huge up-front Grow.
+		// Honest larger logs still land in one or two append regrowths.
+		log.Batch().Grow(int(min(count, 1<<16)))
 		for i := uint32(0); i < count; i++ {
 			tb, err := br.ReadByte()
 			if err != nil {

@@ -115,6 +115,17 @@ func (c *Collection) Validate() error {
 	return nil
 }
 
+// ResetLogs empties every log in place, keeping the per-node column
+// capacity — the resident session reuses one window collection across
+// retirements this way, so steady-state windows append into already-sized
+// columns instead of regrowing fresh ones every Advance.
+func (c *Collection) ResetLogs() {
+	//refill:allow maprange — in-place per-log reset; no ordered output is produced
+	for _, l := range c.Logs {
+		l.batch.Reset()
+	}
+}
+
 // Clone returns a deep copy of the collection.
 func (c *Collection) Clone() *Collection {
 	out := NewCollection()

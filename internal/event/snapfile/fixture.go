@@ -1,0 +1,39 @@
+package snapfile
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// CorruptForFixture corrupts a finished snapshot image in place with a
+// seeded structural violation, for refill-lint's fixture mode (the container
+// analogue of fsm.CorruptForFixture). The section-table CRC is recomputed
+// after the edit so the corruption reaches the structural check it is aimed
+// at instead of dying at the checksum gate.
+func CorruptForFixture(img []byte, kind string) error {
+	if len(img) < headerSize+footerSize {
+		return fmt.Errorf("snapfile: fixture image too small (%d bytes)", len(img))
+	}
+	foot := img[len(img)-footerSize:]
+	tableOff := binary.LittleEndian.Uint64(foot[0:8])
+	count := binary.LittleEndian.Uint32(foot[16:20])
+	tableLen := uint64(count) * entrySize
+	if tableOff+tableLen+footerSize != uint64(len(img)) {
+		return fmt.Errorf("snapfile: fixture image table geometry invalid")
+	}
+	table := img[tableOff : tableOff+tableLen]
+	switch kind {
+	case "section-overlap":
+		if count < 2 {
+			return fmt.Errorf("snapfile: section-overlap fixture needs at least 2 sections, image has %d", count)
+		}
+		// Pull the second section's offset back onto the first one's start:
+		// its range now overlaps the first section's bytes.
+		copy(table[entrySize+8:entrySize+16], table[8:16])
+	default:
+		return fmt.Errorf("snapfile: unknown fixture kind %q", kind)
+	}
+	binary.LittleEndian.PutUint32(foot[20:24], crc32.Checksum(table, crcTable))
+	return nil
+}

@@ -1,0 +1,42 @@
+//go:build (linux || darwin) && !refill_nommap
+
+package snapfile
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// Open maps the file read-only and validates it. Section slices alias the
+// page cache: no copy, no per-event allocation, contents materialize on
+// first touch. Close unmaps.
+func Open(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := fi.Size()
+	if size == 0 {
+		return nil, fmt.Errorf("snapfile: %s is empty", path)
+	}
+	if size != int64(int(size)) {
+		return nil, fmt.Errorf("snapfile: %s too large to map (%d bytes)", path, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("snapfile: mmap %s: %w", path, err)
+	}
+	s, err := Parse(data)
+	if err != nil {
+		syscall.Munmap(data)
+		return nil, fmt.Errorf("%w (file %s)", err, path)
+	}
+	s.unmap = func() error { return syscall.Munmap(data) }
+	return s, nil
+}

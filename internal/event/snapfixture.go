@@ -1,0 +1,67 @@
+package event
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/event/snapfile"
+)
+
+// SnapshotFixtureKinds lists the seeded snapshot corruptions
+// BrokenSnapshotFixture can build, one per reader validation layer: the
+// span-index ordering check in the collection decoder and the
+// section-overlap check in the container parser.
+var SnapshotFixtureKinds = []string{"span-misordered", "section-overlap"}
+
+// BrokenSnapshotFixture writes a small valid snapshot image, corrupts it
+// with the given kind, and returns the message of the error the snapshot
+// reader catches it with. A non-nil error means the fixture could not be
+// built — or, the case refill-lint treats as a linter bug, that the seeded
+// corruption was NOT caught.
+func BrokenSnapshotFixture(kind string) (string, error) {
+	c := NewCollection()
+	for n := NodeID(2); n <= 4; n++ {
+		l := c.Log(n)
+		for i := uint32(0); i < 4; i++ {
+			l.Append(Event{
+				Type: Trans, Sender: n, Receiver: 1,
+				Packet: PacketID{Origin: n, Seq: i}, Time: int64(i),
+			})
+		}
+	}
+	var buf bytes.Buffer
+	w := snapfile.NewWriter(&buf)
+	if err := AppendCollectionSections(w, 0, c); err != nil {
+		return "", err
+	}
+	if err := w.Finish(); err != nil {
+		return "", err
+	}
+	img := buf.Bytes()
+
+	switch kind {
+	case "span-misordered":
+		s, err := snapfile.Parse(img)
+		if err != nil {
+			return "", err
+		}
+		span, ok := s.Section(secSpanIndex)
+		if !ok || len(span) < 2*spanEntrySize {
+			return "", fmt.Errorf("event: fixture snapshot has no usable span index")
+		}
+		// Duplicate the first entry's node id into the second entry: the
+		// index is required to be strictly ascending by node.
+		copy(span[spanEntrySize:spanEntrySize+4], span[:4])
+	case "section-overlap":
+		if err := snapfile.CorruptForFixture(img, kind); err != nil {
+			return "", err
+		}
+	default:
+		return "", fmt.Errorf("event: unknown snapshot fixture kind %q", kind)
+	}
+
+	if _, err := parseSnapshotData(img); err != nil {
+		return err.Error(), nil
+	}
+	return "", fmt.Errorf("event: seeded %s snapshot corruption was not caught", kind)
+}

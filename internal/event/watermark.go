@@ -87,6 +87,10 @@ type PendingShard struct {
 	logs map[NodeID]*Batch
 	pkts map[PacketID]pendingPacket
 	rows int
+	// gone is retire's scratch membership set, reused across windows (a
+	// resident session retires thousands of windows; clearing a map is far
+	// cheaper than reallocating one per window per shard).
+	gone map[PacketID]bool
 }
 
 // add routes one packet-scoped event into the shard.
@@ -114,15 +118,14 @@ func (s *PendingShard) add(n NodeID, e Event) {
 // on; the cross-packet interleave inside dst's per-node logs is free to
 // differ from the original logs because no PacketView ever spans packets.
 func (s *PendingShard) retire(cutoff int64, dst *Collection) int {
-	var gone map[PacketID]bool
 	retired := 0
 	//refill:allow maprange — builds an unordered membership set; the ordered copy below walks batches in row order
 	for id, p := range s.pkts {
 		if p.maxTime < cutoff {
-			if gone == nil {
-				gone = make(map[PacketID]bool, 16)
+			if s.gone == nil {
+				s.gone = make(map[PacketID]bool, 16)
 			}
-			gone[id] = true
+			s.gone[id] = true
 			s.rows -= int(p.rows)
 			retired++
 		}
@@ -132,12 +135,13 @@ func (s *PendingShard) retire(cutoff int64, dst *Collection) int {
 	}
 	//refill:allow maprange — per-node compaction; each node's rows land in its own dst log, so shard-internal node order is immaterial
 	for n, b := range s.logs {
-		s.compactBatch(n, b, gone, dst)
+		s.compactBatch(n, b, s.gone, dst)
 	}
 	//refill:allow maprange — map-to-map deletion; no ordered output is produced
-	for id := range gone {
+	for id := range s.gone {
 		delete(s.pkts, id)
 	}
+	clear(s.gone)
 	return retired
 }
 
@@ -232,6 +236,37 @@ func (ps *PendingStore) Packets() int {
 		total += len(ps.shards[i].pkts)
 	}
 	return total
+}
+
+// AppendPendingTo copies every buffered row into dst, shard-major (shard 0
+// first) with nodes ascending inside each shard — the checkpoint layout.
+// Replaying the result through Append on a store with the SAME shard count
+// reproduces each shard's per-node row order exactly: rows route back to
+// their shard by origin, and within one shard the serialization preserved
+// arrival order. With a different shard count the rebuilt store still holds
+// every packet's rows in per-node order (all a retirement window's consumer
+// depends on), only grouped differently.
+func (ps *PendingStore) AppendPendingTo(dst *Collection) {
+	nodes := make([]NodeID, 0, 16)
+	for i := range ps.shards {
+		sh := &ps.shards[i]
+		nodes = nodes[:0]
+		//refill:allow maprange — key collection; the sort below imposes the order
+		for n := range sh.logs {
+			nodes = append(nodes, n)
+		}
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+		for _, n := range nodes {
+			b := sh.logs[n]
+			if b.Len() == 0 {
+				continue
+			}
+			l := dst.Log(n)
+			for r := 0; r < b.Len(); r++ {
+				l.Append(b.At(r))
+			}
+		}
+	}
 }
 
 // RetireComplete moves every packet whose rows are provably complete — last

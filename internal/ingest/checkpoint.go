@@ -1,0 +1,290 @@
+package ingest
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/diagnosis"
+	"repro/internal/event"
+	"repro/internal/event/snapfile"
+)
+
+// Checkpoint format
+//
+// A session checkpoint is a snapfile container holding everything a
+// restarted process needs to continue as if it never stopped: lifecycle
+// counters, per-node watermarks, the outcomes and aggregate accumulated from
+// already-finalized windows, the session-level operational events, and the
+// pending (not yet finalizable) packet rows. Flows are deliberately NOT
+// checkpointable — a RetainFlows session refuses to checkpoint rather than
+// silently dropping its flows.
+//
+//	section 1   meta: version i64 | sink u32 | reserved u32 | horizon i64 |
+//	            watermark i64 | epoch i64 | ingested i64 | finalized i64
+//	section 2   watermarks: nodes * {node u32, reserved u32, low i64}
+//	section 3   outcomes: n * {origin u32, seq u32, position u32,
+//	            toward u32, lossTime i64, cause u8, flags u8, reserved u16}
+//	section 4   aggregate: diagnosis.Aggregate.EncodeState
+//	base 32     operational events (event collection section family)
+//	base 64     pending packet rows, shard-major (see
+//	            event.PendingStore.AppendPendingTo)
+//
+// Resume rebuilds the pending store by replaying the shard-major rows
+// through PendingStore.Append — origin routing is deterministic, so with an
+// unchanged shard count the store is structurally identical to the one
+// checkpointed. A resumed session's Drain is then byte-identical to an
+// uninterrupted session's (and, transitively, to batch analysis): outcomes
+// and flows are sorted into packet order at the end, aggregate counters are
+// order-independent, and its point sets finish through a total-order sort.
+// snapshot_equiv_test.go at the repo root pins this across a crash at every
+// checkpoint epoch.
+
+const (
+	ckVersion = 1
+
+	ckSecMeta       = 1
+	ckSecWatermarks = 2
+	ckSecOutcomes   = 3
+	ckSecAggregate  = 4
+	ckOpsBase       = 2 * event.SectionStride
+	ckPendBase      = 4 * event.SectionStride
+
+	ckMetaSize    = 56
+	ckWmEntrySize = 16
+	ckOutcomeSize = 28
+
+	outcomeFlagTimeValid = 1 << 0
+	outcomeFlagLoop      = 1 << 1
+)
+
+// ErrCheckpointFlows is returned by WriteCheckpoint on a RetainFlows
+// session: flows are not serialized, and dropping them silently would make
+// the resumed Drain lie.
+var ErrCheckpointFlows = errors.New("ingest: cannot checkpoint a RetainFlows session (flows are not serializable)")
+
+// WriteCheckpoint atomically persists the session's full resumable state to
+// path (temp file, fsync, rename). The session stays usable; the write
+// holds the session lock, so it serializes against Append/Advance like any
+// other call. Checkpointing a drained session returns ErrDrained — restart
+// a finished campaign from its outputs, not a checkpoint.
+func (s *Session) WriteCheckpoint(path string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.drained {
+		return ErrDrained
+	}
+	if s.cfg.RetainFlows {
+		return ErrCheckpointFlows
+	}
+
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".refill-ckpt-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	bw := bufio.NewWriterSize(tmp, 1<<20)
+	w := snapfile.NewWriter(bw)
+
+	var meta [ckMetaSize]byte
+	binary.LittleEndian.PutUint64(meta[0:8], ckVersion)
+	binary.LittleEndian.PutUint32(meta[8:12], uint32(s.cfg.Diagnosis.Sink))
+	binary.LittleEndian.PutUint64(meta[16:24], uint64(s.cfg.Horizon))
+	binary.LittleEndian.PutUint64(meta[24:32], uint64(s.watermark))
+	binary.LittleEndian.PutUint64(meta[32:40], uint64(s.epoch))
+	binary.LittleEndian.PutUint64(meta[40:48], uint64(s.ingested))
+	binary.LittleEndian.PutUint64(meta[48:56], uint64(s.finalized))
+	w.Append(ckSecMeta, meta[:])
+
+	w.Begin(ckSecWatermarks)
+	for _, n := range s.wm.Nodes() {
+		low, _ := s.wm.Node(n)
+		var e [ckWmEntrySize]byte
+		binary.LittleEndian.PutUint32(e[0:4], uint32(n))
+		binary.LittleEndian.PutUint64(e[8:16], uint64(low))
+		w.Write(e[:])
+	}
+	w.End()
+
+	w.Begin(ckSecOutcomes)
+	for _, o := range s.outs {
+		var e [ckOutcomeSize]byte
+		binary.LittleEndian.PutUint32(e[0:4], uint32(o.Packet.Origin))
+		binary.LittleEndian.PutUint32(e[4:8], o.Packet.Seq)
+		binary.LittleEndian.PutUint32(e[8:12], uint32(o.Position))
+		binary.LittleEndian.PutUint32(e[12:16], uint32(o.Toward))
+		binary.LittleEndian.PutUint64(e[16:24], uint64(o.LossTime))
+		e[24] = byte(o.Cause)
+		if o.TimeValid {
+			e[25] |= outcomeFlagTimeValid
+		}
+		if o.Loop {
+			e[25] |= outcomeFlagLoop
+		}
+		w.Write(e[:])
+	}
+	w.End()
+
+	w.Append(ckSecAggregate, s.agg.EncodeState())
+
+	err = event.AppendCollectionSections(w, ckOpsBase, s.opsCollectionLocked())
+	if err == nil {
+		pending := event.NewCollection()
+		s.store.AppendPendingTo(pending)
+		err = event.AppendCollectionSections(w, ckPendBase, pending)
+	}
+	if err == nil {
+		err = w.Finish()
+	}
+	if err == nil {
+		err = bw.Flush()
+	}
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("ingest: write checkpoint %s: %w", path, err)
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// opsCollectionLocked packs the session-level operational events into a
+// collection for serialization, preserving per-node arrival order. Caller
+// holds s.mu.
+func (s *Session) opsCollectionLocked() *event.Collection {
+	c := event.NewCollection()
+	//refill:allow maprange — AppendCollectionSections iterates the collection in sorted node order; per-node slices are copied wholesale
+	for n, evs := range s.ops {
+		l := c.Log(n)
+		for _, e := range evs {
+			l.Append(e)
+		}
+	}
+	return c
+}
+
+// Resume rebuilds a session from a checkpoint written by WriteCheckpoint.
+// cfg must match the checkpointed session's identity-critical settings (sink
+// and horizon are verified against the file); shard and worker counts may
+// differ — they change scheduling, never output. The returned session
+// continues exactly where the checkpointed one stopped: appending the same
+// remaining fragments and draining yields bytes identical to a session that
+// never restarted.
+func Resume(cfg Config, path string) (*Session, error) {
+	s, err := NewSession(cfg)
+	if err != nil {
+		return nil, err
+	}
+	f, err := snapfile.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	meta, ok := f.Section(ckSecMeta)
+	if !ok || len(meta) != ckMetaSize {
+		return nil, fmt.Errorf("ingest: checkpoint %s has no valid meta section", path)
+	}
+	if v := binary.LittleEndian.Uint64(meta[0:8]); v != ckVersion {
+		return nil, fmt.Errorf("ingest: unsupported checkpoint version %d", v)
+	}
+	if sink := event.NodeID(binary.LittleEndian.Uint32(meta[8:12])); sink != cfg.Diagnosis.Sink {
+		return nil, fmt.Errorf("ingest: checkpoint was written for sink %v, config says %v", sink, cfg.Diagnosis.Sink)
+	}
+	if h := int64(binary.LittleEndian.Uint64(meta[16:24])); h != cfg.Horizon {
+		return nil, fmt.Errorf("ingest: checkpoint was written with horizon %d, config says %d", h, cfg.Horizon)
+	}
+	s.watermark = int64(binary.LittleEndian.Uint64(meta[24:32]))
+	s.epoch = int(binary.LittleEndian.Uint64(meta[32:40]))
+	s.ingested = int(binary.LittleEndian.Uint64(meta[40:48]))
+	s.finalized = int(binary.LittleEndian.Uint64(meta[48:56]))
+
+	wms, ok := f.Section(ckSecWatermarks)
+	if !ok || len(wms)%ckWmEntrySize != 0 {
+		return nil, fmt.Errorf("ingest: checkpoint watermark section invalid (%d bytes)", len(wms))
+	}
+	for off := 0; off < len(wms); off += ckWmEntrySize {
+		n := event.NodeID(binary.LittleEndian.Uint32(wms[off:]))
+		low := int64(binary.LittleEndian.Uint64(wms[off+8:]))
+		s.wm.Observe(n, low)
+	}
+
+	outs, ok := f.Section(ckSecOutcomes)
+	if !ok || len(outs)%ckOutcomeSize != 0 {
+		return nil, fmt.Errorf("ingest: checkpoint outcome section invalid (%d bytes)", len(outs))
+	}
+	if n := len(outs) / ckOutcomeSize; n > 0 {
+		s.outs = make([]diagnosis.Outcome, 0, n)
+		for off := 0; off < len(outs); off += ckOutcomeSize {
+			e := outs[off:]
+			cause := e[24]
+			if int(cause) >= len(diagnosis.Causes()) {
+				return nil, fmt.Errorf("ingest: checkpoint outcome carries cause %d", cause)
+			}
+			s.outs = append(s.outs, diagnosis.Outcome{
+				Packet: event.PacketID{
+					Origin: event.NodeID(binary.LittleEndian.Uint32(e[0:4])),
+					Seq:    binary.LittleEndian.Uint32(e[4:8]),
+				},
+				Position:  event.NodeID(binary.LittleEndian.Uint32(e[8:12])),
+				Toward:    event.NodeID(binary.LittleEndian.Uint32(e[12:16])),
+				LossTime:  int64(binary.LittleEndian.Uint64(e[16:24])),
+				Cause:     diagnosis.Cause(cause),
+				TimeValid: e[25]&outcomeFlagTimeValid != 0,
+				Loop:      e[25]&outcomeFlagLoop != 0,
+			})
+		}
+	}
+
+	aggData, ok := f.Section(ckSecAggregate)
+	if !ok {
+		return nil, fmt.Errorf("ingest: checkpoint %s has no aggregate section", path)
+	}
+	if s.agg, err = diagnosis.DecodeAggregate(aggData); err != nil {
+		return nil, err
+	}
+
+	// Operational events and pending rows both come back as mapped
+	// collections whose storage dies with f — every event (and its Info
+	// string) is copied out while replaying.
+	opsColl, err := event.CollectionFromSections(f, ckOpsBase)
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range opsColl.Nodes() {
+		l := opsColl.Logs[n]
+		if l.Len() == 0 {
+			continue
+		}
+		evs := make([]event.Event, 0, l.Len())
+		for i := 0; i < l.Len(); i++ {
+			e := l.At(i)
+			e.Info = strings.Clone(e.Info)
+			evs = append(evs, e)
+		}
+		s.ops[n] = evs
+		s.opsCount += len(evs)
+	}
+
+	pending, err := event.CollectionFromSections(f, ckPendBase)
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range pending.Nodes() {
+		l := pending.Logs[n]
+		for i := 0; i < l.Len(); i++ {
+			e := l.At(i)
+			e.Info = strings.Clone(e.Info)
+			s.store.Append(n, e)
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,195 @@
+package ingest
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/event"
+)
+
+// ckSession builds a checkpointable session (flows not retained) over the
+// campaign's engine/diagnosis config.
+func ckSession(t *testing.T, c *campaign, horizon int64, shards int) *Session {
+	t.Helper()
+	s, err := NewSession(Config{
+		Engine: ctpEngine(t, c.sink), Diagnosis: c.config(),
+		Horizon: horizon, Shards: shards,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// feedHalves splits each node's log in two and returns the two fragment maps.
+func feedHalves(c *campaign) (first, second map[event.NodeID][]event.Event) {
+	first = make(map[event.NodeID][]event.Event)
+	second = make(map[event.NodeID][]event.Event)
+	for n, evs := range c.perNode() {
+		mid := len(evs) / 2
+		first[n], second[n] = evs[:mid], evs[mid:]
+	}
+	return first, second
+}
+
+// TestCheckpointResumeMatchesUninterrupted is the core contract: write a
+// checkpoint mid-session, keep driving the original session, and drive a
+// Resume of the checkpoint through the identical remaining schedule — the
+// drained reports and lifecycle stats must match exactly (and the original
+// session must be undisturbed by having checkpointed).
+func TestCheckpointResumeMatchesUninterrupted(t *testing.T) {
+	c := smallCampaign()
+	// Give some packet rows Info payloads so the checkpoint's info side
+	// tables are exercised, not just the hot columns.
+	for i := range c.evs {
+		if i%3 == 0 {
+			c.evs[i].Info = "q=3"
+		}
+	}
+	path := filepath.Join(t.TempDir(), "mid.ckpt")
+
+	for _, shards := range []int{0, 3} {
+		orig := ckSession(t, c, 0, 0)
+		first, second := feedHalves(c)
+		for n, evs := range first {
+			if err := orig.Append(n, evs); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := orig.Advance(40); err != nil {
+			t.Fatal(err)
+		}
+		if err := orig.WriteCheckpoint(path); err != nil {
+			t.Fatal(err)
+		}
+
+		// Resume may use a different shard count: origin routing changes
+		// which shard holds what, never the drained output.
+		res, err := Resume(Config{
+			Engine: ctpEngine(t, c.sink), Diagnosis: c.config(), Shards: shards,
+		}, path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := res.Stats(), orig.Stats(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("shards=%d: resumed stats %+v, want %+v", shards, got, want)
+		}
+
+		for _, s := range []*Session{orig, res} {
+			for n, evs := range second {
+				if err := s.Append(n, evs); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		_, origRep := orig.Drain()
+		_, resRep := res.Drain()
+		if !reflect.DeepEqual(origRep.Outcomes, resRep.Outcomes) {
+			t.Errorf("shards=%d: outcomes diverged:\n got %+v\nwant %+v", shards, resRep.Outcomes, origRep.Outcomes)
+		}
+		if !reflect.DeepEqual(origRep.Outages, resRep.Outages) {
+			t.Errorf("shards=%d: outages diverged: got %+v want %+v", shards, resRep.Outages, origRep.Outages)
+		}
+		if !reflect.DeepEqual(origRep.Breakdown(), resRep.Breakdown()) {
+			t.Errorf("shards=%d: breakdown diverged: got %v want %v", shards, resRep.Breakdown(), origRep.Breakdown())
+		}
+		if !reflect.DeepEqual(orig.Stats(), res.Stats()) {
+			t.Errorf("shards=%d: drained stats diverged: got %+v want %+v", shards, res.Stats(), orig.Stats())
+		}
+	}
+}
+
+// TestCheckpointBeforeAnyAdvance covers the all-pending shape: no outcomes,
+// no finalized packets, every row still in the store.
+func TestCheckpointBeforeAnyAdvance(t *testing.T) {
+	c := smallCampaign()
+	path := filepath.Join(t.TempDir(), "fresh.ckpt")
+	orig := ckSession(t, c, 25, 0)
+	for n, evs := range c.perNode() {
+		if err := orig.Append(n, evs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := orig.WriteCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Resume(Config{Engine: ctpEngine(t, c.sink), Diagnosis: c.config(), Horizon: 25}, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res.Stats(), orig.Stats(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("resumed stats %+v, want %+v", got, want)
+	}
+	_, origRep := orig.Drain()
+	_, resRep := res.Drain()
+	if !reflect.DeepEqual(origRep.Outcomes, resRep.Outcomes) {
+		t.Errorf("outcomes diverged after all-pending resume")
+	}
+	if resRep.Total() != 3 {
+		t.Errorf("resumed drain total = %d, want 3", resRep.Total())
+	}
+}
+
+func TestCheckpointRefusals(t *testing.T) {
+	c := smallCampaign()
+	path := filepath.Join(t.TempDir(), "refused.ckpt")
+
+	retained := c.session(t, ctpEngine(t, c.sink), 0) // RetainFlows: true
+	if err := retained.WriteCheckpoint(path); !errors.Is(err, ErrCheckpointFlows) {
+		t.Errorf("RetainFlows checkpoint: %v, want ErrCheckpointFlows", err)
+	}
+
+	drained := ckSession(t, c, 0, 0)
+	drained.Drain()
+	if err := drained.WriteCheckpoint(path); !errors.Is(err, ErrDrained) {
+		t.Errorf("drained checkpoint: %v, want ErrDrained", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("refused checkpoint left a file behind")
+	}
+}
+
+func TestResumeValidatesConfigAndFile(t *testing.T) {
+	c := smallCampaign()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ok.ckpt")
+	s := ckSession(t, c, 40, 0)
+	for n, evs := range c.perNode() {
+		s.Append(n, evs)
+	}
+	if err := s.WriteCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+
+	base := func() Config {
+		return Config{Engine: ctpEngine(t, c.sink), Diagnosis: c.config(), Horizon: 40}
+	}
+	if _, err := Resume(base(), path); err != nil {
+		t.Fatalf("matching resume failed: %v", err)
+	}
+
+	bad := base()
+	bad.Diagnosis.Sink = 9
+	if _, err := Resume(bad, path); err == nil {
+		t.Error("sink mismatch not rejected")
+	}
+	bad = base()
+	bad.Horizon = 7
+	if _, err := Resume(bad, path); err == nil {
+		t.Error("horizon mismatch not rejected")
+	}
+
+	if _, err := Resume(base(), filepath.Join(dir, "missing.ckpt")); err == nil {
+		t.Error("missing file not rejected")
+	}
+	junk := filepath.Join(dir, "junk.ckpt")
+	if err := os.WriteFile(junk, []byte("not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Resume(base(), junk); err == nil {
+		t.Error("junk file not rejected")
+	}
+}

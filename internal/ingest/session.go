@@ -136,6 +136,12 @@ type Session struct {
 	outs  []diagnosis.Outcome
 	agg   *diagnosis.Aggregate
 
+	// window is the reusable retirement collection: the engine's partition
+	// copies every window into its own arena, so the collection (and its
+	// per-node column capacity) can be recycled across Advance calls
+	// instead of regrowing from zero every window.
+	window *event.Collection
+
 	drained bool
 	result  *engine.Result
 	report  *diagnosis.Report
@@ -230,8 +236,12 @@ func (s *Session) retireLocked(ew int64, final bool) int {
 	if final {
 		cutoff = math.MaxInt64
 	}
-	window := event.NewCollection()
-	n := s.store.RetireComplete(cutoff, window)
+	if s.window == nil {
+		s.window = event.NewCollection()
+	} else {
+		s.window.ResetLogs()
+	}
+	n := s.store.RetireComplete(cutoff, s.window)
 	s.epoch++
 	if ew > s.watermark {
 		s.watermark = ew
@@ -240,7 +250,7 @@ func (s *Session) retireLocked(ew int64, final bool) int {
 		return 0
 	}
 	sched := s.scheduleLocked(ew, final)
-	flows, outs, agg := s.eng.AnalyzeWindowDiagnosed(window, s.workers(), s.cfg.Diagnosis, sched)
+	flows, outs, agg := s.eng.AnalyzeWindowDiagnosed(s.window, s.workers(), s.cfg.Diagnosis, sched)
 	if s.cfg.RetainFlows {
 		s.flows = append(s.flows, flows...)
 	}

@@ -55,10 +55,20 @@
 //	sess.Append(node, fragment)               // per node, in log order
 //	sess.Advance(watermark)                   // finalize completed packets
 //	rep := sess.Snapshot()                    // live report so far
+//	sess.WriteCheckpoint(path)                // durable resume point
 //	_, final := sess.Drain()                  // == one-shot report
+//
+// A checkpointed session survives a crash: Analyzer.ResumeSession rebuilds
+// it from the file and, fed the same remaining fragments, drains into bytes
+// identical to a session that never restarted.
 //
 // cmd/refill-serve wraps a session in an HTTP daemon (ingest + query +
 // graceful drain) for deployments where loggers push fragments remotely.
+//
+// Collections themselves can be persisted as columnar snapshot files
+// (WriteSnapshot / OpenSnapshot): page-aligned images of the in-memory
+// layout that open by mmap with zero decode work — see cmd/refill's
+// -snapshot and convert modes.
 //
 // Event storage is columnar (structure-of-arrays) internally, and
 // reconstructed flows are spans into shared per-worker arenas rather than
@@ -150,6 +160,24 @@ func ReadLogsBinary(r io.Reader) (*Collection, error) { return event.ReadCollect
 // (smaller than text and ~5x faster to encode/parse; use it for
 // multi-million-event campaigns).
 func WriteLogsBinary(w io.Writer, c *Collection) error { return event.WriteCollectionBinary(w, c) }
+
+// Snapshot is an opened columnar snapshot file: a page-aligned on-disk image
+// of a Collection, memory-mapped so Snapshot.Collection's columns alias the
+// page cache directly — opening costs no decode work and no per-event
+// allocations, unlike the text and binary log formats. The collection is
+// read-only (Clone a log's batch to mutate); keep the snapshot open for as
+// long as the collection or anything read from it is referenced, and Close
+// it afterwards to release the mapping.
+type Snapshot = event.Snapshot
+
+// WriteSnapshot writes c as a columnar snapshot file, atomically (temp file
+// in the same directory, fsync, rename).
+func WriteSnapshot(path string, c *Collection) error { return event.WriteSnapshot(path, c) }
+
+// OpenSnapshot maps a snapshot file written by WriteSnapshot. The header and
+// section geometry are verified on open; call Snapshot.Verify to also check
+// the content checksums (a full read of the file).
+func OpenSnapshot(path string) (*Snapshot, error) { return event.OpenSnapshot(path) }
 
 // Reconstruction results.
 type (
@@ -288,6 +316,11 @@ type (
 
 // ErrSessionDrained is returned by Session mutations after Drain.
 var ErrSessionDrained = ingest.ErrDrained
+
+// ErrSessionCheckpointFlows is returned by Session.WriteCheckpoint on a
+// RetainFlows session: flows are not serialized, so checkpointing one would
+// silently change what Drain returns after a resume.
+var ErrSessionCheckpointFlows = ingest.ErrCheckpointFlows
 
 // Protocol templates.
 type Protocol = fsm.Protocol

@@ -1,0 +1,236 @@
+package refill
+
+// Equivalence harness for the columnar snapshot layer: analysis over a
+// memory-mapped snapshot must be byte-identical — flows, reports, and
+// re-serializations — to analysis over the in-memory collection the snapshot
+// was written from, and a session resumed from a checkpoint must drain into
+// exactly what an uninterrupted session (and batch analysis) produces, for a
+// crash at every checkpoint epoch. CI runs this file under -race and again
+// with the refill_nommap build tag, so both the mmap and the portable
+// read-into-aligned-buffer open paths carry the same guarantee.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// snapshotPath writes logs to a snapshot file under t.TempDir.
+func snapshotPath(t *testing.T, logs *Collection) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "campaign.snap")
+	if err := WriteSnapshot(path, logs); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestSnapshotAnalyzeEquivalence pins the zero-copy read path: every
+// analysis mode over the mapped collection must equal the same mode over the
+// original, and every serialization of the mapped collection must be
+// byte-identical to serializing the original.
+func TestSnapshotAnalyzeEquivalence(t *testing.T) {
+	c := equivCampaign(t)
+	logs, sink, end := c.Res.Logs, c.Res.Sink, int64(c.Res.Duration)
+	dayLen := int64(sim.Day)
+	days := int((end + dayLen - 1) / dayLen)
+	an, err := NewAnalyzer(AnalyzerOptions{},
+		WithSink(sink), WithWindow(0, end), WithDailyBins(dayLen, days))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := an.Analyze(logs)
+	if want.Report.Total() == 0 || len(want.Report.Outages) == 0 {
+		t.Fatal("degenerate campaign: need losses and outages to prove anything")
+	}
+
+	path := snapshotPath(t, logs)
+	snap, err := OpenSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Close()
+	if err := snap.Verify(); err != nil {
+		t.Fatalf("fresh snapshot fails Verify: %v", err)
+	}
+	mapped := snap.Collection()
+
+	t.Run("analyze", func(t *testing.T) {
+		got := an.Analyze(mapped)
+		if !reflect.DeepEqual(want.Result.Flows, got.Result.Flows) {
+			t.Error("flows over the mapped collection diverged")
+		}
+		if !reflect.DeepEqual(want.Result.Operational, got.Result.Operational) {
+			t.Error("operational events diverged")
+		}
+		checkSameReport(t, want.Report, got.Report, dayLen, days)
+	})
+	t.Run("analyze-stream", func(t *testing.T) {
+		got := an.AnalyzeStream(mapped)
+		if !reflect.DeepEqual(want.Result.Flows, got.Result.Flows) {
+			t.Error("streamed flows over the mapped collection diverged")
+		}
+		checkSameReport(t, want.Report, got.Report, dayLen, days)
+	})
+	t.Run("serializations", func(t *testing.T) {
+		var wantBin, gotBin bytes.Buffer
+		if err := WriteLogsBinary(&wantBin, logs); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteLogsBinary(&gotBin, mapped); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(wantBin.Bytes(), gotBin.Bytes()) {
+			t.Error("binary serialization of the mapped collection diverged")
+		}
+		var wantText, gotText bytes.Buffer
+		if err := WriteLogs(&wantText, logs); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteLogs(&gotText, mapped); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(wantText.Bytes(), gotText.Bytes()) {
+			t.Error("text serialization of the mapped collection diverged")
+		}
+		// Re-snapshotting the mapped collection reproduces the file bit for
+		// bit: the format round-trips through itself with no drift.
+		again := filepath.Join(t.TempDir(), "again.snap")
+		if err := WriteSnapshot(again, mapped); err != nil {
+			t.Fatal(err)
+		}
+		orig, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		re, err := os.ReadFile(again)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(orig, re) {
+			t.Error("re-snapshot of the mapped collection is not byte-identical")
+		}
+	})
+}
+
+// TestSnapshotCheckpointResumeEquivalence crashes a session at EVERY
+// checkpoint epoch of a fragment schedule and requires the resumed session's
+// drained report — raw outcomes, every aggregate read, and the rendered
+// breakdown — to match both the uninterrupted session and batch analysis.
+func TestSnapshotCheckpointResumeEquivalence(t *testing.T) {
+	c := equivCampaign(t)
+	logs, sink, end := c.Res.Logs, c.Res.Sink, int64(c.Res.Duration)
+	dayLen := int64(sim.Day)
+	days := int((end + dayLen - 1) / dayLen)
+	horizon := maxPacketSpread(logs)
+	an, err := NewAnalyzer(AnalyzerOptions{},
+		WithSink(sink), WithWindow(0, end), WithDailyBins(dayLen, days))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := an.Analyze(logs)
+	nodes := logs.Nodes()
+	sc := SessionConfig{Horizon: horizon}
+
+	newSess := func(t *testing.T) *Session {
+		t.Helper()
+		sess, err := an.NewSession(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range nodes {
+			sess.Register(n)
+		}
+		return sess
+	}
+	// round r feeds every node's r-th log slice, then advances.
+	const rounds = 4
+	feed := func(t *testing.T, sess *Session, from, to int) {
+		t.Helper()
+		for r := from; r < to; r++ {
+			for _, n := range nodes {
+				evs := logs.Log(n).Events()
+				lo, hi := len(evs)*r/rounds, len(evs)*(r+1)/rounds
+				if err := sess.Append(n, evs[lo:hi]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if _, err := sess.Advance(end); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	ref := newSess(t)
+	feed(t, ref, 0, rounds)
+	_, refRep := ref.Drain()
+	checkSameReport(t, want.Report, refRep, dayLen, days)
+	refText := RenderBreakdown(refRep)
+
+	for epoch := 0; epoch < rounds; epoch++ {
+		path := filepath.Join(t.TempDir(), "epoch.ckpt")
+		crashed := newSess(t)
+		feed(t, crashed, 0, epoch)
+		if err := crashed.WriteCheckpoint(path); err != nil {
+			t.Fatalf("epoch %d: checkpoint: %v", epoch, err)
+		}
+		// The crash: the original session is abandoned unread.
+		resumed, err := an.ResumeSession(sc, path)
+		if err != nil {
+			t.Fatalf("epoch %d: resume: %v", epoch, err)
+		}
+		feed(t, resumed, epoch, rounds)
+		_, rep := resumed.Drain()
+		if !reflect.DeepEqual(refRep.Outcomes, rep.Outcomes) {
+			t.Errorf("epoch %d: resumed outcomes diverged from the uninterrupted session", epoch)
+		}
+		checkSameReport(t, want.Report, rep, dayLen, days)
+		if got := RenderBreakdown(rep); got != refText {
+			t.Errorf("epoch %d: rendered breakdown diverged:\n got: %s\nwant: %s", epoch, got, refText)
+		}
+	}
+}
+
+// TestSnapshotSessionFromMappedCollection closes the loop between the two
+// halves of this file: fragments served out of a mapped snapshot (the
+// retriever re-reading its archive) must drive a session to the same drained
+// report as fragments served from the in-memory collection.
+func TestSnapshotSessionFromMappedCollection(t *testing.T) {
+	c := equivCampaign(t)
+	logs, sink, end := c.Res.Logs, c.Res.Sink, int64(c.Res.Duration)
+	horizon := maxPacketSpread(logs)
+	an, err := NewAnalyzer(AnalyzerOptions{}, WithSink(sink), WithWindow(0, end))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := OpenSnapshot(snapshotPath(t, logs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Close()
+	mapped := snap.Collection()
+
+	sess, err := an.NewSession(sc(horizon))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range mapped.Nodes() {
+		sess.Register(n)
+	}
+	for _, n := range mapped.Nodes() {
+		if err := sess.Append(n, mapped.Log(n).Events()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, rep := sess.Drain()
+	want := an.Analyze(logs)
+	if !reflect.DeepEqual(want.Report.Outcomes, rep.Outcomes) {
+		t.Error("session fed from the mapped collection diverged from batch")
+	}
+}
+
+func sc(horizon int64) SessionConfig { return SessionConfig{Horizon: horizon} }
