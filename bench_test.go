@@ -666,6 +666,33 @@ func BenchmarkSnapshot(b *testing.B) {
 			}
 		}
 	})
+	b.Run("open-analyze-windowed", func(b *testing.B) {
+		// The out-of-core path on the same snapshot: windowed reconstruction
+		// straight off the mapping, sized to force several residency windows.
+		// Serial (Parallelism 1) so allocs/op is deterministic for benchguard.
+		wan, err := NewAnalyzer(AnalyzerOptions{},
+			WithSink(sink), WithWindow(0, end), WithParallelism(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts := SnapshotOptions{WindowRows: rows/6 + 1}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s, err := OpenSnapshot(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			out := wan.AnalyzeSnapshot(s, opts)
+			if out.Report.Total() == 0 {
+				b.Fatal("no packets")
+			}
+			if err := s.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(rows)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+	})
 	var bin bytes.Buffer
 	if err := event.WriteCollectionBinary(&bin, logs); err != nil {
 		b.Fatal(err)
@@ -683,6 +710,59 @@ func BenchmarkSnapshot(b *testing.B) {
 				b.Fatal("no packets")
 			}
 		}
+	})
+}
+
+var (
+	skewOnce sync.Once
+	skewLogs *Collection
+	skewSink NodeID
+	skewEnd  int64
+)
+
+// skewedBench builds the shared hot-origin campaign once (see skewedLogs in
+// sched_equiv_test.go: the busiest origin of a simulated campaign replicated
+// until it dominates the packet volume).
+func skewedBench(b *testing.B) (*Collection, NodeID, int64) {
+	b.Helper()
+	skewOnce.Do(func() {
+		skewLogs, skewSink, skewEnd = skewedLogs(b, 13, 96)
+	})
+	if skewLogs == nil {
+		b.Fatal("skewed campaign failed to build")
+	}
+	return skewLogs, skewSink, skewEnd
+}
+
+// BenchmarkAnalyzeSkewed is the scheduler's headline number: the same
+// hot-origin campaign analyzed at 8 workers under the legacy static
+// origin-chunk cut (the hot origin is one indivisible chunk — its owner
+// serializes the tail) and under the work-stealing scheduler (idle workers
+// split the hot origin mid-chunk). The steal case must beat static by a wide
+// margin here while every equivalence suite pins their outputs equal.
+func BenchmarkAnalyzeSkewed(b *testing.B) {
+	logs, sink, end := skewedBench(b)
+	events := logs.TotalEvents()
+	run := func(b *testing.B, extra ...AnalyzerOption) {
+		opts := append([]AnalyzerOption{WithParallelism(8)}, extra...)
+		an, err := NewAnalyzer(AnalyzerOptions{Sink: sink, End: end}, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out := an.Analyze(logs)
+			if len(out.Result.Flows) == 0 {
+				b.Fatal("no flows")
+			}
+		}
+		b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+	}
+	b.Run("static-8", func(b *testing.B) {
+		run(b, WithEngineOptions(EngineOptions{StaticSharding: true}))
+	})
+	b.Run("steal-8", func(b *testing.B) {
+		run(b)
 	})
 }
 

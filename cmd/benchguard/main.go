@@ -20,9 +20,16 @@
 // stabilize); baseline entries missing from the input fail it, so the guard
 // can't rot silently when a benchmark is renamed.
 //
+// Custom b.ReportMetric values (events/s throughput, flow counts, …) are
+// parsed alongside the standard columns: they ride along in the -json
+// document and the text delta table — with a percentage delta when the
+// baseline carries the same metric — so throughput trends are recorded per
+// run (see BENCH_*.json at the repo root). Like ns/op they never decide
+// pass/fail: rates share all of wall time's machine-dependence.
+//
 // With -json the verdict is emitted as one JSON object instead of text:
-// ns/op and B/op ride along for trend tracking (see BENCH_*.json at the
-// repo root), but the pass/fail decision still rests on allocs/op alone.
+// ns/op, B/op, and the custom metrics ride along for trend tracking, but
+// the pass/fail decision still rests on allocs/op alone.
 //
 // To refresh the baseline after an intentional change, run EXACTLY the
 // invocation the CI bench-regression job uses (.github/workflows/ci.yml) —
@@ -31,7 +38,7 @@
 // mismatch CI:
 //
 //	go test -run '^$' \
-//	    -bench '^(BenchmarkAnalyzeCampaign|BenchmarkAnalyzePacket|BenchmarkEngineChain|BenchmarkBinaryCodec|BenchmarkTableII|BenchmarkFlowOutput|BenchmarkDiagnosis|BenchmarkKernel|BenchmarkSessionIngest|BenchmarkSnapshot)$' \
+//	    -bench '^(BenchmarkAnalyzeCampaign|BenchmarkAnalyzePacket|BenchmarkAnalyzeSkewed|BenchmarkEngineChain|BenchmarkBinaryCodec|BenchmarkTableII|BenchmarkFlowOutput|BenchmarkDiagnosis|BenchmarkKernel|BenchmarkSessionIngest|BenchmarkSnapshot)$' \
 //	    -benchmem -benchtime 1x . > bench_baseline.txt
 package main
 
@@ -41,6 +48,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"regexp"
 	"sort"
@@ -48,12 +56,15 @@ import (
 	"strings"
 )
 
-// Result holds one benchmark's measurements from -benchmem output.
+// Result holds one benchmark's measurements from -benchmem output. Metrics
+// carries the benchmark's b.ReportMetric values keyed by unit (e.g.
+// "events/s"); the standard three columns stay in their own fields.
 type Result struct {
-	Name     string  `json:"name"`
-	NsOp     float64 `json:"ns_op"`
-	BytesOp  int64   `json:"bytes_op"`
-	AllocsOp int64   `json:"allocs_op"`
+	Name     string             `json:"name"`
+	NsOp     float64            `json:"ns_op"`
+	BytesOp  int64              `json:"bytes_op"`
+	AllocsOp int64              `json:"allocs_op"`
+	Metrics  map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Entry is one line of the verdict: a current Result joined with its
@@ -67,8 +78,12 @@ type Entry struct {
 	// Informational only: ns/op never decides pass/fail (see package doc).
 	BaselineNs float64 `json:"baseline_ns_op,omitempty"`
 	NsDeltaPct float64 `json:"ns_delta_pct,omitempty"`
-	Status     string  `json:"status"`
-	Detail     string  `json:"detail,omitempty"`
+	// BaselineMetrics mirrors Result.Metrics for the baseline run, so the
+	// delta table (and -json consumers) can show throughput drift. Also
+	// informational only.
+	BaselineMetrics map[string]float64 `json:"baseline_metrics,omitempty"`
+	Status          string             `json:"status"`
+	Detail          string             `json:"detail,omitempty"`
 }
 
 // report is the top-level -json document.
@@ -81,14 +96,54 @@ type report struct {
 	Benchmarks  []Entry `json:"benchmarks"`
 }
 
-// benchLine matches the testing package's benchmark result format:
+// gomaxprocsSuffix is the -8 in `BenchmarkName-8`: stripped so baselines
+// recorded on one machine compare against runs on another.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseLine token-walks one line of the testing package's result format:
 //
-//	BenchmarkName-8   3   342105525 ns/op   84874053 B/op   190633 allocs/op
+//	BenchmarkName-8   3   342105525 ns/op   2751657 events/s   84874053 B/op   190633 allocs/op
 //
-// The -8 GOMAXPROCS suffix is stripped so baselines recorded on one
-// machine compare against runs on another. Custom metrics between ns/op
-// and B/op (ReportMetric) are skipped by the lazy middle match.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op.*?\s(\d+) B/op\s+(\d+) allocs/op`)
+// After the name and the iteration count the line is (value, unit) pairs:
+// ns/op, B/op, and allocs/op land in their Result fields, every other unit
+// (b.ReportMetric) lands in Metrics. Lines without allocs/op are not
+// benchmark results for our purposes (the guard needs -benchmem output) and
+// are skipped, as is anything that doesn't look like a result line at all.
+func parseLine(line string) (Result, bool, error) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return Result{}, false, nil
+	}
+	if _, err := strconv.Atoi(f[1]); err != nil {
+		return Result{}, false, nil
+	}
+	res := Result{Name: gomaxprocsSuffix.ReplaceAllString(f[0], "")}
+	seenAllocs := false
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Result{}, false, fmt.Errorf("bad value %q in %q: %w", f[i], line, err)
+		}
+		switch unit := f[i+1]; unit {
+		case "ns/op":
+			res.NsOp = v
+		case "B/op":
+			res.BytesOp = int64(v)
+		case "allocs/op":
+			res.AllocsOp = int64(v)
+			seenAllocs = true
+		default:
+			if res.Metrics == nil {
+				res.Metrics = make(map[string]float64)
+			}
+			res.Metrics[unit] = v
+		}
+	}
+	if !seenAllocs {
+		return Result{}, false, nil
+	}
+	return res, true, nil
+}
 
 // parse extracts benchmark results from -benchmem output. Repeated runs of
 // the same name (e.g. -count=N) keep the last value.
@@ -97,23 +152,13 @@ func parse(r io.Reader) (map[string]Result, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	for sc.Scan() {
-		m := benchLine.FindStringSubmatch(sc.Text())
-		if m == nil {
-			continue
-		}
-		ns, err := strconv.ParseFloat(m[2], 64)
+		res, ok, err := parseLine(sc.Text())
 		if err != nil {
-			return nil, fmt.Errorf("bad ns/op in %q: %w", sc.Text(), err)
+			return nil, err
 		}
-		bytes, err := strconv.ParseInt(m[3], 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("bad B/op in %q: %w", sc.Text(), err)
+		if ok {
+			out[res.Name] = res
 		}
-		allocs, err := strconv.ParseInt(m[4], 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("bad allocs/op in %q: %w", sc.Text(), err)
-		}
-		out[m[1]] = Result{Name: m[1], NsOp: ns, BytesOp: bytes, AllocsOp: allocs}
 	}
 	return out, sc.Err()
 }
@@ -151,6 +196,9 @@ func check(baseline, current map[string]Result, tolerance, nsTolerance float64) 
 			e.BaselineNs = baseNs
 			e.NsDeltaPct = 100 * (cur.NsOp/baseNs - 1)
 		}
+		if len(baseline[name].Metrics) > 0 {
+			e.BaselineMetrics = baseline[name].Metrics
+		}
 		if float64(cur.AllocsOp) > float64(base)*(1+tolerance) {
 			e.Status = "fail"
 			e.Detail = fmt.Sprintf("%+.1f%% > %.0f%% tolerance", delta, tolerance*100)
@@ -181,9 +229,43 @@ func check(baseline, current map[string]Result, tolerance, nsTolerance float64) 
 	return entries, ok
 }
 
+// fmtMetric prints a metric value compactly: integers without a fraction,
+// everything else in shortest-round-trip form.
+func fmtMetric(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatFloat(v, 'f', 0, 64)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// metricsSuffix renders an entry's custom metrics for the delta table, with
+// a percentage drift wherever the baseline recorded the same unit. Always
+// informational — throughput is as machine-bound as wall time.
+func metricsSuffix(e Entry) string {
+	if len(e.Metrics) == 0 {
+		return ""
+	}
+	units := make([]string, 0, len(e.Metrics))
+	for u := range e.Metrics {
+		units = append(units, u)
+	}
+	sort.Strings(units)
+	var b strings.Builder
+	for _, u := range units {
+		v := e.Metrics[u]
+		if bv, ok := e.BaselineMetrics[u]; ok && bv != 0 {
+			fmt.Fprintf(&b, "; %s %s vs baseline %s (%+.1f%%)", fmtMetric(v), u, fmtMetric(bv), 100*(v/bv-1))
+		} else {
+			fmt.Fprintf(&b, "; %s %s", fmtMetric(v), u)
+		}
+	}
+	return b.String()
+}
+
 // render turns entries into the human verdict lines. The trailing ns/op
 // delta, when baseline timing is available, is marked non-fatal unless the
-// run opted into the -ns-tolerance gate.
+// run opted into the -ns-tolerance gate; custom metrics follow it,
+// informational always.
 func render(entries []Entry, tolerance, nsTolerance float64) []string {
 	lines := make([]string, 0, len(entries))
 	for _, e := range entries {
@@ -197,6 +279,7 @@ func render(entries []Entry, tolerance, nsTolerance float64) []string {
 					e.NsOp, e.BaselineNs, e.NsDeltaPct)
 			}
 		}
+		ns += metricsSuffix(e)
 		switch {
 		case e.Status == "fail" && e.Detail == "in baseline but missing from input":
 			lines = append(lines, fmt.Sprintf("FAIL %s: %s", e.Name, e.Detail))
@@ -204,7 +287,7 @@ func render(entries []Entry, tolerance, nsTolerance float64) []string {
 			lines = append(lines, fmt.Sprintf("FAIL %s: %d allocs/op, baseline %d (%s)%s",
 				e.Name, e.AllocsOp, e.BaselineAllocs, e.Detail, ns))
 		case e.Status == "note":
-			lines = append(lines, fmt.Sprintf("note %s: %d allocs/op, not in baseline", e.Name, e.AllocsOp))
+			lines = append(lines, fmt.Sprintf("note %s: %d allocs/op, not in baseline%s", e.Name, e.AllocsOp, metricsSuffix(e)))
 		default:
 			lines = append(lines, fmt.Sprintf("ok   %s: %d allocs/op, baseline %d (%+.1f%%)%s",
 				e.Name, e.AllocsOp, e.BaselineAllocs, e.DeltaPct, ns))

@@ -34,14 +34,59 @@ func TestParseStripsCPUSuffix(t *testing.T) {
 		t.Errorf("campaign allocs = %d", camp.AllocsOp)
 	}
 	if camp.NsOp != 342105525 || camp.BytesOp != 84874053 {
-		t.Errorf("campaign ns/B = %v/%d, want 342105525/84874053 (custom metric must be skipped)", camp.NsOp, camp.BytesOp)
+		t.Errorf("campaign ns/B = %v/%d, want 342105525/84874053", camp.NsOp, camp.BytesOp)
+	}
+	if camp.Metrics["flows"] != 28296 {
+		t.Errorf("campaign metrics = %v, want the flows custom metric captured", camp.Metrics)
 	}
 	sub := got["BenchmarkEngineChain/hops=4"]
-	if sub.AllocsOp != 9 || sub.NsOp != 1042 || sub.BytesOp != 512 {
+	if sub.AllocsOp != 9 || sub.NsOp != 1042 || sub.BytesOp != 512 || sub.Metrics != nil {
 		t.Errorf("sub-benchmark = %+v", sub)
 	}
 	if len(got) != 2 {
 		t.Errorf("parsed %d entries, want 2: %v", len(got), got)
+	}
+}
+
+// TestParseCustomMetrics pins the token walk on a line with a rate metric
+// between ns/op and the -benchmem columns (where b.ReportMetric puts it),
+// and that lines without allocs/op are not treated as results.
+func TestParseCustomMetrics(t *testing.T) {
+	const out = `BenchmarkAnalyzeSkewed/steal-8-8   5   294217110 ns/op   2919787 events/s   84874053 B/op   190633 allocs/op
+BenchmarkNoMem-8   100   1042 ns/op
+PASS
+`
+	got, err := parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("parsed %d entries, want only the -benchmem line: %v", len(got), got)
+	}
+	r := got["BenchmarkAnalyzeSkewed/steal-8"]
+	if r.Metrics["events/s"] != 2919787 || r.NsOp != 294217110 || r.AllocsOp != 190633 {
+		t.Errorf("result = %+v", r)
+	}
+}
+
+// TestMetricsInDeltaTable pins the rendered metric suffix: drift against the
+// baseline where the unit matches, bare value where it doesn't, and no
+// change to entries without metrics.
+func TestMetricsInDeltaTable(t *testing.T) {
+	base := map[string]Result{"BenchmarkX": {
+		Name: "BenchmarkX", AllocsOp: 100, Metrics: map[string]float64{"events/s": 2000000},
+	}}
+	cur := map[string]Result{"BenchmarkX": {
+		Name: "BenchmarkX", AllocsOp: 100, Metrics: map[string]float64{"events/s": 2500000, "flows": 42},
+	}}
+	entries, ok := check(base, cur, 0.10, 0)
+	if !ok {
+		t.Fatalf("flat allocs failed: %v", render(entries, 0.10, 0))
+	}
+	lines := render(entries, 0.10, 0)
+	want := "ok   BenchmarkX: 100 allocs/op, baseline 100 (+0.0%); 2500000 events/s vs baseline 2000000 (+25.0%); 42 flows"
+	if len(lines) != 1 || lines[0] != want {
+		t.Errorf("line = %q, want %q", lines, want)
 	}
 }
 

@@ -14,6 +14,10 @@
 // output) is a page-aligned image of the in-memory collection: analysis runs
 // directly over the memory-mapped file with no parse step and no per-event
 // allocations, which is the fastest way to re-analyze a large campaign.
+// -from-snapshot analyzes out of core by default — windowed reconstruction
+// straight off the mapping, so snapshots larger than memory work; tune the
+// residency window with -window-rows, or pass -stream to load the mapping
+// through the streaming pipeline instead.
 package main
 
 import (
@@ -47,6 +51,7 @@ func main() {
 		clocks    = flag.Bool("clocks", false, "recover per-node clock offsets from the flows")
 		workers   = flag.Int("workers", 0, "reconstruction workers (0 serial, -1 all cores)")
 		stream    = flag.Bool("stream", false, "overlap partitioning with reconstruction (implies parallel workers)")
+		winRows   = flag.Int("window-rows", 0, "residency window size in rows for the out-of-core -from-snapshot path (0 = default)")
 		twoPass   = flag.Bool("two-pass", false, "diagnose in a separate pass after reconstruction (legacy pipeline; output is identical)")
 		interp    = flag.Bool("interpreted", false, "run the interpreted engine walk instead of the compiled kernels (reference path; output is identical)")
 		prof      profiling.Flags
@@ -64,8 +69,9 @@ func main() {
 	}
 	defer stopProf()
 	var logs *refill.Collection
+	var snap *refill.Snapshot
 	if *fromSnap != "" {
-		snap, err := refill.OpenSnapshot(*fromSnap)
+		snap, err = refill.OpenSnapshot(*fromSnap)
 		if err != nil {
 			fatal(err)
 		}
@@ -112,9 +118,16 @@ func main() {
 		fatal(err)
 	}
 	var out *refill.Output
-	if *stream {
+	switch {
+	case *stream:
 		out = an.AnalyzeStream(logs)
-	} else {
+	case snap != nil:
+		// Out-of-core by default off a snapshot: windowed reconstruction
+		// straight off the mapping keeps the working set to ~two residency
+		// windows, so snapshots larger than memory analyze fine. Flows are
+		// retained (the -flows/-trace/-clocks printing below reads them).
+		out = an.AnalyzeSnapshot(snap, refill.SnapshotOptions{WindowRows: *winRows})
+	default:
 		out = an.Analyze(logs)
 	}
 

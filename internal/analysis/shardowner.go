@@ -41,6 +41,11 @@ const ShardFixturePattern = "repro/internal/analysis/testdata/src/shardfix"
 // watermark advances) leaked to a concurrent goroutine.
 const SessionFixturePattern = "repro/internal/analysis/testdata/src/sessionfix"
 
+// StealFixturePattern is the work-stealing-scheduler flavor of the
+// shardowner fixture: a worker's local unit buffer drained by a goroutine
+// that bypasses the deque lock protocol.
+const StealFixturePattern = "repro/internal/analysis/testdata/src/stealfix"
+
 // ShardOwner is the ownership analyzer. It matches every package and exits
 // early when no owned type is reachable from the load.
 var ShardOwner = &Analyzer{

@@ -49,6 +49,26 @@ func TestShardFixtureDiagnostics(t *testing.T) {
 	}
 }
 
+// TestStealFixtureDiagnostics drives shardowner over the work-stealing
+// fixture: the worker-local unit buffer drained by a lock-bypassing
+// goroutine must be reported, and the allow-suppressed steal-at-join
+// handoff must not.
+func TestStealFixtureDiagnostics(t *testing.T) {
+	pkgs, err := Load("", StealFixturePattern)
+	if err != nil {
+		t.Fatalf("loading steal fixture: %v", err)
+	}
+	diags := Run(pkgs, []*Analyzer{ShardOwner})
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want exactly the seeded leak:\n%v", len(diags), diags)
+	}
+	if d := diags[0]; d.Pos.Line != 35 ||
+		!strings.Contains(d.Message, "captured by a goroutine closure") ||
+		!strings.Contains(d.Message, "LocalUnits") {
+		t.Errorf("diagnostic = line %d %q, want the line-35 LocalUnits closure capture", d.Pos.Line, d.Message)
+	}
+}
+
 // TestShardOwnerCleanOnRepo is the self-gate for the sharded engine: the
 // packages that own //refill:owned types must produce no unsuppressed
 // crossings.
@@ -84,24 +104,34 @@ func TestShardOwnerCatchesRealRace(t *testing.T) {
 		t.Skip("race detector unavailable in this environment")
 	}
 
-	// The seeded leak must trip the race detector.
-	out, err := runGoTestRace("TestLeakClosureRaces")
-	if err == nil {
-		t.Fatalf("go test -race on the seeded leak passed; expected a race failure\n%s", out)
-	}
-	if !strings.Contains(out, "WARNING: DATA RACE") {
-		t.Fatalf("go test -race failed without a race report:\n%s", out)
+	// The seeded leaks must trip the race detector.
+	for _, c := range []struct{ pattern, run string }{
+		{ShardFixturePattern, "TestLeakClosureRaces"},
+		{StealFixturePattern, "TestLeakDrainRaces"},
+	} {
+		out, err := runGoTestRace(c.pattern, c.run)
+		if err == nil {
+			t.Fatalf("go test -race on the seeded leak %s passed; expected a race failure\n%s", c.run, out)
+		}
+		if !strings.Contains(out, "WARNING: DATA RACE") {
+			t.Fatalf("go test -race on %s failed without a race report:\n%s", c.run, out)
+		}
 	}
 
-	// The allow-annotated handoff must not.
-	out, err = runGoTestRace("TestMergeAtJoinIsRaceFree")
-	if err != nil {
-		t.Fatalf("go test -race on the sanctioned handoff failed:\n%s", out)
+	// The allow-annotated handoffs must not.
+	for _, c := range []struct{ pattern, run string }{
+		{ShardFixturePattern, "TestMergeAtJoinIsRaceFree"},
+		{StealFixturePattern, "TestStealAtJoinIsRaceFree"},
+	} {
+		out, err := runGoTestRace(c.pattern, c.run)
+		if err != nil {
+			t.Fatalf("go test -race on the sanctioned handoff %s failed:\n%s", c.run, out)
+		}
 	}
 }
 
-func runGoTestRace(run string) (string, error) {
-	cmd := exec.Command("go", "test", "-race", "-count=1", "-run", "^"+run+"$", ShardFixturePattern)
+func runGoTestRace(pattern, run string) (string, error) {
+	cmd := exec.Command("go", "test", "-race", "-count=1", "-run", "^"+run+"$", pattern)
 	var buf bytes.Buffer
 	cmd.Stdout = &buf
 	cmd.Stderr = &buf

@@ -1,0 +1,64 @@
+// Package stealfix seeds the work-stealing-scheduler flavor of the
+// shardowner bug class: a worker's local unit buffer — the run of view
+// ranges it has popped but not yet analyzed — is worker-owned scratch, and
+// letting a "helper" goroutine drain it directly (instead of going through
+// the locked deque steal protocol) is exactly the shortcut the scheduler
+// must never reintroduce. One closure leak is seeded (a genuine data race),
+// plus the sanctioned steal-at-join handoff proving the allow directive
+// works. Line numbers are pinned by tests — keep edits append-only.
+package stealfix
+
+import "sync"
+
+// LocalUnits is one worker's popped-but-unprocessed unit buffer: refilled
+// from the shared deques under their locks, then walked lock-free by its
+// owner alone.
+//
+//refill:owned
+type LocalUnits struct {
+	Ranges [][2]int32
+}
+
+// NewLocalUnits allocates a fresh worker-owned unit buffer.
+func NewLocalUnits() *LocalUnits { return &LocalUnits{} }
+
+// LeakDrain captures one worker-owned unit buffer in a goroutine that keeps
+// draining while the owner refills — the seeded violation, bypassing the
+// deque lock, and a genuine data race on Ranges.
+func LeakDrain() int {
+	u := NewLocalUnits()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 1000; i++ {
+			u.Ranges = u.Ranges[:0]
+		}
+	}()
+	for i := int32(0); i < 1000; i++ {
+		u.Ranges = append(u.Ranges, [2]int32{i, i + 1})
+	}
+	wg.Wait()
+	return len(u.Ranges)
+}
+
+// StealAtJoin is the sanctioned handoff: each worker fills its own unit
+// buffer, publishes it into its private result slot, and provably stops
+// touching it before the join reads anything — the scheduler's
+// merge-at-join shape.
+func StealAtJoin() int {
+	out := make([]*LocalUnits, 2)
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			u := NewLocalUnits()
+			u.Ranges = append(u.Ranges, [2]int32{int32(w), int32(w + 1)})
+			//refill:allow shardowner — steal-at-join handoff: each worker writes only its own slot, read after Wait
+			out[w] = u
+		}(w)
+	}
+	wg.Wait()
+	return len(out[0].Ranges) + len(out[1].Ranges)
+}

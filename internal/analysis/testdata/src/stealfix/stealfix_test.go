@@ -1,0 +1,23 @@
+package stealfix
+
+import "testing"
+
+// TestLeakDrainRaces exists to be run under -race by the shardowner
+// regression test in internal/analysis (TestStealFixtureDiagnostics's
+// dynamic half): the closure-captured unit buffer in LeakDrain is a real
+// data race, so the run is expected to FAIL with a race report. testdata
+// packages are invisible to ./..., so the seeded race never runs in the
+// normal suite.
+func TestLeakDrainRaces(t *testing.T) {
+	if LeakDrain() < 0 {
+		t.Fatal("impossible")
+	}
+}
+
+// TestStealAtJoinIsRaceFree pins the sanctioned handoff pattern: the
+// allow-annotated steal-at-join does not race.
+func TestStealAtJoinIsRaceFree(t *testing.T) {
+	if got := StealAtJoin(); got != 2 {
+		t.Fatalf("StealAtJoin = %d, want 2", got)
+	}
+}

@@ -68,6 +68,11 @@ type Options struct {
 	// identical either way — an escape hatch mirroring SeparateDiagnosis,
 	// for debugging and for measuring the kernel itself.
 	InterpretedEngine bool
+	// StaticSharding forces the engine's legacy static work distribution
+	// instead of the work-stealing scheduler (see engine.Options.
+	// StaticSharding). Outputs are identical either way — the reference
+	// the skewed-origin benchmarks compare against.
+	StaticSharding bool
 }
 
 // Option is a functional override applied on top of an Options struct by
@@ -138,6 +143,7 @@ func WithEngineOptions(eo engine.Options) Option {
 		o.DisableIntra = o.DisableIntra || eo.DisableIntra
 		o.DisableInter = o.DisableInter || eo.DisableInter
 		o.InterpretedEngine = o.InterpretedEngine || eo.Interpreted
+		o.StaticSharding = o.StaticSharding || eo.StaticSharding
 		if eo.MaxInferred != 0 {
 			o.MaxInferred = eo.MaxInferred
 		}
@@ -172,14 +178,15 @@ func NewAnalyzer(opts Options, extra ...Option) (*Analyzer, error) {
 		return nil, fmt.Errorf("core: no sink configured — the zero Options has no default sink; add WithSink(node) (or set Options.Sink)")
 	}
 	eng, err := engine.New(engine.Options{
-		Protocol:     opts.Protocol,
-		Sink:         opts.Sink,
-		DisableIntra: opts.DisableIntra,
-		DisableInter: opts.DisableInter,
-		MaxInferred:  opts.MaxInferred,
-		MaxDepth:     opts.MaxDepth,
-		Group:        opts.Group,
-		Interpreted:  opts.InterpretedEngine,
+		Protocol:       opts.Protocol,
+		Sink:           opts.Sink,
+		DisableIntra:   opts.DisableIntra,
+		DisableInter:   opts.DisableInter,
+		MaxInferred:    opts.MaxInferred,
+		MaxDepth:       opts.MaxDepth,
+		Group:          opts.Group,
+		Interpreted:    opts.InterpretedEngine,
+		StaticSharding: opts.StaticSharding,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
@@ -303,6 +310,29 @@ func (a *Analyzer) AnalyzeStream(c *event.Collection) *Output {
 		return a.output(a.eng.AnalyzeStream(c, workers))
 	}
 	res, rep := a.eng.AnalyzeStreamDiagnosed(c, workers, a.diagConfig())
+	return &Output{Result: res, Report: rep}
+}
+
+// SnapshotOptions tunes AnalyzeSnapshot; see engine.SnapshotOptions for the
+// field semantics (window size, completeness horizon, flow retention).
+type SnapshotOptions = engine.SnapshotOptions
+
+// AnalyzeSnapshot runs the full pipeline over an open snapshot out of core:
+// windowed reconstruction straight off the mapping in bounded memory, with
+// each residency window prefetched while the previous one computes (see
+// engine.AnalyzeSnapshotDiagnosed). Output is byte-identical to Analyze over
+// snap.Collection(), except that Result.Flows is nil under
+// SnapshotOptions.DiscardFlows. Worker count follows Options.Parallelism
+// with 0 selecting all cores — like AnalyzeStream, this is a throughput
+// path. The snapshot path is always fused (Options.SeparateDiagnosis does
+// not apply): a second diagnosis pass would need every flow resident, which
+// is the exact cost this path exists to avoid.
+func (a *Analyzer) AnalyzeSnapshot(snap *event.Snapshot, opts SnapshotOptions) *Output {
+	workers := a.par
+	if workers < 0 {
+		workers = 0
+	}
+	res, rep := a.eng.AnalyzeSnapshotDiagnosed(snap, workers, a.diagConfig(), opts)
 	return &Output{Result: res, Report: rep}
 }
 

@@ -3,7 +3,6 @@ package engine
 import (
 	"runtime"
 	"sort"
-	"sync"
 
 	"repro/internal/diagnosis"
 	"repro/internal/event"
@@ -76,36 +75,21 @@ func (e *Engine) AnalyzeParallelDiagnosed(c *event.Collection, workers int, cfg 
 		e.runPool.Put(r)
 		return res, diagnosis.FromParts(cfg.Sink, sched, outs, agg)
 	}
-	chunks := originChunks(views, workers*4)
-	work := make(chan [2]int, len(chunks))
-	for _, ch := range chunks {
-		work <- ch
-	}
-	close(work)
 	sizing := perWorker(e.flowSizing(views), workers)
 	aggs := make([]*diagnosis.Aggregate, workers)
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func(w int) {
-			defer wg.Done()
-			r := new(run)
-			a := flow.NewArena(sizing)
-			cl := diagnosis.NewClassifier()
-			wagg := diagnosis.NewAggregate(cfg.Sink, cfg.Start, cfg.DayLen, cfg.Days)
-			for s := range work {
-				for i := s[0]; i < s[1]; i++ {
-					f := r.analyze(e, views[i], a)
-					res.Flows[i] = f
-					outs[i] = diagnosis.ApplyOutages(cl.Classify(f), sched, cfg.Sink)
-					wagg.Add(outs[i])
-				}
+	e.runSharded(views, workers, func(w int, next func() (int, int, bool)) {
+		ws := newWorkerScratch(sizing, true, cfg)
+		for lo, hi, ok := next(); ok; lo, hi, ok = next() {
+			for i := lo; i < hi; i++ {
+				f := ws.run.analyze(e, views[i], ws.arena)
+				res.Flows[i] = f
+				outs[i] = diagnosis.ApplyOutages(ws.cl.Classify(f), sched, cfg.Sink)
+				ws.agg.Add(outs[i])
 			}
-			//refill:allow shardowner — merge-at-join handoff: each worker writes only aggs[w], read after wg.Wait
-			aggs[w] = wagg
-		}(w)
-	}
-	wg.Wait()
+		}
+		//refill:allow shardowner — merge-at-join handoff: each worker writes only aggs[w], read after the runSharded join
+		aggs[w] = ws.agg
+	})
 	for _, wagg := range aggs {
 		agg.Merge(wagg)
 	}
@@ -128,41 +112,24 @@ func (e *Engine) AnalyzeStreamDiagnosed(c *event.Collection, workers int, cfg di
 	}
 	sched := diagnosis.OutagesFromOperational(event.OperationalEvents(c), cfg.End)
 	sizing := perWorker(e.streamSizing(c), workers)
-	shards := make([]chan *event.PacketView, workers)
 	type part struct {
 		flows []*flow.Flow
 		outs  []diagnosis.Outcome
 		agg   *diagnosis.Aggregate
 	}
 	parts := make([]part, workers)
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		shards[w] = make(chan *event.PacketView, 64)
-		go func(w int) {
-			defer wg.Done()
-			r := new(run)
-			a := flow.NewArena(sizing)
-			cl := diagnosis.NewClassifier()
-			wagg := diagnosis.NewAggregate(cfg.Sink, cfg.Start, cfg.DayLen, cfg.Days)
-			p := &parts[w]
-			for v := range shards[w] {
-				f := r.analyze(e, v, a)
-				o := diagnosis.ApplyOutages(cl.Classify(f), sched, cfg.Sink)
-				wagg.Add(o)
-				p.flows = append(p.flows, f)
-				p.outs = append(p.outs, o)
-			}
-			p.agg = wagg
-		}(w)
-	}
-	ops := event.StreamPartition(c, func(v *event.PacketView) {
-		shards[shardOf(v.Packet.Origin, workers)] <- v
+	ops := e.runStreamSharded(c, workers, func(w int, recv func() (*event.PacketView, bool)) {
+		ws := newWorkerScratch(sizing, true, cfg)
+		p := &parts[w]
+		for v, ok := recv(); ok; v, ok = recv() {
+			f := ws.run.analyze(e, v, ws.arena)
+			o := diagnosis.ApplyOutages(ws.cl.Classify(f), sched, cfg.Sink)
+			ws.agg.Add(o)
+			p.flows = append(p.flows, f)
+			p.outs = append(p.outs, o)
+		}
+		p.agg = ws.agg
 	})
-	for _, ch := range shards {
-		close(ch)
-	}
-	wg.Wait()
 	total := 0
 	for w := range parts {
 		total += len(parts[w].flows)

@@ -44,6 +44,13 @@ type Options struct {
 	// byte-identical either way; this is a debugging escape hatch and the
 	// reference the kernel equivalence suites compare against.
 	Interpreted bool
+	// StaticSharding forces the legacy static work distribution — the
+	// originChunks channel for the batch paths, hash-pinned per-worker
+	// channels for the stream paths — instead of the default work-stealing
+	// scheduler (see scheduler.go). Outputs are byte-identical either way;
+	// this is the reference the skewed-origin benchmarks and the scheduler
+	// equivalence suites compare against.
+	StaticSharding bool
 }
 
 // prereqRule is a protocol prerequisite flattened into a dense per-type

@@ -3,22 +3,37 @@ package engine
 import (
 	"runtime"
 	"sort"
-	"sync"
 
+	"repro/internal/diagnosis"
 	"repro/internal/event"
 	"repro/internal/flow"
 )
 
-// Parallel work distribution is sharded by origin node: Partition orders
+// Parallel work distribution starts sharded by origin node: Partition orders
 // views by (origin, seq), so cutting the view slice only at origin
-// boundaries hands each chunk whole origins. Every worker owns one run (no
-// shared run pool to migrate state through), one output arena (its flows
-// stay on memory it touched), and the result slots it fills — the merge is
-// the indexed writes themselves, trivially preserving packet-ID order.
+// boundaries hands each worker whole origins, and idle workers rebalance by
+// stealing (see scheduler.go — or don't, under Options.StaticSharding).
+// Every worker owns one run (no shared run pool to migrate state through),
+// one output arena (its flows stay on memory it touched), and the result
+// slots it fills — the merge is the indexed writes themselves, trivially
+// preserving packet-ID order.
 
 // originChunks cuts views (sorted by origin) into at most want contiguous
 // chunks of roughly equal event volume, never splitting an origin across
-// chunks. A single hot origin simply becomes one big chunk.
+// chunks.
+//
+// Contract: the chunks tile [0, len(views)) exactly, in order, each one
+// origin-aligned (no origin spans two chunks), and there are between 1 and
+// want of them (inputs with a single origin yield exactly one chunk no
+// matter how many are asked for — never-split wins). A chunk closes when
+// admitting the next origin would push it past the per-chunk volume target,
+// and the target is re-derived from the REMAINING volume and chunk budget
+// after every cut, so one origin dominating the volume lands in its own
+// chunk while the origins around it are still split toward want. (The old
+// fixed-target cut only closed chunks at or above total/want, so a dominant
+// origin anywhere in the order swallowed every origin after — or before —
+// it into one chunk; with a steal-capable consumer that mis-cut only costs
+// balance, but the static reference path serializes on it.)
 func originChunks(views []*event.PacketView, want int) [][2]int {
 	if want < 1 {
 		want = 1
@@ -29,16 +44,36 @@ func originChunks(views []*event.PacketView, want int) [][2]int {
 		rows[i] = v.TotalEvents()
 		total += rows[i]
 	}
-	target := total/want + 1
-	chunks := make([][2]int, 0, want)
-	lo, acc := 0, 0
+	// First pass: origin segments (start view index, volume).
+	type seg struct {
+		start int
+		vol   int
+	}
+	segs := make([]seg, 0, want)
+	start := 0
+	vol := 0
 	for i := range views {
-		acc += rows[i]
-		boundary := i+1 == len(views) || views[i+1].Packet.Origin != views[i].Packet.Origin
-		if boundary && acc >= target {
-			chunks = append(chunks, [2]int{lo, i + 1})
-			lo, acc = i+1, 0
+		vol += rows[i]
+		if i+1 == len(views) || views[i+1].Packet.Origin != views[i].Packet.Origin {
+			segs = append(segs, seg{start, vol})
+			start, vol = i+1, 0
 		}
+	}
+	// Second pass: greedy cut with lookahead — close the open chunk before
+	// a segment that would overshoot the target, then re-derive the target
+	// from what is left.
+	chunks := make([][2]int, 0, want)
+	lo, acc, remaining := 0, 0, total
+	target := remaining/want + 1
+	for _, sg := range segs {
+		if acc > 0 && acc+sg.vol > target && len(chunks) < want-1 {
+			chunks = append(chunks, [2]int{lo, sg.start})
+			lo = sg.start
+			remaining -= acc
+			acc = 0
+			target = remaining/(want-len(chunks)) + 1
+		}
+		acc += sg.vol
 	}
 	if lo < len(views) {
 		chunks = append(chunks, [2]int{lo, len(views)})
@@ -82,32 +117,19 @@ func (e *Engine) AnalyzeParallel(c *event.Collection, workers int) *Result {
 		res.Flows = e.AnalyzeViews(views)
 		return res
 	}
-	// Handing out origin-bounded index ranges amortizes the channel
+	// Handing out origin-bounded index ranges amortizes the scheduler
 	// synchronization over many packets (a campaign has thousands of
 	// sub-millisecond packet analyses). Each worker writes only its own
 	// result slots, so no further synchronization is needed.
-	chunks := originChunks(views, workers*4)
-	work := make(chan [2]int, len(chunks))
-	for _, ch := range chunks {
-		work <- ch
-	}
-	close(work)
 	sizing := perWorker(e.flowSizing(views), workers)
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			r := new(run) // worker-owned: never returned to a shared pool
-			a := flow.NewArena(sizing)
-			for s := range work {
-				for i := s[0]; i < s[1]; i++ {
-					res.Flows[i] = r.analyze(e, views[i], a)
-				}
+	e.runSharded(views, workers, func(w int, next func() (int, int, bool)) {
+		ws := newWorkerScratch(sizing, false, diagnosis.Config{})
+		for lo, hi, ok := next(); ok; lo, hi, ok = next() {
+			for i := lo; i < hi; i++ {
+				res.Flows[i] = ws.run.analyze(e, views[i], ws.arena)
 			}
-		}()
-	}
-	wg.Wait()
+		}
+	})
 	return res
 }
 
@@ -124,11 +146,12 @@ func shardOf(origin event.NodeID, workers int) int {
 // analysis starts. For campaign-scale collections this hides most of the
 // partitioning cost behind the engine work.
 //
-// Views are routed to workers by origin: all of an origin's packets land on
-// the same worker, which owns its run state, its output arena and its slice
-// of flows. The deterministic merge — concatenate the shards, sort by packet
-// ID — restores Partition's order, so the Result is identical to Analyze's.
-// workers <= 0 selects GOMAXPROCS.
+// Views are routed to a home worker by origin (keeping an origin's flows on
+// one arena), but an idle worker steals from the longest backlog instead of
+// waiting behind a hot origin (see streamSource). Each worker owns its run
+// state, its output arena and its slice of flows. The deterministic merge —
+// concatenate the shards, sort by packet ID — restores Partition's order, so
+// the Result is identical to Analyze's. workers <= 0 selects GOMAXPROCS.
 func (e *Engine) AnalyzeStream(c *event.Collection, workers int) *Result {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -137,30 +160,15 @@ func (e *Engine) AnalyzeStream(c *event.Collection, workers int) *Result {
 		workers = 1
 	}
 	sizing := perWorker(e.streamSizing(c), workers)
-	shards := make([]chan *event.PacketView, workers)
 	parts := make([][]*flow.Flow, workers)
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		shards[w] = make(chan *event.PacketView, 64)
-		go func(w int) {
-			defer wg.Done()
-			r := new(run)
-			a := flow.NewArena(sizing)
-			var out []*flow.Flow
-			for v := range shards[w] {
-				out = append(out, r.analyze(e, v, a))
-			}
-			parts[w] = out
-		}(w)
-	}
-	ops := event.StreamPartition(c, func(v *event.PacketView) {
-		shards[shardOf(v.Packet.Origin, workers)] <- v
+	ops := e.runStreamSharded(c, workers, func(w int, recv func() (*event.PacketView, bool)) {
+		ws := newWorkerScratch(sizing, false, diagnosis.Config{})
+		var out []*flow.Flow
+		for v, ok := recv(); ok; v, ok = recv() {
+			out = append(out, ws.run.analyze(e, v, ws.arena))
+		}
+		parts[w] = out
 	})
-	for _, ch := range shards {
-		close(ch)
-	}
-	wg.Wait()
 	total := 0
 	for _, p := range parts {
 		total += len(p)

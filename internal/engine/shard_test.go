@@ -84,6 +84,29 @@ func TestShardedMergeDeterministic(t *testing.T) {
 	wg.Wait()
 }
 
+// checkChunkInvariants asserts the originChunks contract on one output:
+// chunks tile [0, len(views)) in order, every boundary is an origin boundary,
+// and there are between 1 and want chunks.
+func checkChunkInvariants(t *testing.T, views []*event.PacketView, chunks [][2]int, want int) {
+	t.Helper()
+	if len(chunks) == 0 || len(chunks) > want {
+		t.Fatalf("want=%d: got %d chunks", want, len(chunks))
+	}
+	next := 0
+	for _, ch := range chunks {
+		if ch[0] != next || ch[1] <= ch[0] {
+			t.Fatalf("want=%d: chunk %v does not tile (next=%d)", want, ch, next)
+		}
+		if ch[0] > 0 && views[ch[0]-1].Packet.Origin == views[ch[0]].Packet.Origin {
+			t.Fatalf("want=%d: chunk %v splits origin %v", want, ch, views[ch[0]].Packet.Origin)
+		}
+		next = ch[1]
+	}
+	if next != len(views) {
+		t.Fatalf("want=%d: chunks cover %d of %d views", want, next, len(views))
+	}
+}
+
 // TestOriginChunksNeverSplitOrigins pins the sharding invariant the parallel
 // path relies on: a chunk boundary always coincides with an origin boundary,
 // chunks tile the view slice exactly, and every view lands in some chunk.
@@ -91,22 +114,245 @@ func TestOriginChunksNeverSplitOrigins(t *testing.T) {
 	c := buildManyOriginCampaign(25)
 	views, _ := event.Partition(c)
 	for _, want := range []int{1, 2, 5, 13, 64, 10_000} {
-		chunks := originChunks(views, want)
-		if len(chunks) == 0 {
-			t.Fatalf("want=%d: no chunks", want)
+		checkChunkInvariants(t, views, originChunks(views, want), want)
+	}
+}
+
+// dominantCampaign builds packets for the given origins where exactly one
+// origin carries heavy packets and every other origin light ones — the
+// distribution the adaptive re-target in originChunks exists for.
+func dominantCampaign(origins []event.NodeID, dominant event.NodeID) *event.Collection {
+	c := event.NewCollection()
+	sink := event.NodeID(900)
+	for _, origin := range origins {
+		n := 2
+		if origin == dominant {
+			n = 500
 		}
-		next := 0
-		for _, ch := range chunks {
-			if ch[0] != next || ch[1] <= ch[0] {
-				t.Fatalf("want=%d: chunk %v does not tile (next=%d)", want, ch, next)
-			}
-			if ch[0] > 0 && views[ch[0]-1].Packet.Origin == views[ch[0]].Packet.Origin {
-				t.Fatalf("want=%d: chunk %v splits origin %v", want, ch, views[ch[0]].Packet.Origin)
-			}
-			next = ch[1]
-		}
-		if next != len(views) {
-			t.Fatalf("want=%d: chunks cover %d of %d views", want, next, len(views))
+		for p := 0; p < n; p++ {
+			pkt := event.PacketID{Origin: origin, Seq: uint32(p + 1)}
+			t0 := int64(origin)*100_000 + int64(p)*10
+			c.Add(event.Event{Node: origin, Type: event.Gen, Sender: origin, Packet: pkt, Time: t0})
+			c.Add(event.Event{Node: origin, Type: event.Trans, Sender: origin, Receiver: sink, Packet: pkt, Time: t0 + 1})
+			c.Add(event.Event{Node: sink, Type: event.Recv, Sender: origin, Receiver: sink, Packet: pkt, Time: t0 + 2})
 		}
 	}
+	return c
+}
+
+// TestOriginChunksDominantOrigin pins the adaptive re-target contract: a
+// single origin dominating the volume is isolated in its own chunk wherever
+// it falls in the origin order, the origins around it still split toward
+// want (the old fixed-target cut collapsed everything after a leading hot
+// origin into one chunk), and a single-origin input yields exactly one chunk
+// no matter how many are asked for — never-split wins over want.
+func TestOriginChunksDominantOrigin(t *testing.T) {
+	ids := []event.NodeID{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	positions := map[string]event.NodeID{"first": 1, "middle": 5, "last": 9}
+	for name, dom := range positions {
+		t.Run(name, func(t *testing.T) {
+			views, _ := event.Partition(dominantCampaign(ids, dom))
+			const want = 8
+			chunks := originChunks(views, want)
+			checkChunkInvariants(t, views, chunks, want)
+			for _, ch := range chunks {
+				lo, hi := views[ch[0]].Packet.Origin, views[ch[1]-1].Packet.Origin
+				if (lo == dom || hi == dom) && lo != hi {
+					t.Errorf("dominant origin %d shares chunk %v with origins %d..%d", dom, ch, lo, hi)
+				}
+			}
+			// With the hot origin leading, the fixed-target cut produced
+			// exactly two chunks (hot, then everything else swallowed); the
+			// re-targeted cut keeps spreading the light origins.
+			if name != "last" && len(chunks) < want/2 {
+				t.Errorf("dominant-%s: only %d chunks for want=%d", name, len(chunks), want)
+			}
+		})
+	}
+	t.Run("single-origin", func(t *testing.T) {
+		views, _ := event.Partition(dominantCampaign(ids[:1], ids[0]))
+		for _, want := range []int{1, 2, 8, 1024} {
+			chunks := originChunks(views, want)
+			checkChunkInvariants(t, views, chunks, want)
+			if len(chunks) != 1 {
+				t.Errorf("want=%d: single origin split into %d chunks", want, len(chunks))
+			}
+		}
+	})
+}
+
+// TestStealSchedulerCoverage drains a steal scheduler — serially with a
+// rotating caller and concurrently under contention — and requires the
+// handed-out ranges to tile the view slice exactly once: steals move work
+// but can never duplicate or drop a view.
+func TestStealSchedulerCoverage(t *testing.T) {
+	c := buildManyOriginCampaign(40)
+	views, _ := event.Partition(c)
+	check := func(t *testing.T, got []int) {
+		t.Helper()
+		for i, n := range got {
+			if n != 1 {
+				t.Fatalf("view %d handed out %d times", i, n)
+			}
+		}
+	}
+	for _, workers := range []int{1, 3, 8} {
+		t.Run("serial", func(t *testing.T) {
+			s := newStealScheduler(views, workers)
+			got := make([]int, len(views))
+			for w, idle := 0, 0; idle < workers; w = (w + 1) % workers {
+				lo, hi, ok := s.next(w)
+				if !ok {
+					idle++
+					continue
+				}
+				idle = 0
+				for i := lo; i < hi; i++ {
+					got[i]++
+				}
+			}
+			check(t, got)
+		})
+		t.Run("concurrent", func(t *testing.T) {
+			s := newStealScheduler(views, workers)
+			got := make([]int, len(views))
+			var mu sync.Mutex
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for {
+						lo, hi, ok := s.next(w)
+						if !ok {
+							return
+						}
+						mu.Lock()
+						for i := lo; i < hi; i++ {
+							got[i]++
+						}
+						mu.Unlock()
+					}
+				}(w)
+			}
+			wg.Wait()
+			check(t, got)
+		})
+	}
+}
+
+// TestStealHalfSemantics exercises the deque mechanics directly: the owner
+// pops grain-bounded slices off its tail, a thief takes the head half of a
+// multi-unit victim, splits a single large unit down the middle, and takes a
+// single small unit whole.
+func TestStealHalfSemantics(t *testing.T) {
+	mk := func(units ...unit) *stealScheduler {
+		s := &stealScheduler{deques: make([]stealDeque, 2), grain: 4}
+		s.deques[0].units = append(s.deques[0].units, units...)
+		return s
+	}
+	t.Run("pop-grain-from-tail", func(t *testing.T) {
+		s := mk(unit{0, 100})
+		lo, hi, ok := s.pop(0)
+		if !ok || lo != 96 || hi != 100 {
+			t.Fatalf("pop = (%d,%d,%v), want tail slice (96,100)", lo, hi, ok)
+		}
+		if got := s.deques[0].units; len(got) != 1 || got[0] != (unit{0, 96}) {
+			t.Fatalf("owner deque after pop: %v", got)
+		}
+	})
+	t.Run("steal-head-half-of-units", func(t *testing.T) {
+		s := mk(unit{0, 10}, unit{10, 20}, unit{20, 30})
+		lo, hi, ok := s.steal(1, 0)
+		if !ok || lo != 16 || hi != 20 {
+			t.Fatalf("steal = (%d,%d,%v), want a slice of the stolen tail unit (16,20)", lo, hi, ok)
+		}
+		if got := s.deques[0].units; len(got) != 1 || got[0] != (unit{20, 30}) {
+			t.Fatalf("victim kept %v, want its tail unit {20,30}", got)
+		}
+		if got := s.deques[1].units; len(got) != 2 || got[0] != (unit{0, 10}) || got[1] != (unit{10, 16}) {
+			t.Fatalf("thief holds %v, want the head half {0,10},{10,16}", got)
+		}
+	})
+	t.Run("steal-splits-single-large-unit", func(t *testing.T) {
+		s := mk(unit{0, 100})
+		lo, hi, ok := s.steal(1, 0)
+		if !ok || lo != 96 || hi != 100 {
+			t.Fatalf("steal = (%d,%d,%v), want (96,100)", lo, hi, ok)
+		}
+		if got := s.deques[0].units; len(got) != 1 || got[0] != (unit{0, 50}) {
+			t.Fatalf("victim kept %v, want the front half {0,50}", got)
+		}
+		if got := s.deques[1].units; len(got) != 1 || got[0] != (unit{50, 96}) {
+			t.Fatalf("thief holds %v, want the back half minus the popped slice", got)
+		}
+	})
+	t.Run("steal-takes-single-small-unit-whole", func(t *testing.T) {
+		s := mk(unit{0, 5})
+		lo, hi, ok := s.steal(1, 0)
+		if !ok || lo != 1 || hi != 5 {
+			t.Fatalf("steal = (%d,%d,%v), want (1,5)", lo, hi, ok)
+		}
+		if got := s.deques[0].units; len(got) != 0 {
+			t.Fatalf("victim kept %v, want empty", got)
+		}
+	})
+	t.Run("drained", func(t *testing.T) {
+		s := mk()
+		if _, _, ok := s.next(0); ok {
+			t.Fatal("next on an empty scheduler reported work")
+		}
+		if _, _, ok := s.next(1); ok {
+			t.Fatal("next on an empty scheduler reported work")
+		}
+	})
+}
+
+// TestStreamSourceSteal pins the stream-side steal: an idle worker takes the
+// back half of the longest victim queue, and a single-view victim queue is
+// taken whole (the cut == len(q) edge).
+func TestStreamSourceSteal(t *testing.T) {
+	v := func(seq uint32) *event.PacketView {
+		return &event.PacketView{Packet: event.PacketID{Origin: 1, Seq: seq}}
+	}
+	t.Run("back-half", func(t *testing.T) {
+		s := newStreamSource(2)
+		s.queues[0] = []*event.PacketView{v(1), v(2), v(3), v(4)}
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if !s.stealLocked(1) {
+			t.Fatal("steal from a 4-deep victim failed")
+		}
+		if got := len(s.queues[0]) - s.heads[0]; got != 2 {
+			t.Fatalf("victim keeps %d views, want the front 2", got)
+		}
+		pv, ok := s.popLocked(1)
+		if !ok || pv.Packet.Seq != 3 {
+			t.Fatalf("thief pops %v, want seq 3 (back half starts there)", pv)
+		}
+	})
+	t.Run("single-view-taken-whole", func(t *testing.T) {
+		s := newStreamSource(2)
+		s.queues[0] = []*event.PacketView{v(7)}
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if !s.stealLocked(1) {
+			t.Fatal("steal of a single-view queue failed")
+		}
+		if _, ok := s.popLocked(0); ok {
+			t.Fatal("victim still has the view after a whole-queue steal")
+		}
+		pv, ok := s.popLocked(1)
+		if !ok || pv.Packet.Seq != 7 {
+			t.Fatalf("thief pops %v, want the stolen view", pv)
+		}
+	})
+	t.Run("nothing-to-steal", func(t *testing.T) {
+		s := newStreamSource(2)
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.stealLocked(1) {
+			t.Fatal("steal from all-empty queues reported success")
+		}
+	})
 }

@@ -2,7 +2,6 @@ package engine
 
 import (
 	"runtime"
-	"sync"
 
 	"repro/internal/diagnosis"
 	"repro/internal/event"
@@ -52,36 +51,21 @@ func (e *Engine) AnalyzeWindowDiagnosed(c *event.Collection, workers int, cfg di
 		e.runPool.Put(r)
 		return flows, outs, agg
 	}
-	chunks := originChunks(views, workers*4)
-	work := make(chan [2]int, len(chunks))
-	for _, ch := range chunks {
-		work <- ch
-	}
-	close(work)
 	sizing := perWorker(e.flowSizing(views), workers)
 	aggs := make([]*diagnosis.Aggregate, workers)
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func(w int) {
-			defer wg.Done()
-			r := new(run)
-			a := flow.NewArena(sizing)
-			cl := diagnosis.NewClassifier()
-			wagg := diagnosis.NewAggregate(cfg.Sink, cfg.Start, cfg.DayLen, cfg.Days)
-			for s := range work {
-				for i := s[0]; i < s[1]; i++ {
-					f := r.analyze(e, views[i], a)
-					flows[i] = f
-					outs[i] = diagnosis.ApplyOutages(cl.Classify(f), sched, cfg.Sink)
-					wagg.Add(outs[i])
-				}
+	e.runSharded(views, workers, func(w int, next func() (int, int, bool)) {
+		ws := newWorkerScratch(sizing, true, cfg)
+		for lo, hi, ok := next(); ok; lo, hi, ok = next() {
+			for i := lo; i < hi; i++ {
+				f := ws.run.analyze(e, views[i], ws.arena)
+				flows[i] = f
+				outs[i] = diagnosis.ApplyOutages(ws.cl.Classify(f), sched, cfg.Sink)
+				ws.agg.Add(outs[i])
 			}
-			//refill:allow shardowner — merge-at-join handoff: each worker writes only aggs[w], read after wg.Wait
-			aggs[w] = wagg
-		}(w)
-	}
-	wg.Wait()
+		}
+		//refill:allow shardowner — merge-at-join handoff: each worker writes only aggs[w], read after the runSharded join
+		aggs[w] = ws.agg
+	})
 	for _, wagg := range aggs {
 		agg.Merge(wagg)
 	}

@@ -1,0 +1,8 @@
+//go:build refill_nommap || !(linux || darwin)
+
+package snapfile
+
+// sysMadvise is unreachable on this build — the portable Open never sets
+// mapped, so Advise returns before calling it. It exists only to keep the
+// package compiling without a real mmap.
+func sysMadvise([]byte, Advice) {}

@@ -1,0 +1,16 @@
+//go:build (linux || darwin) && !refill_nommap
+
+package snapfile
+
+import "syscall"
+
+// sysMadvise forwards a residency hint for b (a page-aligned sub-slice of a
+// live mapping) to the kernel. The error is deliberately dropped: madvise is
+// advisory, and a declined hint must never fail an analysis.
+func sysMadvise(b []byte, a Advice) {
+	adv := syscall.MADV_WILLNEED
+	if a == AdviseDontNeed {
+		adv = syscall.MADV_DONTNEED
+	}
+	_ = syscall.Madvise(b, adv)
+}

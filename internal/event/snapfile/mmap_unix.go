@@ -38,5 +38,6 @@ func Open(path string) (*Snapshot, error) {
 		return nil, fmt.Errorf("%w (file %s)", err, path)
 	}
 	s.unmap = func() error { return syscall.Munmap(data) }
+	s.mapped = true
 	return s, nil
 }

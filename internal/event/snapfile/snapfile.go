@@ -36,6 +36,7 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
+	"os"
 	"unsafe"
 )
 
@@ -219,6 +220,11 @@ type Snapshot struct {
 	data     []byte
 	sections []SectionInfo
 	unmap    func() error
+	// mapped is true only when data is a real file-backed mmap (the unix
+	// Open path). Advise is gated on it: madvise hints — DONTNEED in
+	// particular — are only meaningful (and only safe) on a mapping, never
+	// on the portable read-into-buffer fallback or a Parse-handed slice.
+	mapped bool
 }
 
 // Parse validates a snapshot image held in memory and returns a Snapshot
@@ -306,9 +312,72 @@ func (s *Snapshot) Section(id uint32) ([]byte, bool) {
 	return nil, false
 }
 
+// SectionRange returns the file offset and length of the section with the
+// given id without materializing a slice — the coordinate space Advise
+// operates in.
+func (s *Snapshot) SectionRange(id uint32) (off, n uint64, ok bool) {
+	for _, e := range s.sections {
+		if e.ID == id {
+			return e.Off, e.Len, true
+		}
+	}
+	return 0, 0, false
+}
+
 // Sections lists the snapshot's sections in file order. The slice is the
 // snapshot's own storage — read-only.
 func (s *Snapshot) Sections() []SectionInfo { return s.sections }
+
+// Advice selects the residency hint Advise forwards to the OS.
+type Advice int
+
+const (
+	// AdviseWillNeed asks the OS to start faulting the range in ahead of
+	// use (read-ahead for a window about to be processed).
+	AdviseWillNeed Advice = iota
+	// AdviseDontNeed tells the OS the range will not be touched again
+	// soon, releasing its pages back under memory pressure. On a read-only
+	// file-backed mapping this is always safe: a later touch re-faults
+	// from the page cache or disk.
+	AdviseDontNeed
+)
+
+// Advise passes a residency hint for the file byte range [off, off+n) to the
+// OS. Hints are advisory and best-effort: Advise does nothing on a
+// Parse-built snapshot or under the portable (refill_nommap) Open — only a
+// real mapping has page residency to steer — and a declined hint is ignored.
+// WILLNEED ranges are widened outward to page boundaries (prefetching a
+// little more never hurts); DONTNEED ranges are narrowed inward, so a page
+// shared with a neighboring still-live range is never dropped.
+func (s *Snapshot) Advise(off, n uint64, a Advice) {
+	if !s.mapped || n == 0 || off >= uint64(len(s.data)) {
+		return
+	}
+	end := off + n
+	if end > uint64(len(s.data)) {
+		end = uint64(len(s.data))
+	}
+	page := uint64(os.Getpagesize())
+	switch a {
+	case AdviseWillNeed:
+		off -= off % page
+		if rem := end % page; rem != 0 {
+			end += page - rem
+			if end > uint64(len(s.data)) {
+				end = uint64(len(s.data))
+			}
+		}
+	case AdviseDontNeed:
+		if rem := off % page; rem != 0 {
+			off += page - rem
+		}
+		end -= end % page
+	}
+	if off >= end {
+		return
+	}
+	sysMadvise(s.data[off:end], a)
+}
 
 // Size returns the total file size in bytes.
 func (s *Snapshot) Size() int { return len(s.data) }

@@ -230,6 +230,12 @@ type (
 	Analyzer = core.Analyzer
 	// Output bundles reconstructed flows and the diagnosis report.
 	Output = core.Output
+	// SnapshotOptions tunes Analyzer.AnalyzeSnapshot — the out-of-core
+	// path that reconstructs straight off a mapped snapshot in bounded
+	// memory, one residency window at a time (window size, completeness
+	// horizon, flow retention). The Output matches
+	// an.Analyze(snap.Collection()) byte for byte.
+	SnapshotOptions = core.SnapshotOptions
 	// Accuracy scores a reconstruction against ground truth.
 	Accuracy = core.Accuracy
 	// Judgment is a (cause, position) pair from any analyzer.

@@ -234,3 +234,65 @@ func TestSnapshotSessionFromMappedCollection(t *testing.T) {
 }
 
 func sc(horizon int64) SessionConfig { return SessionConfig{Horizon: horizon} }
+
+// TestSnapshotOutOfCoreEquivalence pins the out-of-core path: windowed
+// reconstruction straight off the mapping (Analyzer.AnalyzeSnapshot) must be
+// byte-identical to batch analysis of the same collection — across window
+// sizes small enough to force many residency windows, with and without an
+// explicit horizon, and with flows discarded. Runs under -race and under the
+// refill_nommap tag like the rest of this file, so the madvise-hinted mmap
+// walk and the portable buffer walk carry the same guarantee.
+func TestSnapshotOutOfCoreEquivalence(t *testing.T) {
+	c := equivCampaign(t)
+	logs, sink, end := c.Res.Logs, c.Res.Sink, int64(c.Res.Duration)
+	dayLen := int64(sim.Day)
+	days := int((end + dayLen - 1) / dayLen)
+	an, err := NewAnalyzer(AnalyzerOptions{},
+		WithSink(sink), WithWindow(0, end), WithDailyBins(dayLen, days))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := an.Analyze(logs)
+	if want.Report.Total() == 0 || len(want.Report.Outages) == 0 {
+		t.Fatal("degenerate campaign: need losses and outages to prove anything")
+	}
+
+	snap, err := OpenSnapshot(snapshotPath(t, logs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Close()
+
+	horizon := maxPacketSpread(logs)
+	cases := []struct {
+		name string
+		opts SnapshotOptions
+	}{
+		{"default-window", SnapshotOptions{}},
+		{"tiny-windows", SnapshotOptions{WindowRows: 64}},
+		{"odd-windows", SnapshotOptions{WindowRows: 257}},
+		{"explicit-horizon", SnapshotOptions{WindowRows: 311, Horizon: horizon}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := an.AnalyzeSnapshot(snap, tc.opts)
+			if !reflect.DeepEqual(want.Result.Flows, got.Result.Flows) {
+				t.Error("out-of-core flows diverged from batch")
+			}
+			if !reflect.DeepEqual(want.Result.Operational, got.Result.Operational) {
+				t.Error("out-of-core operational events diverged from batch")
+			}
+			checkSameReport(t, want.Report, got.Report, dayLen, days)
+		})
+	}
+	t.Run("discard-flows", func(t *testing.T) {
+		got := an.AnalyzeSnapshot(snap, SnapshotOptions{WindowRows: 128, DiscardFlows: true})
+		if got.Result.Flows != nil {
+			t.Errorf("DiscardFlows retained %d flows", len(got.Result.Flows))
+		}
+		if !reflect.DeepEqual(want.Result.Operational, got.Result.Operational) {
+			t.Error("out-of-core operational events diverged from batch")
+		}
+		checkSameReport(t, want.Report, got.Report, dayLen, days)
+	})
+}
